@@ -1,0 +1,105 @@
+// Shared helpers for the figure benchmarks: adversarial convoy schedules,
+// latency probes and table printing.
+#ifndef WBAM_BENCH_BENCH_COMMON_HPP
+#define WBAM_BENCH_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <optional>
+
+#include "harness/cluster.hpp"
+
+namespace wbam::bench {
+
+inline constexpr Duration delta = milliseconds(1);
+
+inline harness::ClusterConfig base_config(harness::ProtocolKind kind,
+                                          int groups, int clients,
+                                          std::uint64_t seed = 1) {
+    harness::ClusterConfig cfg;
+    cfg.kind = kind;
+    cfg.groups = groups;
+    cfg.group_size = kind == harness::ProtocolKind::skeen ? 1 : 3;
+    cfg.clients = clients;
+    cfg.seed = seed;
+    cfg.delta = delta;
+    // Keep housekeeping off the measured path.
+    cfg.replica.heartbeat_interval = milliseconds(50);
+    cfg.replica.suspect_timeout = seconds(10);
+    cfg.replica.retry_interval = seconds(5);
+    cfg.replica.gc_interval = seconds(5);
+    cfg.client_retry = seconds(10);
+    return cfg;
+}
+
+struct LatencyProbe {
+    double group_max = 0;    // first delivery in the slowest group (CF metric)
+    double leader_min = 0;   // earliest delivery anywhere
+    double follower_min = 0; // earliest non-first delivery within a group
+};
+
+// One collision-free multicast to {0, 1}; latencies in units of delta.
+inline LatencyProbe collision_free_probe(harness::ProtocolKind kind,
+                                         const ReplicaConfig* replica = nullptr) {
+    harness::ClusterConfig cfg = base_config(kind, 2, 1);
+    if (replica) cfg.replica = *replica;
+    harness::Cluster c(cfg);
+    const MsgId id = c.multicast_at(0, 0, {0, 1});
+    c.run_for(milliseconds(100));
+    const auto& rec = c.log().multicasts().at(id);
+    LatencyProbe probe;
+    if (!rec.partially_delivered()) return probe;
+    probe.group_max =
+        static_cast<double>(rec.delivery_latency()) / static_cast<double>(delta);
+    Duration leader_min = time_never;
+    Duration follower_min = time_never;
+    for (GroupId g = 0; g < 2; ++g) {
+        const Duration first = rec.first_delivery.at(g) - rec.multicast_at;
+        leader_min = std::min(leader_min, first);
+        for (const ProcessId p : c.topo().members(g)) {
+            const auto it = c.log().deliveries().find(p);
+            if (it == c.log().deliveries().end() || it->second.empty()) continue;
+            const Duration lat = it->second[0].at - rec.multicast_at;
+            if (lat > first) follower_min = std::min(follower_min, lat);
+        }
+    }
+    probe.leader_min =
+        static_cast<double>(leader_min) / static_cast<double>(delta);
+    probe.follower_min =
+        follower_min == time_never
+            ? probe.group_max
+            : static_cast<double>(follower_min) / static_cast<double>(delta);
+    return probe;
+}
+
+// Worst delivery latency of a victim multicast under an adversarial sweep
+// of a conflicting message's injection time (the generalised Figure 2
+// schedule). Returns units of delta.
+inline double convoy_worst(harness::ProtocolKind kind,
+                           const ReplicaConfig* replica = nullptr) {
+    const Duration eps = microseconds(10);
+    double worst = 0;
+    for (Duration offset = 0; offset <= 8 * delta; offset += delta / 8) {
+        harness::ClusterConfig cfg = base_config(kind, 2, 2);
+        if (replica) cfg.replica = *replica;
+        harness::Cluster c(cfg);
+        const ProcessId convoy_client = c.topo().client(1);
+        c.world().set_link_override(convoy_client, c.topo().initial_leader(0),
+                                    eps);
+        c.world().set_link_override(convoy_client, c.topo().initial_leader(1),
+                                    delta);
+        c.multicast_at(0, 0, {1});  // warm group 1's clock
+        const TimePoint t1 = milliseconds(50);
+        const MsgId m = c.multicast_at(t1, 0, {0, 1});
+        c.multicast_at(t1 + offset - 2 * eps, 1, {0, 1});
+        c.run_for(milliseconds(200));
+        const auto& rec = c.log().multicasts().at(m);
+        if (!rec.partially_delivered()) continue;
+        worst = std::max(worst, static_cast<double>(rec.delivery_latency()) /
+                                    static_cast<double>(delta));
+    }
+    return worst;
+}
+
+}  // namespace wbam::bench
+
+#endif  // WBAM_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,49 @@
+// Figure 2: the convoy effect in Skeen's protocol. A conflicting message
+// m' is injected at increasing offsets after multicast(m); when it lands
+// just before m commits at p1 it picks up a lower timestamp and blocks m,
+// pushing m's delivery latency from the collision-free 2δ toward the
+// failure-free bound of 4δ.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace wbam;
+    using namespace wbam::bench;
+    using harness::Cluster;
+    using harness::ProtocolKind;
+
+    std::printf("=== Convoy effect in Skeen's protocol (Figure 2) ===\n");
+    std::printf("m -> {g0, g1} at t=0; conflicting m' -> {g0, g1} injected at "
+                "t=offset\n");
+    std::printf("%-12s %18s %18s\n", "offset (d)", "m latency@g0 (d)",
+                "m latency@g1 (d)");
+    const Duration eps = microseconds(10);
+    for (Duration offset = 0; offset <= 4 * delta; offset += delta / 10) {
+        harness::ClusterConfig cfg = base_config(ProtocolKind::skeen, 2, 2);
+        Cluster c(cfg);
+        const ProcessId convoy_client = c.topo().client(1);
+        c.world().set_link_override(convoy_client, 0, eps);
+        c.world().set_link_override(convoy_client, 1, delta);
+        c.multicast_at(0, 0, {1});  // warm g1's clock (Figure 2 setting)
+        const TimePoint t1 = milliseconds(20);
+        const MsgId m = c.multicast_at(t1, 0, {0, 1});
+        c.multicast_at(t1 + offset - 2 * eps, 1, {0, 1});
+        c.run_for(milliseconds(100));
+        const auto& rec = c.log().multicasts().at(m);
+        if (!rec.partially_delivered()) continue;
+        const double at_g0 =
+            static_cast<double>(rec.first_delivery.at(0) - rec.multicast_at) /
+            static_cast<double>(delta);
+        const double at_g1 =
+            static_cast<double>(rec.first_delivery.at(1) - rec.multicast_at) /
+            static_cast<double>(delta);
+        std::printf("%-12.2f %18.2f %18.2f\n",
+                    static_cast<double>(offset) / static_cast<double>(delta),
+                    at_g0, at_g1);
+    }
+    std::printf("\nThe step up to ~4d around offset 2d reproduces the paper's "
+                "worst case:\nfailure-free latency = 2x the collision-free "
+                "latency of 2d.\n");
+    return 0;
+}

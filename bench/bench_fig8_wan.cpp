@@ -1,0 +1,62 @@
+// Figure 8: performance of the multicast protocols in a WAN. Setup
+// mirrors the paper's Google Cloud deployment: 3 data centres (Oregon R1,
+// N. Virginia R2, England R3) with round trips R1-R2 60 ms, R2-R3 75 ms,
+// R1-R3 130 ms; 10 groups, each with one replica per data centre; clients
+// spread across the regions. Latencies are dominated by the number of
+// protocol rounds, which is where the white-box protocol's 3-delta
+// critical path shows.
+#include "bench_load.hpp"
+
+namespace {
+
+// Replica r of each group lives in region r; clients are spread
+// round-robin across regions.
+std::vector<int> region_assignment(const wbam::Topology& topo) {
+    std::vector<int> region(static_cast<std::size_t>(topo.num_processes()), 0);
+    for (wbam::ProcessId p = 0; p < topo.num_replicas(); ++p)
+        region[static_cast<std::size_t>(p)] = topo.replica_index(p);
+    for (int c = 0; c < topo.num_clients(); ++c)
+        region[static_cast<std::size_t>(topo.client(c))] = c % 3;
+    return region;
+}
+
+}  // namespace
+
+int main() {
+    using namespace wbam;
+    const Duration r12 = milliseconds(60);
+    const Duration r23 = milliseconds(75);
+    const Duration r13 = milliseconds(130);
+    const Duration local = microseconds(200);  // intra-DC RTT
+
+    bench::SweepSetup setup;
+    setup.name = "Figure 8 (WAN, 3 data centres)";
+    setup.groups = 10;
+    setup.group_size = 3;
+    // Spread the group leaders across the three data centres, as a real
+    // deployment would for load and fault isolation; this is also what
+    // makes inter-leader hops cost real WAN RTTs.
+    setup.staggered_leaders = true;
+    setup.make_delays = [=] {
+        const Topology topo(10, 3, 2000);  // sized for the largest sweep
+        return std::make_unique<sim::RegionMatrixDelay>(
+            region_assignment(topo),
+            std::vector<std::vector<Duration>>{{local, r12, r13},
+                                               {r12, local, r23},
+                                               {r13, r23, local}},
+            0.02);
+    };
+    setup.cpu = bench::bench_cpu_model();
+    setup.client_counts = {50, 150, 400, 700, 1000, 1400, 2000};
+    setup.dest_group_counts = {1, 2, 6, 10};
+    setup.warmup = seconds(2);
+    setup.target_ops = 1000;
+    setup.min_measure = seconds(2);
+    setup.max_measure = seconds(60);
+    if (bench::quick_mode()) {
+        setup.client_counts = {100, 1000};
+        setup.dest_group_counts = {1, 6};
+    }
+    bench::run_sweep(setup);
+    return 0;
+}

@@ -1,0 +1,145 @@
+// Microbenchmarks of the substrate primitives (google-benchmark): codec
+// round-trips, envelope parsing, simulator event throughput, histogram
+// operations. These have no counterpart figure in the paper; they document
+// the cost floor of the simulation substrate.
+#include <benchmark/benchmark.h>
+
+#include "codec/wire.hpp"
+#include "common/rng.hpp"
+#include "common/topology.hpp"
+#include "multicast/message.hpp"
+#include "sim/network.hpp"
+#include "sim/world.hpp"
+#include "stats/histogram.hpp"
+#include "wbcast/messages.hpp"
+
+namespace wbam {
+namespace {
+
+void BM_CodecVarint(benchmark::State& state) {
+    Rng rng(1);
+    std::vector<std::uint64_t> values(1024);
+    for (auto& v : values) v = rng.next_u64() >> rng.next_below(64);
+    for (auto _ : state) {
+        codec::Writer w;
+        for (const auto v : values) w.varint(v);
+        codec::Reader r(w.buffer());
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < values.size(); ++i) sum += r.varint();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_CodecVarint);
+
+void BM_AppMessageRoundTrip(benchmark::State& state) {
+    const AppMessage m = make_app_message(
+        make_msg_id(42, 7), {0, 3, 5},
+        Bytes(static_cast<std::size_t>(state.range(0)), 0xab));
+    for (auto _ : state) {
+        const Bytes wire = codec::encode_to_bytes(m);
+        const AppMessage out = codec::decode_from_bytes<AppMessage>(wire);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppMessageRoundTrip)->Arg(20)->Arg(256)->Arg(4096);
+
+void BM_AcceptMsgRoundTrip(benchmark::State& state) {
+    const wbcast::AcceptMsg a{
+        make_app_message(make_msg_id(1, 1), {0, 1, 2}, Bytes(20, 0x77)), 1,
+        Ballot{3, 4}, Timestamp{99, 1}};
+    for (auto _ : state) {
+        const Bytes wire = codec::encode_envelope(
+            codec::Module::proto,
+            static_cast<std::uint8_t>(wbcast::MsgType::accept), a.msg.id, a);
+        codec::EnvelopeView env(wire);
+        const auto out = wbcast::AcceptMsg::decode(env.body);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AcceptMsgRoundTrip);
+
+void BM_EnvelopePeek(benchmark::State& state) {
+    const Bytes wire = codec::encode_envelope(
+        codec::Module::proto, 2, make_msg_id(7, 9),
+        wbcast::GcStatusMsg{Timestamp{5, 1}});
+    for (auto _ : state) {
+        codec::EnvelopeView env(wire);
+        benchmark::DoNotOptimize(env.about);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnvelopePeek);
+
+// A ring of processes forwarding a token: measures raw event overhead of
+// the discrete-event scheduler (heap ops + dispatch + FIFO bookkeeping).
+class RingProcess final : public Process {
+public:
+    RingProcess(ProcessId next, std::uint64_t hops) : next_(next), hops_(hops) {}
+    void on_start(Context& ctx) override {
+        if (ctx.self() == 0) ctx.send(next_, Bytes{1});
+    }
+    void on_message(Context& ctx, ProcessId, const Bytes& b) override {
+        if (--hops_ > 0) ctx.send(next_, b);
+    }
+    void on_timer(Context&, TimerId) override {}
+
+private:
+    ProcessId next_;
+    std::uint64_t hops_;
+};
+
+void BM_SimEventThroughput(benchmark::State& state) {
+    const int n = 16;
+    const std::uint64_t hops = 100000;
+    for (auto _ : state) {
+        sim::World world(Topology(1, 1, n - 1),
+                         std::make_unique<sim::UniformDelay>(microseconds(10)),
+                         1);
+        for (ProcessId p = 0; p < n; ++p)
+            world.add_process(p, std::make_unique<RingProcess>((p + 1) % n,
+                                                               hops));
+        world.start();
+        world.run_until_idle(seconds(100));
+        benchmark::DoNotOptimize(world.events_processed());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(hops));
+}
+BENCHMARK(BM_SimEventThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_HistogramRecord(benchmark::State& state) {
+    stats::Histogram h;
+    Rng rng(3);
+    for (auto _ : state) {
+        h.record(static_cast<Duration>(rng.next_below(100'000'000)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+    stats::Histogram h;
+    Rng rng(3);
+    for (int i = 0; i < 100000; ++i)
+        h.record(static_cast<Duration>(rng.next_below(100'000'000)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(h.percentile(0.99));
+    }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void BM_RngNext(benchmark::State& state) {
+    Rng rng(9);
+    for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+}  // namespace
+}  // namespace wbam
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// A partitioned replicated bank built on atomic multicast — the paper's
+// motivating application (§I). Accounts are sharded over four replica
+// groups; cross-shard transfers are multicast to both owning groups and
+// made atomic by the total order. The example runs a random transfer
+// workload and then audits the invariants: every replica of a shard holds
+// identical state, and money is conserved.
+//
+//   build/examples/kv_bank
+#include <cstdio>
+
+#include "kvstore/kv_cluster.hpp"
+
+int main() {
+    using namespace wbam;
+
+    harness::ClusterConfig cfg;
+    cfg.kind = harness::ProtocolKind::wbcast;
+    cfg.groups = 4;
+    cfg.group_size = 3;
+    cfg.clients = 3;
+    cfg.delta = milliseconds(1);
+    kv::KvCluster bank(cfg);
+
+    const int accounts = 16;
+    const std::int64_t opening = 1000;
+    for (int i = 0; i < accounts; ++i)
+        bank.put_at(i * microseconds(100), 0, "acct-" + std::to_string(i),
+                    opening);
+    bank.run_for(milliseconds(50));
+    std::printf("Opened %d accounts x %lld: total = %lld\n", accounts,
+                static_cast<long long>(opening),
+                static_cast<long long>(bank.total_balance()));
+
+    // Random transfers from three concurrent clients; most cross shards.
+    Rng rng(2024);
+    const int transfers = 200;
+    for (int i = 0; i < transfers; ++i) {
+        const auto from = static_cast<int>(rng.next_below(accounts));
+        auto to = static_cast<int>(rng.next_below(accounts));
+        if (to == from) to = (to + 1) % accounts;
+        bank.transfer_at(milliseconds(60) + i * microseconds(300),
+                         static_cast<int>(rng.next_below(3)),
+                         "acct-" + std::to_string(from),
+                         "acct-" + std::to_string(to),
+                         static_cast<std::int64_t>(rng.next_below(50)));
+    }
+    bank.run_for(milliseconds(500));
+
+    std::printf("Ran %d cross-shard transfers from 3 concurrent clients\n",
+                transfers);
+    std::printf("  per-shard replica agreement : %s\n",
+                bank.replicas_agree() ? "yes (state hashes equal)" : "NO");
+    for (int r = 0; r < 3; ++r)
+        std::printf("  total balance (replica %d)  : %lld\n", r,
+                    static_cast<long long>(bank.total_balance(r)));
+    const auto check = bank.cluster().check();
+    std::printf("  multicast specification     : %s\n",
+                check.ok() ? "OK" : check.summary().c_str());
+
+    const bool conserved = bank.total_balance() == accounts * opening;
+    std::printf("\n%s\n", conserved && bank.replicas_agree() && check.ok()
+                              ? "Atomicity held: no money created or destroyed."
+                              : "INVARIANT VIOLATION");
+    return conserved ? 0 : 1;
+}

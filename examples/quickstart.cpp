@@ -1,0 +1,59 @@
+// Quickstart: a two-group white-box atomic multicast cluster on the
+// deterministic simulator. Multicasts three messages (two conflicting,
+// one single-group) and prints every delivery with its simulated time,
+// demonstrating the totally ordered projections each group receives.
+//
+//   build/examples/quickstart
+#include <cstdio>
+
+#include "harness/cluster.hpp"
+
+int main() {
+    using namespace wbam;
+    using harness::Cluster;
+    using harness::ClusterConfig;
+
+    ClusterConfig cfg;
+    cfg.kind = harness::ProtocolKind::wbcast;
+    cfg.groups = 2;      // two partitions of an imaginary service
+    cfg.group_size = 3;  // each tolerating one crash (f = 1)
+    cfg.clients = 2;
+    cfg.delta = milliseconds(1);  // one-way message delay
+
+    Cluster cluster(cfg);
+    std::printf("Cluster: %d groups x %d replicas, delta = 1ms\n\n",
+                cfg.groups, cfg.group_size);
+
+    // Two clients multicast concurrently to both groups — these conflict
+    // and must be delivered in the same order everywhere.
+    const MsgId a = cluster.multicast_at(0, 0, {0, 1}, {'a'});
+    const MsgId b = cluster.multicast_at(microseconds(50), 1, {0, 1}, {'b'});
+    // A single-group message ordered only within group 1.
+    const MsgId c = cluster.multicast_at(microseconds(100), 0, {1}, {'c'});
+    cluster.run_for(milliseconds(50));
+
+    auto name = [&](MsgId id) { return id == a ? 'a' : id == b ? 'b' : 'c'; };
+    for (ProcessId p = 0; p < cluster.topo().num_replicas(); ++p) {
+        const auto it = cluster.log().deliveries().find(p);
+        std::printf("replica %d (group %d, %s): ", p,
+                    cluster.topo().group_of(p),
+                    p == cluster.topo().initial_leader(cluster.topo().group_of(p))
+                        ? "leader"
+                        : "follower");
+        if (it == cluster.log().deliveries().end()) {
+            std::printf("(nothing)\n");
+            continue;
+        }
+        for (const auto& ev : it->second)
+            std::printf("%c@%.1fms  ", name(ev.msg), to_millis(ev.at));
+        std::printf("\n");
+    }
+
+    const auto result = cluster.check();
+    std::printf("\nSpecification check: %s\n",
+                result.ok() ? "OK (Validity, Integrity, Ordering, Termination)"
+                            : result.summary().c_str());
+    std::printf("Note the 3ms leader / 4ms follower delivery times: the "
+                "paper's 3-delta fast path.\n");
+    return result.ok() ? 0 : 1;
+}

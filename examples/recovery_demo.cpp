@@ -1,0 +1,61 @@
+// Leader-failure demo: narrates the white-box protocol's recovery
+// machinery (§IV). A stream of multicasts is interrupted by crashing the
+// leader of group 0; the followers' failure detector elects a successor,
+// which runs the NEWLEADER / NEW_STATE handshake, re-delivers the
+// committed prefix and resumes stuck messages. The demo prints the
+// protocol-level log and verifies that no message was lost or duplicated.
+//
+//   build/examples/recovery_demo
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "harness/cluster.hpp"
+#include "wbcast/protocol.hpp"
+
+int main() {
+    using namespace wbam;
+    using harness::Cluster;
+    using harness::ClusterConfig;
+
+    log::set_level(log::Level::info);  // show recovery narration
+
+    ClusterConfig cfg;
+    cfg.kind = harness::ProtocolKind::wbcast;
+    cfg.groups = 2;
+    cfg.group_size = 3;
+    cfg.clients = 1;
+    cfg.delta = milliseconds(1);
+    cfg.replica.heartbeat_interval = milliseconds(5);
+    cfg.replica.suspect_timeout = milliseconds(25);
+    cfg.replica.retry_interval = milliseconds(30);
+    cfg.client_retry = milliseconds(60);
+    Cluster c(cfg);
+
+    std::printf("Streaming 10 multicasts to {g0, g1}; crashing g0's leader "
+                "(p0) at t=12ms...\n\n");
+    for (int i = 0; i < 10; ++i)
+        c.multicast_at(milliseconds(2) + i * milliseconds(3), 0, {0, 1},
+                       Bytes{static_cast<std::uint8_t>(i)});
+    c.world().at(milliseconds(12), [&c] {
+        std::printf("--- CRASH: p0 (leader of group 0) ---\n");
+        c.world().crash(0);
+    });
+    c.run_for(seconds(1));
+
+    std::printf("\nFinal state of group 0's survivors:\n");
+    for (const ProcessId p : c.topo().members(0)) {
+        if (c.world().is_crashed(p)) continue;
+        auto& r = c.world().process_as<wbcast::WbcastReplica>(p);
+        const auto it = c.log().deliveries().find(p);
+        std::printf("  p%d: %s of %s, delivered %zu messages\n", p,
+                    r.status() == wbcast::Status::leader ? "LEADER" : "follower",
+                    to_string(r.cballot()).c_str(),
+                    it == c.log().deliveries().end() ? 0u : it->second.size());
+    }
+    const auto result = c.check();
+    std::printf("\nSpecification check after recovery: %s\n",
+                result.ok() ? "OK — all 10 messages delivered exactly once, "
+                              "in one total order"
+                            : result.summary().c_str());
+    return result.ok() ? 0 : 1;
+}

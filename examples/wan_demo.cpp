@@ -1,0 +1,65 @@
+// Geo-replication demo: 4 groups spread over three data centres with the
+// paper's measured round-trip times (Oregon / N. Virginia / England).
+// Issues the same multicast under all three fault-tolerant protocols and
+// prints the per-group delivery latency, showing how the white-box
+// protocol's 3-round critical path translates into ~100ms savings per
+// multicast at WAN scale.
+//
+//   build/examples/wan_demo
+#include <cstdio>
+
+#include "harness/cluster.hpp"
+
+int main() {
+    using namespace wbam;
+    using harness::Cluster;
+    using harness::ClusterConfig;
+    using harness::ProtocolKind;
+
+    const Duration r12 = milliseconds(60);
+    const Duration r23 = milliseconds(75);
+    const Duration r13 = milliseconds(130);
+    const Duration local = microseconds(200);
+
+    std::printf("3 data centres: R1 Oregon, R2 N. Virginia, R3 England\n");
+    std::printf("RTTs: R1-R2 60ms, R2-R3 75ms, R1-R3 130ms\n");
+    std::printf("4 groups, one replica per DC, leaders staggered across "
+                "DCs;\nclient in R1 multicasts to groups {0, 1}\n\n");
+
+    for (const ProtocolKind kind :
+         {ProtocolKind::wbcast, ProtocolKind::fastcast, ProtocolKind::ftskeen}) {
+        ClusterConfig cfg;
+        cfg.kind = kind;
+        cfg.groups = 4;
+        cfg.group_size = 3;
+        cfg.clients = 1;
+        cfg.staggered_leaders = true;  // leaders spread across the DCs
+        cfg.make_delays = [=] {
+            const Topology topo(4, 3, 1);
+            std::vector<int> region(
+                static_cast<std::size_t>(topo.num_processes()), 0);
+            for (ProcessId p = 0; p < topo.num_replicas(); ++p)
+                region[static_cast<std::size_t>(p)] = topo.replica_index(p);
+            return std::make_unique<sim::RegionMatrixDelay>(
+                region, std::vector<std::vector<Duration>>{{local, r12, r13},
+                                                           {r12, local, r23},
+                                                           {r13, r23, local}});
+        };
+        Cluster c(cfg);
+        const MsgId id = c.multicast_at(0, 0, {0, 1});
+        c.run_for(seconds(2));
+        const auto& rec = c.log().multicasts().at(id);
+        if (!rec.partially_delivered()) {
+            std::printf("%-9s: not delivered?!\n", harness::to_string(kind));
+            continue;
+        }
+        std::printf("%-9s: delivered in", harness::to_string(kind));
+        for (const auto& [g, at] : rec.first_delivery)
+            std::printf("  g%d=%.0fms", g, to_millis(at - rec.multicast_at));
+        std::printf("   (client-perceived %.0fms)\n",
+                    to_millis(rec.delivery_latency()));
+    }
+    std::printf("\nFewer message delays on the critical path -> directly "
+                "visible at WAN RTTs.\n");
+    return 0;
+}

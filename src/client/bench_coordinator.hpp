@@ -1,0 +1,61 @@
+// Measurement plumbing for the figure benchmarks: tracks every multicast
+// from issue to partial delivery (first delivery in every destination
+// group — the paper's client-perceived latency metric, §II), accumulates a
+// latency histogram over a measurement window, and acknowledges completion
+// per group to the originating closed-loop client.
+#ifndef WBAM_CLIENT_BENCH_COORDINATOR_HPP
+#define WBAM_CLIENT_BENCH_COORDINATOR_HPP
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "multicast/api.hpp"
+#include "stats/histogram.hpp"
+
+namespace wbam::client {
+
+class BenchCoordinator {
+public:
+    explicit BenchCoordinator(Topology topo) : topo_(std::move(topo)) {}
+
+    // Delivery sink to install on every replica. Sends one deliver-ack per
+    // (message, group) — from the first replica of the group to deliver —
+    // back to the originating client.
+    DeliverySink make_sink();
+
+    // Called by clients when they issue a multicast.
+    void note_multicast(MsgId id, TimePoint at, std::size_t ngroups);
+
+    // Latency samples are recorded for operations that COMPLETE within
+    // [start, end).
+    void set_window(TimePoint start, TimePoint end) {
+        window_start_ = start;
+        window_end_ = end;
+        completed_in_window_ = 0;
+        latency_.clear();
+    }
+
+    const stats::Histogram& latency() const { return latency_; }
+    std::uint64_t completed_in_window() const { return completed_in_window_; }
+    std::uint64_t completed_total() const { return completed_total_; }
+    std::size_t outstanding() const { return pending_.size(); }
+
+private:
+    struct Pending {
+        TimePoint issued = 0;
+        std::uint32_t remaining = 0;
+        std::unordered_set<GroupId> seen;
+    };
+
+    Topology topo_;
+    std::unordered_map<MsgId, Pending> pending_;
+    stats::Histogram latency_;
+    TimePoint window_start_ = 0;
+    TimePoint window_end_ = time_never;
+    std::uint64_t completed_in_window_ = 0;
+    std::uint64_t completed_total_ = 0;
+};
+
+}  // namespace wbam::client
+
+#endif  // WBAM_CLIENT_BENCH_COORDINATOR_HPP

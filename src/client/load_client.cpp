@@ -1,0 +1,61 @@
+#include "client/load_client.hpp"
+
+#include "common/assert.hpp"
+
+namespace wbam::client {
+
+void LoadClient::on_start(Context& ctx) {
+    retry_timer_ = ctx.set_timer(pattern_.retry);
+    issue(ctx);
+}
+
+void LoadClient::issue(Context& ctx) {
+    const int k = topo_.num_groups();
+    const int d = std::min(pattern_.dest_groups, k);
+    // Uniform random subset of d distinct groups.
+    std::vector<GroupId> dests;
+    dests.reserve(static_cast<std::size_t>(d));
+    std::unordered_set<GroupId> chosen;
+    while (static_cast<int>(dests.size()) < d) {
+        const auto g = static_cast<GroupId>(
+            ctx.rng().next_below(static_cast<std::uint64_t>(k)));
+        if (chosen.insert(g).second) dests.push_back(g);
+    }
+    const MsgId id = make_msg_id(ctx.self(), seq_++);
+    current_msg_ = make_app_message(id, std::move(dests),
+                                    Bytes(pattern_.payload_size, 0x77));
+    current_ = id;
+    acked_.clear();
+    issued_at_ = ctx.now();
+    coordinator_->note_multicast(id, ctx.now(), current_msg_.dests.size());
+    const Bytes wire = encode_multicast_request(current_msg_);
+    for (const GroupId g : current_msg_.dests)
+        ctx.send(topo_.initial_leader(g), wire);
+}
+
+void LoadClient::on_message(Context& ctx, ProcessId, const Bytes& bytes) {
+    const codec::EnvelopeView env(bytes);
+    if (env.module != codec::Module::client ||
+        env.type != static_cast<std::uint8_t>(ClientMsgType::deliver_ack))
+        return;
+    if (env.about != current_) return;  // stale ack from a finished op
+    codec::Reader body = env.body;
+    acked_.insert(DeliverAckMsg::decode(body).group);
+    if (acked_.size() == current_msg_.dests.size()) issue(ctx);
+}
+
+void LoadClient::on_timer(Context& ctx, TimerId id) {
+    if (id != retry_timer_) return;
+    retry_timer_ = ctx.set_timer(pattern_.retry);
+    if (current_ == invalid_msg) return;
+    if (ctx.now() - issued_at_ < pattern_.retry) return;
+    // Stuck (lost message or leader change): re-broadcast to every member
+    // of the unacked groups.
+    const Bytes wire = encode_multicast_request(current_msg_);
+    for (const GroupId g : current_msg_.dests) {
+        if (acked_.count(g)) continue;
+        for (const ProcessId p : topo_.members(g)) ctx.send(p, wire);
+    }
+}
+
+}  // namespace wbam::client

@@ -1,0 +1,50 @@
+// Closed-loop load client for the Fig. 7 / Fig. 8 experiments: multicasts
+// a message to a random set of `dest_groups` groups, waits until every
+// destination group acknowledges delivery, then immediately issues the
+// next message. A retry timer re-broadcasts stuck operations (leader
+// moved, message lost), so the loop survives fault injection.
+#ifndef WBAM_CLIENT_LOAD_CLIENT_HPP
+#define WBAM_CLIENT_LOAD_CLIENT_HPP
+
+#include <unordered_set>
+
+#include "client/bench_coordinator.hpp"
+
+namespace wbam::client {
+
+struct LoadPattern {
+    int dest_groups = 1;           // destinations per multicast
+    std::uint32_t payload_size = 20;  // the paper uses 20-byte messages
+    Duration retry = seconds(2);
+};
+
+class LoadClient final : public Process {
+public:
+    LoadClient(Topology topo, BenchCoordinator* coordinator,
+               LoadPattern pattern)
+        : topo_(std::move(topo)), coordinator_(coordinator),
+          pattern_(pattern) {}
+
+    void on_start(Context& ctx) override;
+    void on_message(Context& ctx, ProcessId from, const Bytes& bytes) override;
+    void on_timer(Context& ctx, TimerId id) override;
+
+    std::uint32_t issued() const { return seq_; }
+
+private:
+    void issue(Context& ctx);
+
+    Topology topo_;
+    BenchCoordinator* coordinator_;
+    LoadPattern pattern_;
+    std::uint32_t seq_ = 0;
+    MsgId current_ = invalid_msg;
+    AppMessage current_msg_;
+    std::unordered_set<GroupId> acked_;
+    TimePoint issued_at_ = 0;
+    TimerId retry_timer_ = invalid_timer;
+};
+
+}  // namespace wbam::client
+
+#endif  // WBAM_CLIENT_LOAD_CLIENT_HPP

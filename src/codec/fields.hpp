@@ -1,0 +1,175 @@
+// Generic field-level encode/decode on top of Writer/Reader: scalar
+// overloads, Timestamp/Ballot, and composites (vector, map, optional,
+// pair, any struct exposing encode()/decode()). Message structs across all
+// protocols build on these helpers.
+#ifndef WBAM_CODEC_FIELDS_HPP
+#define WBAM_CODEC_FIELDS_HPP
+
+#include <map>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "codec/reader.hpp"
+#include "codec/writer.hpp"
+#include "common/types.hpp"
+
+namespace wbam::codec {
+
+// A wire message provides `void encode(Writer&) const` and
+// `static T decode(Reader&)`.
+template <typename T>
+concept WireMessage = requires(const T& ct, Writer& w, Reader& r) {
+    { ct.encode(w) } -> std::same_as<void>;
+    { T::decode(r) } -> std::same_as<T>;
+};
+
+// --- scalars -------------------------------------------------------------
+
+inline void write_field(Writer& w, bool v) { w.boolean(v); }
+inline void write_field(Writer& w, std::uint8_t v) { w.u8(v); }
+inline void write_field(Writer& w, std::uint32_t v) { w.varint(v); }
+inline void write_field(Writer& w, std::uint64_t v) { w.varint(v); }
+inline void write_field(Writer& w, std::int32_t v) { w.zigzag(v); }
+inline void write_field(Writer& w, std::int64_t v) { w.zigzag(v); }
+
+inline void read_field(Reader& r, bool& v) { v = r.boolean(); }
+inline void read_field(Reader& r, std::uint8_t& v) { v = r.u8(); }
+inline void read_field(Reader& r, std::uint32_t& v) {
+    const std::uint64_t raw = r.varint();
+    if (raw > 0xffffffffULL) throw DecodeError("u32 overflow");
+    v = static_cast<std::uint32_t>(raw);
+}
+inline void read_field(Reader& r, std::uint64_t& v) { v = r.varint(); }
+inline void read_field(Reader& r, std::int32_t& v) {
+    const std::int64_t raw = r.zigzag();
+    if (raw < INT32_MIN || raw > INT32_MAX) throw DecodeError("i32 overflow");
+    v = static_cast<std::int32_t>(raw);
+}
+inline void read_field(Reader& r, std::int64_t& v) { v = r.zigzag(); }
+
+// --- core domain types ---------------------------------------------------
+
+inline void write_field(Writer& w, const Timestamp& ts) {
+    w.varint(ts.time);
+    w.zigzag(ts.group);
+}
+inline void read_field(Reader& r, Timestamp& ts) {
+    ts.time = r.varint();
+    read_field(r, ts.group);
+}
+
+inline void write_field(Writer& w, const Ballot& b) {
+    w.varint(b.round);
+    w.zigzag(b.proc);
+}
+inline void read_field(Reader& r, Ballot& b) {
+    b.round = r.varint();
+    read_field(r, b.proc);
+}
+
+inline void write_field(Writer& w, const Bytes& b) { w.bytes(b); }
+inline void read_field(Reader& r, Bytes& b) { b = r.bytes(); }
+
+inline void write_field(Writer& w, const std::string& s) { w.str(s); }
+inline void read_field(Reader& r, std::string& s) { s = r.str(); }
+
+// --- nested wire messages ------------------------------------------------
+
+template <WireMessage T>
+void write_field(Writer& w, const T& msg) {
+    msg.encode(w);
+}
+template <WireMessage T>
+void read_field(Reader& r, T& msg) {
+    msg = T::decode(r);
+}
+
+// --- composites ------------------------------------------------------------
+
+template <typename T>
+void write_field(Writer& w, const std::vector<T>& v) {
+    w.varint(v.size());
+    for (const auto& e : v) write_field(w, e);
+}
+template <typename T>
+void read_field(Reader& r, std::vector<T>& v) {
+    const std::size_t n = r.length();
+    v.clear();
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        T e{};
+        read_field(r, e);
+        v.push_back(std::move(e));
+    }
+}
+
+template <typename A, typename B>
+void write_field(Writer& w, const std::pair<A, B>& p) {
+    write_field(w, p.first);
+    write_field(w, p.second);
+}
+template <typename A, typename B>
+void read_field(Reader& r, std::pair<A, B>& p) {
+    read_field(r, p.first);
+    read_field(r, p.second);
+}
+
+template <typename K, typename V>
+void write_field(Writer& w, const std::map<K, V>& m) {
+    w.varint(m.size());
+    for (const auto& [k, v] : m) {
+        write_field(w, k);
+        write_field(w, v);
+    }
+}
+template <typename K, typename V>
+void read_field(Reader& r, std::map<K, V>& m) {
+    const std::size_t n = r.length();
+    m.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        K k{};
+        V v{};
+        read_field(r, k);
+        read_field(r, v);
+        m.emplace(std::move(k), std::move(v));
+    }
+}
+
+template <typename T>
+void write_field(Writer& w, const std::optional<T>& o) {
+    w.boolean(o.has_value());
+    if (o) write_field(w, *o);
+}
+template <typename T>
+void read_field(Reader& r, std::optional<T>& o) {
+    if (r.boolean()) {
+        T v{};
+        read_field(r, v);
+        o = std::move(v);
+    } else {
+        o.reset();
+    }
+}
+
+// --- whole-message helpers -------------------------------------------------
+
+template <WireMessage T>
+Bytes encode_to_bytes(const T& msg) {
+    Writer w;
+    msg.encode(w);
+    return std::move(w).take();
+}
+
+template <WireMessage T>
+T decode_from_bytes(const Bytes& b) {
+    Reader r(b);
+    T msg = T::decode(r);
+    r.expect_done();
+    return msg;
+}
+
+}  // namespace wbam::codec
+
+#endif  // WBAM_CODEC_FIELDS_HPP

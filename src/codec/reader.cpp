@@ -1,0 +1,82 @@
+#include "codec/reader.hpp"
+
+namespace wbam::codec {
+
+void Reader::need(std::size_t n) const {
+    if (remaining() < n) throw DecodeError("truncated input");
+}
+
+std::uint8_t Reader::u8() {
+    need(1);
+    return *p_++;
+}
+
+std::uint16_t Reader::u16() {
+    const auto lo = u8();
+    const auto hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t Reader::u32() {
+    const auto lo = u16();
+    const auto hi = u16();
+    return static_cast<std::uint32_t>(lo) | (static_cast<std::uint32_t>(hi) << 16);
+}
+
+std::uint64_t Reader::u64() {
+    const auto lo = u32();
+    const auto hi = u32();
+    return static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+}
+
+std::uint64_t Reader::varint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (;;) {
+        const std::uint8_t byte = u8();
+        if (shift == 63 && (byte & 0x7f) > 1) throw DecodeError("varint overflow");
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) return value;
+        shift += 7;
+        if (shift > 63) throw DecodeError("varint too long");
+    }
+}
+
+std::int64_t Reader::zigzag() {
+    const std::uint64_t raw = varint();
+    return static_cast<std::int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+}
+
+bool Reader::boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw DecodeError("invalid boolean");
+    return v == 1;
+}
+
+Bytes Reader::bytes() {
+    const std::uint64_t n = varint();
+    need(n);
+    Bytes out(p_, p_ + n);
+    p_ += n;
+    return out;
+}
+
+std::string Reader::str() {
+    const std::uint64_t n = varint();
+    need(n);
+    std::string out(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+    return out;
+}
+
+std::size_t Reader::length() {
+    const std::uint64_t n = varint();
+    if (n > remaining()) throw DecodeError("collection length exceeds input");
+    return static_cast<std::size_t>(n);
+}
+
+void Reader::expect_done() const {
+    if (!done()) throw DecodeError("trailing bytes after message");
+}
+
+}  // namespace wbam::codec

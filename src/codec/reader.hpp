@@ -1,0 +1,55 @@
+// Bounds-checked binary decoder, the inverse of Writer. Any structural
+// problem in the input (truncation, overlong varint, invalid boolean,
+// oversized collection) raises DecodeError; decoders never read past the
+// end of the buffer.
+#ifndef WBAM_CODEC_READER_HPP
+#define WBAM_CODEC_READER_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace wbam::codec {
+
+class DecodeError : public std::runtime_error {
+public:
+    explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Reader {
+public:
+    Reader(const std::uint8_t* data, std::size_t n) : p_(data), end_(data + n) {}
+    explicit Reader(const Bytes& b) : Reader(b.data(), b.size()) {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::uint64_t varint();
+    std::int64_t zigzag();
+    bool boolean();
+
+    Bytes bytes();
+    std::string str();
+
+    // Declared length of a collection; validated against at least one byte
+    // per element remaining, so hostile inputs cannot force huge allocations.
+    std::size_t length();
+
+    std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+    bool done() const { return p_ == end_; }
+    // Raises DecodeError unless the whole buffer was consumed.
+    void expect_done() const;
+
+private:
+    void need(std::size_t n) const;
+
+    const std::uint8_t* p_;
+    const std::uint8_t* end_;
+};
+
+}  // namespace wbam::codec
+
+#endif  // WBAM_CODEC_READER_HPP

@@ -1,0 +1,61 @@
+// Uniform wire envelope shared by every module:
+//   [module:u8][type:u8][about: varint MsgId][body...]
+// `about` names the application message a protocol message concerns
+// (invalid_msg when the message is not specific to one), which lets the
+// genuineness checker audit traffic without protocol-specific parsing.
+#ifndef WBAM_CODEC_WIRE_HPP
+#define WBAM_CODEC_WIRE_HPP
+
+#include "codec/fields.hpp"
+#include "codec/reader.hpp"
+#include "codec/writer.hpp"
+#include "common/types.hpp"
+
+namespace wbam::codec {
+
+enum class Module : std::uint8_t {
+    elect = 0,   // leader election heartbeats/suspicions
+    proto = 1,   // the atomic multicast protocol itself
+    paxos = 2,   // intra-group consensus used by black-box baselines
+    client = 3,  // client requests and delivery acknowledgements
+    app = 4,     // application payloads layered over multicast (kv store)
+};
+
+template <WireMessage T>
+Bytes encode_envelope(Module module, std::uint8_t type, MsgId about, const T& body) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(module));
+    w.u8(type);
+    w.varint(about);
+    body.encode(w);
+    return std::move(w).take();
+}
+
+// Envelope with no body.
+inline Bytes encode_envelope(Module module, std::uint8_t type, MsgId about) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(module));
+    w.u8(type);
+    w.varint(about);
+    return std::move(w).take();
+}
+
+struct EnvelopeView {
+    Module module{};
+    std::uint8_t type = 0;
+    MsgId about = invalid_msg;
+    Reader body;
+
+    explicit EnvelopeView(const Bytes& bytes) : body(bytes) {
+        const std::uint8_t m = body.u8();
+        if (m > static_cast<std::uint8_t>(Module::app))
+            throw DecodeError("unknown module");
+        module = static_cast<Module>(m);
+        type = body.u8();
+        about = body.varint();
+    }
+};
+
+}  // namespace wbam::codec
+
+#endif  // WBAM_CODEC_WIRE_HPP

@@ -1,0 +1,42 @@
+// Append-only binary encoder. Fixed-width integers are little-endian;
+// unsigned varints use LEB128; signed integers use zigzag varints.
+#ifndef WBAM_CODEC_WRITER_HPP
+#define WBAM_CODEC_WRITER_HPP
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "common/bytes.hpp"
+
+namespace wbam::codec {
+
+class Writer {
+public:
+    Writer() = default;
+
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void varint(std::uint64_t v);
+    void zigzag(std::int64_t v);
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    // Raw bytes without a length prefix.
+    void raw(const std::uint8_t* data, std::size_t n);
+    // Length-prefixed byte string.
+    void bytes(const Bytes& b);
+    void str(std::string_view s);
+
+    std::size_t size() const { return buf_.size(); }
+    Bytes take() && { return std::move(buf_); }
+    const Bytes& buffer() const { return buf_; }
+
+private:
+    Bytes buf_;
+};
+
+}  // namespace wbam::codec
+
+#endif  // WBAM_CODEC_WRITER_HPP

@@ -1,0 +1,25 @@
+// Always-on invariant checks. Protocol invariants are cheap relative to
+// simulated network costs, so they stay enabled in release builds; a
+// violated invariant is a bug, never an input error, hence abort.
+#ifndef WBAM_COMMON_ASSERT_HPP
+#define WBAM_COMMON_ASSERT_HPP
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wbam::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+    std::fprintf(stderr, "WBAM_ASSERT failed: %s at %s:%d%s%s\n", expr, file, line,
+                 msg[0] ? " — " : "", msg);
+    std::abort();
+}
+}  // namespace wbam::detail
+
+#define WBAM_ASSERT(expr) \
+    ((expr) ? void(0) : ::wbam::detail::assert_fail(#expr, __FILE__, __LINE__, ""))
+
+#define WBAM_ASSERT_MSG(expr, msg) \
+    ((expr) ? void(0) : ::wbam::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))
+
+#endif  // WBAM_COMMON_ASSERT_HPP

@@ -1,0 +1,15 @@
+// Byte-buffer alias used for every serialized message.
+#ifndef WBAM_COMMON_BYTES_HPP
+#define WBAM_COMMON_BYTES_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wbam {
+
+using Bytes = std::vector<std::uint8_t>;
+
+}  // namespace wbam
+
+#endif  // WBAM_COMMON_BYTES_HPP

@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace wbam::log {
+
+namespace {
+std::atomic<Level> g_level{Level::off};
+std::mutex g_mutex;
+
+const char* name_of(Level lvl) {
+    switch (lvl) {
+        case Level::debug: return "DEBUG";
+        case Level::info: return "INFO ";
+        case Level::warn: return "WARN ";
+        case Level::error: return "ERROR";
+        case Level::off: return "OFF  ";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+bool enabled(Level lvl) { return lvl >= level(); }
+
+void write(Level lvl, const std::string& msg) {
+    const std::lock_guard<std::mutex> guard(g_mutex);
+    std::fprintf(stderr, "[%s] %s\n", name_of(lvl), msg.c_str());
+}
+
+}  // namespace wbam::log

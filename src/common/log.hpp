@@ -1,0 +1,49 @@
+// Minimal leveled logger. Logging is global and off by default (tests and
+// benches run silent); examples turn it on to narrate protocol steps.
+#ifndef WBAM_COMMON_LOG_HPP
+#define WBAM_COMMON_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace wbam::log {
+
+enum class Level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+void set_level(Level level);
+Level level();
+
+// True if a message at `lvl` would be emitted.
+bool enabled(Level lvl);
+
+void write(Level lvl, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(const Args&... args) {
+    if (enabled(Level::debug)) write(Level::debug, detail::concat(args...));
+}
+template <typename... Args>
+void info(const Args&... args) {
+    if (enabled(Level::info)) write(Level::info, detail::concat(args...));
+}
+template <typename... Args>
+void warn(const Args&... args) {
+    if (enabled(Level::warn)) write(Level::warn, detail::concat(args...));
+}
+template <typename... Args>
+void error(const Args&... args) {
+    if (enabled(Level::error)) write(Level::error, detail::concat(args...));
+}
+
+}  // namespace wbam::log
+
+#endif  // WBAM_COMMON_LOG_HPP

@@ -1,0 +1,66 @@
+// Runtime-agnostic process model. Every protocol participant (replica,
+// client, workload driver) implements Process and is driven by a runtime
+// (discrete-event simulator or the threaded real-time runtime) through
+// Context. Handlers run single-threaded per process in both runtimes.
+#ifndef WBAM_COMMON_PROCESS_HPP
+#define WBAM_COMMON_PROCESS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace wbam {
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId invalid_timer = 0;
+
+class Context {
+public:
+    virtual ~Context() = default;
+
+    virtual ProcessId self() const = 0;
+    virtual TimePoint now() const = 0;
+
+    // Asynchronous, reliable, FIFO point-to-point send. Self-sends are
+    // delivered with zero network delay (but still asynchronously, never
+    // re-entrantly).
+    virtual void send(ProcessId to, Bytes bytes) = 0;
+
+    // Fan-out send of one buffer to several recipients; runtimes may share
+    // the underlying buffer (the simulator does).
+    virtual void send_many(const std::vector<ProcessId>& to, Bytes bytes) {
+        for (const ProcessId p : to) {
+            Bytes copy = bytes;
+            send(p, std::move(copy));
+        }
+    }
+
+    // One-shot timer; fires on_timer(id) after `delay` unless cancelled.
+    virtual TimerId set_timer(Duration delay) = 0;
+    virtual void cancel_timer(TimerId id) = 0;
+
+    // Per-process deterministic random stream.
+    virtual Rng& rng() = 0;
+
+    // Accounts additional CPU work performed by the current handler (used
+    // by the benchmark cost model; see sim::CpuModel). Ignored by runtimes
+    // without a cost model.
+    virtual void charge(Duration cpu_work) { (void)cpu_work; }
+};
+
+class Process {
+public:
+    virtual ~Process() = default;
+
+    virtual void on_start(Context& ctx) = 0;
+    virtual void on_message(Context& ctx, ProcessId from, const Bytes& bytes) = 0;
+    virtual void on_timer(Context& ctx, TimerId id) = 0;
+};
+
+}  // namespace wbam
+
+#endif  // WBAM_COMMON_PROCESS_HPP

@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generator (xoshiro256**) with a
+// splitmix64 seeder. Own implementation so that simulation traces are
+// bit-identical across standard libraries and platforms.
+#ifndef WBAM_COMMON_RNG_HPP
+#define WBAM_COMMON_RNG_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace wbam {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0);
+
+    std::uint64_t next_u64();
+
+    // Uniform value in [0, bound); bound must be > 0. Uses rejection
+    // sampling, so the distribution is exactly uniform.
+    std::uint64_t next_below(std::uint64_t bound);
+
+    // Uniform integer in [lo, hi] inclusive.
+    std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+    // Uniform double in [0, 1).
+    double next_double();
+
+    // True with probability p (clamped to [0,1]).
+    bool next_bool(double p);
+
+    // Forks an independent stream; deterministic function of current state.
+    Rng fork();
+
+private:
+    std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace wbam
+
+#endif  // WBAM_COMMON_RNG_HPP

@@ -1,0 +1,27 @@
+// Virtual time used by the simulator and protocol timeouts: signed 64-bit
+// nanosecond counts. Integer (not floating-point) time keeps simulation
+// runs exactly reproducible.
+#ifndef WBAM_COMMON_TIME_HPP
+#define WBAM_COMMON_TIME_HPP
+
+#include <cstdint>
+
+namespace wbam {
+
+using TimePoint = std::int64_t;  // nanoseconds since start of run
+using Duration = std::int64_t;   // nanoseconds
+
+inline constexpr Duration nanoseconds(std::int64_t n) { return n; }
+inline constexpr Duration microseconds(std::int64_t n) { return n * 1'000; }
+inline constexpr Duration milliseconds(std::int64_t n) { return n * 1'000'000; }
+inline constexpr Duration seconds(std::int64_t n) { return n * 1'000'000'000; }
+
+inline constexpr double to_millis(Duration d) { return static_cast<double>(d) / 1e6; }
+inline constexpr double to_micros(Duration d) { return static_cast<double>(d) / 1e3; }
+inline constexpr double to_secs(Duration d) { return static_cast<double>(d) / 1e9; }
+
+inline constexpr TimePoint time_never = std::int64_t{1} << 62;
+
+}  // namespace wbam
+
+#endif  // WBAM_COMMON_TIME_HPP

@@ -1,0 +1,66 @@
+#include "common/topology.hpp"
+
+#include "common/assert.hpp"
+
+namespace wbam {
+
+Topology::Topology(int groups, int group_size, int clients,
+                   bool staggered_leaders)
+    : groups_(groups), group_size_(group_size), clients_(clients),
+      staggered_(staggered_leaders) {
+    WBAM_ASSERT_MSG(groups >= 1, "need at least one group");
+    WBAM_ASSERT_MSG(group_size >= 1 && group_size % 2 == 1,
+                    "group size must be 2f+1");
+    WBAM_ASSERT(clients >= 0);
+    members_.resize(static_cast<std::size_t>(groups));
+    ProcessId next = 0;
+    for (auto& group : members_) {
+        group.reserve(static_cast<std::size_t>(group_size));
+        for (int i = 0; i < group_size; ++i) group.push_back(next++);
+    }
+}
+
+GroupId Topology::group_of(ProcessId p) const {
+    if (!is_replica(p)) return invalid_group;
+    return p / group_size_;
+}
+
+int Topology::replica_index(ProcessId p) const {
+    WBAM_ASSERT(is_replica(p));
+    return p % group_size_;
+}
+
+ProcessId Topology::member(GroupId g, int index) const {
+    WBAM_ASSERT(g >= 0 && g < groups_);
+    WBAM_ASSERT(index >= 0 && index < group_size_);
+    return members_[static_cast<std::size_t>(g)][static_cast<std::size_t>(index)];
+}
+
+const std::vector<ProcessId>& Topology::members(GroupId g) const {
+    WBAM_ASSERT(g >= 0 && g < groups_);
+    return members_[static_cast<std::size_t>(g)];
+}
+
+ProcessId Topology::client(int index) const {
+    WBAM_ASSERT(index >= 0 && index < clients_);
+    return num_replicas() + index;
+}
+
+std::vector<ProcessId> Topology::members_leader_first(GroupId g) const {
+    const auto& all = members(g);
+    std::vector<ProcessId> out;
+    out.reserve(all.size());
+    const int lead = leader_index_of(g);
+    for (std::size_t i = 0; i < all.size(); ++i)
+        out.push_back(all[(static_cast<std::size_t>(lead) + i) % all.size()]);
+    return out;
+}
+
+std::vector<GroupId> Topology::all_groups() const {
+    std::vector<GroupId> out;
+    out.reserve(static_cast<std::size_t>(groups_));
+    for (GroupId g = 0; g < groups_; ++g) out.push_back(g);
+    return out;
+}
+
+}  // namespace wbam

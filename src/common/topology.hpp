@@ -1,0 +1,69 @@
+// Static process layout of a run: k disjoint groups of 2f+1 replicas plus
+// a set of client processes. Process ids are dense: replicas first (group
+// by group), then clients. All protocols and runtimes share this layout.
+#ifndef WBAM_COMMON_TOPOLOGY_HPP
+#define WBAM_COMMON_TOPOLOGY_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace wbam {
+
+class Topology {
+public:
+    Topology() = default;
+    // group_size must be odd (2f+1); groups >= 1; clients >= 0. With
+    // staggered_leaders, group g's initial leader is member g % group_size
+    // (spreads leaders across failure domains / regions, as real
+    // deployments do); otherwise member 0 leads every group.
+    Topology(int groups, int group_size, int clients,
+             bool staggered_leaders = false);
+
+    int num_groups() const { return groups_; }
+    int group_size() const { return group_size_; }
+    int num_clients() const { return clients_; }
+    int num_replicas() const { return groups_ * group_size_; }
+    int num_processes() const { return num_replicas() + clients_; }
+
+    // Size of a quorum within one group: f + 1.
+    int quorum_size() const { return group_size_ / 2 + 1; }
+    int max_faulty_per_group() const { return group_size_ / 2; }
+
+    bool is_replica(ProcessId p) const { return p >= 0 && p < num_replicas(); }
+    bool is_client(ProcessId p) const {
+        return p >= num_replicas() && p < num_processes();
+    }
+
+    // Group of a replica; invalid_group for clients.
+    GroupId group_of(ProcessId p) const;
+    // Index of a replica within its group, in [0, group_size).
+    int replica_index(ProcessId p) const;
+
+    ProcessId member(GroupId g, int index) const;
+    const std::vector<ProcessId>& members(GroupId g) const;
+    // Deterministic initial leader of a group.
+    int leader_index_of(GroupId g) const {
+        return staggered_ ? g % group_size_ : 0;
+    }
+    ProcessId initial_leader(GroupId g) const {
+        return member(g, leader_index_of(g));
+    }
+    // Group members with the initial leader first (the order electors use
+    // for succession).
+    std::vector<ProcessId> members_leader_first(GroupId g) const;
+
+    ProcessId client(int index) const;
+    std::vector<GroupId> all_groups() const;
+
+private:
+    int groups_ = 0;
+    int group_size_ = 0;
+    int clients_ = 0;
+    bool staggered_ = false;
+    std::vector<std::vector<ProcessId>> members_;
+};
+
+}  // namespace wbam
+
+#endif  // WBAM_COMMON_TOPOLOGY_HPP

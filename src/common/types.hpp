@@ -1,0 +1,95 @@
+// Core identifier and ordering types shared by every protocol in the
+// repository: process/group/message ids, Skeen timestamps and Paxos-style
+// ballots (both lexicographically ordered with a distinguished bottom).
+#ifndef WBAM_COMMON_TYPES_HPP
+#define WBAM_COMMON_TYPES_HPP
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace wbam {
+
+// Identifier of a process (replica or client). Dense, assigned by Topology.
+using ProcessId = std::int32_t;
+// Identifier of a process group.
+using GroupId = std::int32_t;
+// Identifier of an application (multicast) message, unique per run.
+using MsgId = std::uint64_t;
+
+inline constexpr ProcessId invalid_process = -1;
+inline constexpr GroupId invalid_group = -1;
+inline constexpr MsgId invalid_msg = 0;
+
+// Builds the globally unique id of the seq-th message issued by a client.
+constexpr MsgId make_msg_id(ProcessId client, std::uint32_t seq) {
+    return (static_cast<MsgId>(static_cast<std::uint32_t>(client)) << 32) |
+           static_cast<MsgId>(seq + 1);  // +1 keeps 0 reserved as invalid
+}
+constexpr ProcessId msg_id_client(MsgId id) {
+    return static_cast<ProcessId>(static_cast<std::int32_t>(id >> 32));
+}
+
+// Skeen timestamp: a (logical time, group) pair ordered lexicographically.
+// The default-constructed value is the distinguished bottom (smaller than
+// any timestamp a protocol can assign, since clocks start at 0 and are
+// incremented before use).
+struct Timestamp {
+    std::uint64_t time = 0;
+    GroupId group = invalid_group;
+
+    friend constexpr auto operator<=>(const Timestamp&, const Timestamp&) = default;
+
+    constexpr bool is_bottom() const { return time == 0 && group == invalid_group; }
+};
+
+inline constexpr Timestamp bottom_ts{};
+
+inline std::string to_string(const Timestamp& ts) {
+    if (ts.is_bottom()) return "ts(⊥)";
+    return "ts(" + std::to_string(ts.time) + "," + std::to_string(ts.group) + ")";
+}
+
+// Ballot (leadership epoch): a (round, process) pair ordered
+// lexicographically; the default value is bottom and never leads.
+struct Ballot {
+    std::uint64_t round = 0;
+    ProcessId proc = invalid_process;
+
+    friend constexpr auto operator<=>(const Ballot&, const Ballot&) = default;
+
+    constexpr bool is_bottom() const { return round == 0 && proc == invalid_process; }
+    // The process acting as leader of this ballot.
+    constexpr ProcessId leader() const { return proc; }
+};
+
+inline constexpr Ballot bottom_ballot{};
+
+inline std::string to_string(const Ballot& b) {
+    if (b.is_bottom()) return "bal(⊥)";
+    return "bal(" + std::to_string(b.round) + "," + std::to_string(b.proc) + ")";
+}
+
+}  // namespace wbam
+
+template <>
+struct std::hash<wbam::Timestamp> {
+    std::size_t operator()(const wbam::Timestamp& ts) const noexcept {
+        return std::hash<std::uint64_t>{}(ts.time * 1000003u ^
+                                          static_cast<std::uint64_t>(
+                                              static_cast<std::uint32_t>(ts.group)));
+    }
+};
+
+template <>
+struct std::hash<wbam::Ballot> {
+    std::size_t operator()(const wbam::Ballot& b) const noexcept {
+        return std::hash<std::uint64_t>{}(b.round * 1000003u ^
+                                          static_cast<std::uint64_t>(
+                                              static_cast<std::uint32_t>(b.proc)));
+    }
+};
+
+#endif  // WBAM_COMMON_TYPES_HPP

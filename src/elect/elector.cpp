@@ -1,0 +1,77 @@
+#include "elect/elector.hpp"
+
+#include "common/assert.hpp"
+
+namespace wbam::elect {
+
+namespace {
+constexpr std::uint8_t heartbeat_type = 0;
+}
+
+Elector::Elector(std::vector<ProcessId> members, ElectorConfig cfg,
+                 std::function<void(Context&, ProcessId)> on_trust_change)
+    : members_(std::move(members)), cfg_(cfg),
+      on_trust_change_(std::move(on_trust_change)) {
+    WBAM_ASSERT(!members_.empty());
+}
+
+void Elector::start(Context& ctx) {
+    if (!cfg_.enabled) {
+        trusted_ = members_.front();
+        if (on_trust_change_) on_trust_change_(ctx, trusted_);
+        return;
+    }
+    for (const ProcessId p : members_) last_heard_[p] = ctx.now();
+    broadcast_heartbeat(ctx);
+    heartbeat_timer_ = ctx.set_timer(cfg_.heartbeat_interval);
+    check_timer_ = ctx.set_timer(cfg_.suspect_timeout);
+    reevaluate(ctx);
+}
+
+void Elector::broadcast_heartbeat(Context& ctx) {
+    const Bytes wire = codec::encode_envelope(codec::Module::elect,
+                                              heartbeat_type, invalid_msg);
+    for (const ProcessId p : members_)
+        if (p != ctx.self()) ctx.send(p, wire);
+}
+
+bool Elector::handle_message(Context& ctx, ProcessId from,
+                             const codec::EnvelopeView& env) {
+    if (env.module != codec::Module::elect) return false;
+    if (env.type == heartbeat_type) {
+        last_heard_[from] = ctx.now();
+        reevaluate(ctx);
+    }
+    return true;
+}
+
+bool Elector::handle_timer(Context& ctx, TimerId id) {
+    if (!cfg_.enabled) return false;
+    if (id == heartbeat_timer_) {
+        broadcast_heartbeat(ctx);
+        heartbeat_timer_ = ctx.set_timer(cfg_.heartbeat_interval);
+        return true;
+    }
+    if (id == check_timer_) {
+        reevaluate(ctx);
+        check_timer_ = ctx.set_timer(cfg_.heartbeat_interval);
+        return true;
+    }
+    return false;
+}
+
+void Elector::reevaluate(Context& ctx) {
+    ProcessId now_trusted = invalid_process;
+    for (const ProcessId p : members_) {
+        if (p == ctx.self() ||
+            ctx.now() - last_heard_[p] <= cfg_.suspect_timeout) {
+            now_trusted = p;
+            break;
+        }
+    }
+    if (now_trusted == trusted_) return;
+    trusted_ = now_trusted;
+    if (on_trust_change_) on_trust_change_(ctx, trusted_);
+}
+
+}  // namespace wbam::elect

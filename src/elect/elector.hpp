@@ -1,0 +1,58 @@
+// Ω-style leader election within one group, embedded as a sub-component of
+// a replica protocol. Every member broadcasts heartbeats; a member trusts
+// the lowest-ranked group member it has heard from recently. After GST
+// (message delays bounded, failures stopped) all correct members converge
+// on the same correct leader permanently, which is the liveness property
+// the multicast protocols rely on (§V of the paper).
+#ifndef WBAM_ELECT_ELECTOR_HPP
+#define WBAM_ELECT_ELECTOR_HPP
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/wire.hpp"
+#include "common/process.hpp"
+
+namespace wbam::elect {
+
+struct ElectorConfig {
+    bool enabled = true;  // when false, member 0 is trusted forever
+    Duration heartbeat_interval = milliseconds(20);
+    Duration suspect_timeout = milliseconds(150);
+};
+
+class Elector {
+public:
+    // on_trust_change fires whenever the trusted member changes, including
+    // the initial trust decision at start().
+    Elector(std::vector<ProcessId> members, ElectorConfig cfg,
+            std::function<void(Context&, ProcessId)> on_trust_change);
+
+    void start(Context& ctx);
+
+    // Returns true if the envelope was election traffic and was consumed.
+    bool handle_message(Context& ctx, ProcessId from,
+                        const codec::EnvelopeView& env);
+    // Returns true if the timer belonged to the elector.
+    bool handle_timer(Context& ctx, TimerId id);
+
+    ProcessId trusted() const { return trusted_; }
+    bool trusts_self(const Context& ctx) const { return trusted_ == ctx.self(); }
+
+private:
+    void broadcast_heartbeat(Context& ctx);
+    void reevaluate(Context& ctx);
+
+    std::vector<ProcessId> members_;
+    ElectorConfig cfg_;
+    std::function<void(Context&, ProcessId)> on_trust_change_;
+    std::unordered_map<ProcessId, TimePoint> last_heard_;
+    ProcessId trusted_ = invalid_process;
+    TimerId heartbeat_timer_ = invalid_timer;
+    TimerId check_timer_ = invalid_timer;
+};
+
+}  // namespace wbam::elect
+
+#endif  // WBAM_ELECT_ELECTOR_HPP

@@ -1,0 +1,344 @@
+#include "fastcast/fastcast.hpp"
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace wbam::fastcast {
+
+namespace {
+constexpr auto proto = codec::Module::proto;
+
+paxos::Command make_cmd(CmdKind kind, MsgId about, const auto& body) {
+    codec::Writer w;
+    w.u8(static_cast<std::uint8_t>(kind));
+    body.encode(w);
+    return paxos::Command{about, std::move(w).take()};
+}
+}  // namespace
+
+FastCastReplica::FastCastReplica(const Topology& topo, ProcessId pid,
+                                 DeliverySink sink, ReplicaConfig cfg)
+    : topo_(topo), pid_(pid), g0_(topo.group_of(pid)), sink_(std::move(sink)),
+      cfg_(cfg),
+      paxos_(topo.members_leader_first(topo.group_of(pid)), topo.quorum_size(),
+             [this](Context& ctx, std::uint64_t, const paxos::Command& cmd) {
+                 apply(ctx, cmd);
+             },
+             paxos::PaxosConfig{.retry_interval = cfg.retry_interval,
+                                .cmd_cost = cfg.consensus_cmd_cost}),
+      elector_(topo.members_leader_first(topo.group_of(pid)),
+               elect::ElectorConfig{cfg.election_enabled,
+                                    cfg.heartbeat_interval,
+                                    cfg.suspect_timeout},
+               [this](Context& ctx, ProcessId trusted) {
+                   if (trusted == ctx.self()) paxos_.maybe_lead(ctx);
+               }) {
+    WBAM_ASSERT(g0_ != invalid_group);
+}
+
+void FastCastReplica::on_start(Context& ctx) {
+    paxos_.start(ctx);
+    elector_.start(ctx);
+    tick_timer_ = ctx.set_timer(cfg_.retry_interval);
+}
+
+void FastCastReplica::on_message(Context& ctx, ProcessId from,
+                                 const Bytes& bytes) {
+    codec::EnvelopeView env(bytes);
+    if (elector_.handle_message(ctx, from, env)) return;
+    if (paxos_.handle_message(ctx, from, env)) return;
+    if (env.module == codec::Module::client) {
+        if (env.type != static_cast<std::uint8_t>(ClientMsgType::multicast))
+            return;
+        handle_multicast(ctx, AppMessage::decode(env.body));
+        return;
+    }
+    if (env.module != proto) return;
+    switch (static_cast<MsgType>(env.type)) {
+        case MsgType::spec_propose:
+            handle_spec_propose(ctx, from, SpecProposeMsg::decode(env.body));
+            return;
+        case MsgType::confirm:
+            handle_confirm(ctx, ConfirmMsg::decode(env.body));
+            return;
+        case MsgType::deliver_floor:
+            handle_deliver_floor(ctx, DeliverFloorMsg::decode(env.body));
+            return;
+    }
+}
+
+void FastCastReplica::handle_multicast(Context& ctx, const AppMessage& m) {
+    if (!paxos_.is_leader()) return;
+    if (!m.addressed_to(g0_)) return;
+    start_speculation(ctx, m);
+}
+
+void FastCastReplica::start_speculation(Context& ctx, const AppMessage& m) {
+    if (tentative_.count(m.id) || entries_.count(m.id)) return;  // duplicate
+    // Assign a tentative timestamp from the speculative clock and run the
+    // first consensus and the inter-group exchange in parallel.
+    spec_clock_ = std::max(spec_clock_, clock_) + 1;
+    const Timestamp lts{spec_clock_, g0_};
+    tentative_[m.id] = lts;
+    spec_lts_[m.id][g0_] = lts;
+    last_driven_[m.id] = ctx.now();
+    paxos_.submit(ctx, make_cmd(CmdKind::propose, m.id, ProposeCmd{m, lts}));
+    send_spec_propose(ctx, m, lts, /*broadcast=*/false);
+    maybe_spec_commit(ctx, m.id, m);
+}
+
+void FastCastReplica::send_spec_propose(Context& ctx, const AppMessage& m,
+                                        Timestamp lts, bool broadcast) {
+    const Bytes wire = codec::encode_envelope(
+        proto, static_cast<std::uint8_t>(MsgType::spec_propose), m.id,
+        SpecProposeMsg{m, g0_, lts});
+    for (const GroupId g : m.dests) {
+        if (g == g0_) continue;
+        if (broadcast) {
+            for (const ProcessId p : topo_.members(g)) ctx.send(p, wire);
+        } else {
+            ctx.send(topo_.initial_leader(g), wire);
+        }
+    }
+}
+
+void FastCastReplica::handle_spec_propose(Context& ctx, ProcessId from,
+                                          const SpecProposeMsg& m) {
+    if (!paxos_.is_leader()) return;  // sender retries; new leader will act
+    if (!m.msg.addressed_to(g0_)) return;
+    // Doubles as message recovery: a group that never saw MULTICAST(m)
+    // starts processing it now.
+    if (!tentative_.count(m.msg.id) && !entries_.count(m.msg.id))
+        start_speculation(ctx, m.msg);
+    spec_lts_[m.msg.id][m.from_group] = m.lts;
+    maybe_spec_commit(ctx, m.msg.id, m.msg);
+    // A sender still speculating after we committed is a recovering leader
+    // that lost the exchange state: resend our durable timestamp directly.
+    const auto eit = entries_.find(m.msg.id);
+    if (eit != entries_.end() && eit->second.phase == Phase::committed) {
+        const Entry& e = eit->second;
+        ctx.send(from, codec::encode_envelope(
+                           proto, static_cast<std::uint8_t>(MsgType::spec_propose),
+                           e.msg.id, SpecProposeMsg{e.msg, g0_, e.lts}));
+        ctx.send(from, codec::encode_envelope(
+                           proto, static_cast<std::uint8_t>(MsgType::confirm),
+                           e.msg.id, ConfirmMsg{e.msg.id, g0_, e.lts}));
+    }
+}
+
+void FastCastReplica::maybe_spec_commit(Context& ctx, MsgId id,
+                                        const AppMessage& msg) {
+    if (commit_submitted_.count(id)) return;
+    const auto eit = entries_.find(id);
+    if (eit != entries_.end() && eit->second.phase == Phase::committed) return;
+    const auto sit = spec_lts_.find(id);
+    if (sit == spec_lts_.end()) return;
+    if (sit->second.size() != msg.dests.size()) return;
+    LtsVector vec(sit->second.begin(), sit->second.end());
+    Timestamp gts;
+    for (const auto& [g, lts] : vec) gts = std::max(gts, lts);
+    // Advance the speculative clock in line with the speculative global
+    // timestamp so later tentative timestamps order after m.
+    spec_clock_ = std::max(spec_clock_, gts.time);
+    commit_submitted_[id] = ctx.now();
+    paxos_.submit(ctx, make_cmd(CmdKind::commit, id, CommitCmd{id, vec}));
+}
+
+void FastCastReplica::apply(Context& ctx, const paxos::Command& cmd) {
+    codec::Reader r(cmd.data);
+    const auto kind = static_cast<CmdKind>(r.u8());
+    switch (kind) {
+        case CmdKind::propose: apply_propose(ctx, ProposeCmd::decode(r)); return;
+        case CmdKind::commit: apply_commit(ctx, CommitCmd::decode(r)); return;
+    }
+    throw codec::DecodeError("unknown fastcast command");
+}
+
+void FastCastReplica::apply_propose(Context& ctx, const ProposeCmd& cmd) {
+    Entry& e = entries_[cmd.msg.id];
+    if (e.phase != Phase::start) return;  // a competing proposal won
+    e.msg = cmd.msg;
+    e.lts = cmd.lts;
+    e.phase = Phase::proposed;
+    clock_ = std::max(clock_, cmd.lts.time);
+    const bool fresh = pending_by_lts_.emplace(e.lts, cmd.msg.id).second;
+    WBAM_ASSERT_MSG(fresh, "local timestamps must be unique within a group");
+    tentative_.erase(cmd.msg.id);
+    if (paxos_.is_leader()) {
+        // The timestamp is durable: confirm it to every destination leader
+        // (including ourselves, directly).
+        confirmed_[cmd.msg.id][g0_] = e.lts;
+        spec_lts_[cmd.msg.id][g0_] = e.lts;
+        send_confirm(ctx, e, /*broadcast=*/false);
+        maybe_spec_commit(ctx, cmd.msg.id, e.msg);
+        try_deliver(ctx);
+    }
+}
+
+void FastCastReplica::send_confirm(Context& ctx, const Entry& e,
+                                   bool broadcast) {
+    const Bytes wire = codec::encode_envelope(
+        proto, static_cast<std::uint8_t>(MsgType::confirm), e.msg.id,
+        ConfirmMsg{e.msg.id, g0_, e.lts});
+    for (const GroupId g : e.msg.dests) {
+        if (g == g0_) continue;
+        if (broadcast) {
+            for (const ProcessId p : topo_.members(g)) ctx.send(p, wire);
+        } else {
+            ctx.send(topo_.initial_leader(g), wire);
+        }
+    }
+}
+
+void FastCastReplica::handle_confirm(Context& ctx, const ConfirmMsg& m) {
+    if (!paxos_.is_leader()) return;
+    confirmed_[m.id][m.from_group] = m.lts;
+    try_deliver(ctx);
+}
+
+void FastCastReplica::apply_commit(Context& ctx, const CommitCmd& cmd) {
+    const auto it = entries_.find(cmd.id);
+    WBAM_ASSERT_MSG(it != entries_.end(),
+                    "Commit can only follow Propose in the group log");
+    Entry& e = it->second;
+    Timestamp gts;
+    for (const auto& [g, lts] : cmd.lts_vec) gts = std::max(gts, lts);
+    if (e.phase == Phase::committed) {
+        if (e.commit_vec == cmd.lts_vec) return;  // duplicate
+        // Corrective commit after a speculation mismatch: re-key.
+        committed_by_gts_.erase(e.gts);
+    } else {
+        pending_by_lts_.erase(e.lts);
+        e.phase = Phase::committed;
+    }
+    e.gts = gts;
+    e.commit_vec = cmd.lts_vec;
+    clock_ = std::max(clock_, gts.time);  // clock passes gts only here (8δ FFL)
+    const bool unique = committed_by_gts_.emplace(gts, cmd.id).second;
+    WBAM_ASSERT_MSG(unique, "global timestamps must be unique");
+    commit_submitted_.erase(cmd.id);
+    if (paxos_.is_leader()) try_deliver(ctx);
+}
+
+void FastCastReplica::try_deliver(Context& ctx) {
+    if (!paxos_.is_leader()) return;
+    Timestamp floor = max_delivered_gts_;
+    while (!committed_by_gts_.empty()) {
+        const auto [gts, id] = *committed_by_gts_.begin();
+        if (!pending_by_lts_.empty() && pending_by_lts_.begin()->first <= gts)
+            break;
+        Entry& e = entries_.at(id);
+        if (gts <= max_delivered_gts_) {
+            // Already delivered (e.g. re-applied after leader change).
+            committed_by_gts_.erase(committed_by_gts_.begin());
+            continue;
+        }
+        // Speculation check: every group's durable timestamp must match the
+        // committed vector before m may be delivered.
+        bool all_confirmed = true;
+        bool mismatch = false;
+        const auto cit = confirmed_.find(id);
+        for (const auto& [g, lts] : e.commit_vec) {
+            if (cit == confirmed_.end()) {
+                all_confirmed = false;
+                break;
+            }
+            const auto git = cit->second.find(g);
+            if (git == cit->second.end()) {
+                all_confirmed = false;
+                break;
+            }
+            if (git->second != lts) mismatch = true;
+        }
+        if (!all_confirmed) break;  // must wait: deliveries follow gts order
+        if (mismatch) {
+            // The speculative vector lost against durable timestamps: issue
+            // a corrective commit with the confirmed vector.
+            LtsVector vec(cit->second.begin(), cit->second.end());
+            Timestamp fixed;
+            for (const auto& [g, lts] : vec) fixed = std::max(fixed, lts);
+            spec_clock_ = std::max(spec_clock_, fixed.time);
+            if (!commit_submitted_.count(id)) {
+                commit_submitted_[id] = ctx.now();
+                paxos_.submit(ctx,
+                              make_cmd(CmdKind::commit, id, CommitCmd{id, vec}));
+            }
+            break;
+        }
+        committed_by_gts_.erase(committed_by_gts_.begin());
+        max_delivered_gts_ = gts;
+        floor = gts;
+        confirmed_.erase(id);
+        spec_lts_.erase(id);
+        last_driven_.erase(id);
+        sink_(ctx, g0_, e.msg);
+    }
+    if (floor > bottom_ts && floor == max_delivered_gts_) {
+        // Release follower deliveries up to the new floor, off the critical
+        // path (they already hold the committed entries via the RSM).
+        const Bytes wire = codec::encode_envelope(
+            proto, static_cast<std::uint8_t>(MsgType::deliver_floor),
+            invalid_msg, DeliverFloorMsg{floor});
+        for (const ProcessId p : topo_.members(g0_))
+            if (p != pid_) ctx.send(p, wire);
+    }
+}
+
+void FastCastReplica::handle_deliver_floor(Context& ctx,
+                                           const DeliverFloorMsg& m) {
+    if (paxos_.is_leader()) return;  // leaders deliver through try_deliver
+    deliver_upto(ctx, m.floor);
+}
+
+void FastCastReplica::deliver_upto(Context& ctx, Timestamp floor) {
+    while (!committed_by_gts_.empty()) {
+        const auto [gts, id] = *committed_by_gts_.begin();
+        if (gts > floor) break;
+        committed_by_gts_.erase(committed_by_gts_.begin());
+        if (gts <= max_delivered_gts_) continue;
+        max_delivered_gts_ = gts;
+        sink_(ctx, g0_, entries_.at(id).msg);
+    }
+}
+
+void FastCastReplica::on_timer(Context& ctx, TimerId id) {
+    if (elector_.handle_timer(ctx, id)) return;
+    if (id != tick_timer_) return;
+    tick_timer_ = ctx.set_timer(cfg_.retry_interval);
+    paxos_.on_tick(ctx);
+    if (!paxos_.is_leader()) return;
+    // Re-drive speculation for stuck messages (lost messages, leader
+    // changes here or in remote groups).
+    for (auto& [mid, e] : entries_) {
+        if (e.phase != Phase::proposed) continue;
+        auto& at = last_driven_[mid];
+        if (ctx.now() - at < cfg_.retry_interval) continue;
+        at = ctx.now();
+        confirmed_[mid][g0_] = e.lts;
+        spec_lts_[mid][g0_] = e.lts;
+        send_spec_propose(ctx, e.msg, e.lts, /*broadcast=*/true);
+        send_confirm(ctx, e, /*broadcast=*/true);
+        maybe_spec_commit(ctx, mid, e.msg);
+    }
+    // Tentative messages whose Propose never applied (lost leadership mid
+    // flight): resubmit.
+    for (auto& [mid, lts] : tentative_) {
+        auto& at = last_driven_[mid];
+        if (ctx.now() - at < cfg_.retry_interval) continue;
+        at = ctx.now();
+        // The message content lives in spec_lts_ only if we originated it;
+        // rebuild from scratch on the next client retry otherwise.
+        (void)lts;
+    }
+    // Periodically re-announce the delivery floor so lagging followers
+    // catch up even during quiet periods.
+    if (max_delivered_gts_ > bottom_ts) {
+        const Bytes wire = codec::encode_envelope(
+            proto, static_cast<std::uint8_t>(MsgType::deliver_floor),
+            invalid_msg, DeliverFloorMsg{max_delivered_gts_});
+        for (const ProcessId p : topo_.members(g0_))
+            if (p != pid_) ctx.send(p, wire);
+    }
+}
+
+}  // namespace wbam::fastcast

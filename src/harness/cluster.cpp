@@ -1,0 +1,144 @@
+#include "harness/cluster.hpp"
+
+#include "common/assert.hpp"
+#include "sim/network.hpp"
+
+namespace wbam::harness {
+
+const char* to_string(ProtocolKind kind) {
+    switch (kind) {
+        case ProtocolKind::skeen: return "Skeen";
+        case ProtocolKind::ftskeen: return "FT-Skeen";
+        case ProtocolKind::fastcast: return "FastCast";
+        case ProtocolKind::wbcast: return "WbCast";
+    }
+    return "?";
+}
+
+// --- ScriptedClient ---------------------------------------------------------
+
+ScriptedClient::ScriptedClient(const Topology& topo, DeliveryLog* log,
+                               Duration retry)
+    : topo_(topo), log_(log), retry_(retry) {}
+
+void ScriptedClient::on_start(Context& ctx) {
+    ctx_ = &ctx;
+    retry_timer_ = ctx.set_timer(retry_);
+}
+
+void ScriptedClient::multicast(const AppMessage& m) {
+    WBAM_ASSERT_MSG(ctx_ != nullptr, "multicast before start");
+    log_->note_multicast(ctx_->now(), ctx_->self(), m);
+    auto& pending = pending_[m.id];
+    pending.msg = m;
+    pending.last_send = ctx_->now();
+    // First attempt goes to the initial-leader guess of each group.
+    const Bytes wire = encode_multicast_request(m);
+    for (const GroupId g : m.dests) ctx_->send(topo_.initial_leader(g), wire);
+}
+
+void ScriptedClient::on_message(Context&, ProcessId, const Bytes& bytes) {
+    const codec::EnvelopeView env(bytes);
+    if (env.module != codec::Module::client ||
+        env.type != static_cast<std::uint8_t>(ClientMsgType::deliver_ack))
+        return;
+    const auto it = pending_.find(env.about);
+    if (it == pending_.end()) return;
+    codec::Reader body = env.body;
+    it->second.acked.insert(DeliverAckMsg::decode(body).group);
+    if (it->second.acked.size() == it->second.msg.dests.size())
+        pending_.erase(it);
+}
+
+void ScriptedClient::on_timer(Context& ctx, TimerId id) {
+    if (id != retry_timer_) return;
+    retry_timer_ = ctx.set_timer(retry_);
+    for (auto& [mid, pending] : pending_) {
+        if (ctx.now() - pending.last_send < retry_) continue;
+        pending.last_send = ctx.now();
+        // The leader guess may be stale (leader changed or message lost):
+        // fall back to broadcasting to every member of unacked groups.
+        const Bytes wire = encode_multicast_request(pending.msg);
+        for (const GroupId g : pending.msg.dests) {
+            if (pending.acked.count(g)) continue;
+            for (const ProcessId p : topo_.members(g)) ctx.send(p, wire);
+        }
+    }
+}
+
+// --- Cluster ---------------------------------------------------------------
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(std::move(cfg)),
+      topo_(cfg_.groups, cfg_.group_size, cfg_.clients,
+            cfg_.staggered_leaders) {
+    auto delays = cfg_.make_delays
+                      ? cfg_.make_delays()
+                      : std::make_unique<sim::UniformDelay>(cfg_.delta);
+    world_ = std::make_unique<sim::World>(topo_, std::move(delays), cfg_.seed,
+                                          cfg_.cpu);
+    if (cfg_.trace_sends) world_->enable_send_trace(true);
+
+    const bool send_acks = cfg_.send_acks;
+    const Topology topo = topo_;
+    DeliveryLog* log = &log_;
+    DeliverySink extra = cfg_.extra_sink;
+    DeliverySink sink = [log, send_acks, topo, extra](Context& ctx,
+                                                      GroupId group,
+                                                      const AppMessage& m) {
+        log->note_delivery(ctx.now(), ctx.self(), group, m);
+        if (extra) extra(ctx, group, m);
+        if (!send_acks) return;
+        const ProcessId origin = msg_id_client(m.id);
+        if (topo.is_client(origin))
+            ctx.send(origin, encode_deliver_ack(group, m.id));
+    };
+
+    for (ProcessId p = 0; p < topo_.num_replicas(); ++p)
+        world_->add_process(p, make_replica(cfg_.kind, topo_, p, sink,
+                                            cfg_.replica));
+    for (int c = 0; c < topo_.num_clients(); ++c) {
+        auto client = std::make_unique<ScriptedClient>(topo_, &log_,
+                                                       cfg_.client_retry);
+        clients_.push_back(client.get());
+        world_->add_process(topo_.client(c), std::move(client));
+    }
+    world_->start();
+}
+
+ScriptedClient& Cluster::client(int idx) {
+    WBAM_ASSERT(idx >= 0 && static_cast<std::size_t>(idx) < clients_.size());
+    return *clients_[static_cast<std::size_t>(idx)];
+}
+
+MsgId Cluster::multicast_at(TimePoint t, int client_idx,
+                            std::vector<GroupId> dests, Bytes payload) {
+    const ProcessId pid = topo_.client(client_idx);
+    const MsgId id = make_msg_id(pid, next_seq_[pid]++);
+    AppMessage m = make_app_message(id, std::move(dests), std::move(payload));
+    ScriptedClient* client = clients_[static_cast<std::size_t>(client_idx)];
+    world_->at(t, [client, m = std::move(m)] { client->multicast(m); });
+    return id;
+}
+
+std::vector<bool> Cluster::correct_vector() const {
+    std::vector<bool> correct(static_cast<std::size_t>(topo_.num_processes()),
+                              true);
+    for (ProcessId p = 0; p < topo_.num_processes(); ++p)
+        if (world_->is_crashed(p)) correct[static_cast<std::size_t>(p)] = false;
+    return correct;
+}
+
+CheckResult Cluster::check(bool check_termination) const {
+    CheckOptions opts;
+    opts.correct = correct_vector();
+    opts.check_termination = check_termination;
+    return check_multicast_properties(log_, topo_, opts);
+}
+
+CheckResult Cluster::check_genuine() const {
+    WBAM_ASSERT_MSG(cfg_.trace_sends, "enable trace_sends to check genuineness");
+    return check_genuineness(world_->send_trace(), log_, topo_);
+}
+
+}  // namespace wbam::harness

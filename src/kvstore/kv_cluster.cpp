@@ -1,0 +1,81 @@
+#include "kvstore/kv_cluster.hpp"
+
+#include "common/assert.hpp"
+
+namespace wbam::kv {
+
+KvCluster::KvCluster(harness::ClusterConfig base) : groups_(base.groups) {
+    for (ProcessId p = 0; p < base.groups * base.group_size; ++p)
+        states_.emplace(p, std::make_unique<ShardState>(p / base.group_size,
+                                                        base.groups));
+    auto* states = &states_;
+    base.extra_sink = [states](Context& ctx, GroupId, const AppMessage& m) {
+        codec::Reader r(m.payload);
+        const KvOp op = KvOp::decode(r);
+        states->at(ctx.self())->apply(op);
+    };
+    cluster_ = std::make_unique<harness::Cluster>(std::move(base));
+}
+
+MsgId KvCluster::submit(TimePoint t, int client, const KvOp& op,
+                        std::vector<GroupId> dests) {
+    codec::Writer w;
+    op.encode(w);
+    return cluster_->multicast_at(t, client, std::move(dests),
+                                  std::move(w).take());
+}
+
+MsgId KvCluster::put_at(TimePoint t, int client, const std::string& key,
+                        std::int64_t value) {
+    return submit(t, client, KvOp{OpKind::put, key, "", value},
+                  {shard_of(key, groups_)});
+}
+
+MsgId KvCluster::add_at(TimePoint t, int client, const std::string& key,
+                        std::int64_t amount) {
+    return submit(t, client, KvOp{OpKind::add, key, "", amount},
+                  {shard_of(key, groups_)});
+}
+
+MsgId KvCluster::transfer_at(TimePoint t, int client,
+                             const std::string& from_key,
+                             const std::string& to_key, std::int64_t amount) {
+    return submit(t, client, KvOp{OpKind::transfer, from_key, to_key, amount},
+                  {shard_of(from_key, groups_), shard_of(to_key, groups_)});
+}
+
+std::int64_t KvCluster::read(ProcessId replica, const std::string& key) const {
+    return states_.at(replica)->get(key);
+}
+
+const ShardState& KvCluster::state_of(ProcessId replica) const {
+    return *states_.at(replica);
+}
+
+bool KvCluster::replicas_agree() const {
+    const Topology& topo = cluster_->topo();
+    for (GroupId g = 0; g < topo.num_groups(); ++g) {
+        bool have_reference = false;
+        std::uint64_t expect = 0;
+        for (const ProcessId p : topo.members(g)) {
+            if (cluster_->world().is_crashed(p)) continue;
+            if (!have_reference) {
+                expect = states_.at(p)->state_hash();
+                have_reference = true;
+            } else if (states_.at(p)->state_hash() != expect) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::int64_t KvCluster::total_balance(int replica_index) const {
+    const Topology& topo = cluster_->topo();
+    std::int64_t sum = 0;
+    for (GroupId g = 0; g < topo.num_groups(); ++g)
+        sum += states_.at(topo.member(g, replica_index))->total();
+    return sum;
+}
+
+}  // namespace wbam::kv

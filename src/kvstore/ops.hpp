@@ -1,0 +1,49 @@
+// Operations of the partitioned replicated key-value store built over
+// atomic multicast (the paper's §I motivation: replica consistency for a
+// partitioned data store). Keys are hashed to one shard per group;
+// cross-shard transfers are multicast to both owning groups and made
+// atomic by the total order.
+#ifndef WBAM_KVSTORE_OPS_HPP
+#define WBAM_KVSTORE_OPS_HPP
+
+#include <string>
+
+#include "codec/fields.hpp"
+#include "common/types.hpp"
+
+namespace wbam::kv {
+
+enum class OpKind : std::uint8_t { put = 0, add = 1, transfer = 2 };
+
+struct KvOp {
+    OpKind kind = OpKind::put;
+    std::string key;        // put/add: target; transfer: debit side
+    std::string to_key;     // transfer only: credit side
+    std::int64_t value = 0; // put: new value; add/transfer: amount
+
+    void encode(codec::Writer& w) const {
+        w.u8(static_cast<std::uint8_t>(kind));
+        codec::write_field(w, key);
+        codec::write_field(w, to_key);
+        codec::write_field(w, value);
+    }
+    static KvOp decode(codec::Reader& r) {
+        KvOp op;
+        const std::uint8_t k = r.u8();
+        if (k > static_cast<std::uint8_t>(OpKind::transfer))
+            throw codec::DecodeError("unknown kv op");
+        op.kind = static_cast<OpKind>(k);
+        codec::read_field(r, op.key);
+        codec::read_field(r, op.to_key);
+        codec::read_field(r, op.value);
+        return op;
+    }
+    friend bool operator==(const KvOp&, const KvOp&) = default;
+};
+
+// Stable shard placement for a key.
+GroupId shard_of(const std::string& key, int num_groups);
+
+}  // namespace wbam::kv
+
+#endif  // WBAM_KVSTORE_OPS_HPP

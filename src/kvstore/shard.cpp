@@ -1,0 +1,62 @@
+#include "kvstore/shard.hpp"
+
+namespace wbam::kv {
+
+GroupId shard_of(const std::string& key, int num_groups) {
+    // FNV-1a.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : key) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return static_cast<GroupId>(h % static_cast<std::uint64_t>(num_groups));
+}
+
+void ShardState::mix(std::uint64_t v) {
+    hash_ ^= v + 0x9e3779b97f4a7c15ULL + (hash_ << 6) + (hash_ >> 2);
+}
+
+void ShardState::apply(const KvOp& op) {
+    ++applied_;
+    switch (op.kind) {
+        case OpKind::put:
+            if (shard_of(op.key, num_groups_) == shard_) {
+                data_[op.key] = op.value;
+                mix(1);
+            }
+            break;
+        case OpKind::add:
+            if (shard_of(op.key, num_groups_) == shard_) {
+                data_[op.key] += op.value;
+                mix(2);
+            }
+            break;
+        case OpKind::transfer:
+            // Each shard applies only its side; atomicity across shards
+            // comes from the multicast total order.
+            if (shard_of(op.key, num_groups_) == shard_) {
+                data_[op.key] -= op.value;
+                mix(3);
+            }
+            if (shard_of(op.to_key, num_groups_) == shard_) {
+                data_[op.to_key] += op.value;
+                mix(4);
+            }
+            break;
+    }
+    for (const char c : op.key) mix(static_cast<std::uint8_t>(c));
+    mix(static_cast<std::uint64_t>(op.value));
+}
+
+std::int64_t ShardState::get(const std::string& key) const {
+    const auto it = data_.find(key);
+    return it == data_.end() ? 0 : it->second;
+}
+
+std::int64_t ShardState::total() const {
+    std::int64_t sum = 0;
+    for (const auto& [key, value] : data_) sum += value;
+    return sum;
+}
+
+}  // namespace wbam::kv

@@ -1,0 +1,46 @@
+// Deterministic per-replica shard state machine: applies delivered KvOps
+// in delivery order. Because atomic multicast delivers the same projection
+// of one total order to every replica of a shard, all replicas of a shard
+// converge to identical state (checkable via state_hash).
+#ifndef WBAM_KVSTORE_SHARD_HPP
+#define WBAM_KVSTORE_SHARD_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "kvstore/ops.hpp"
+
+namespace wbam::kv {
+
+class ShardState {
+public:
+    explicit ShardState(GroupId shard, int num_groups)
+        : shard_(shard), num_groups_(num_groups) {}
+
+    // Applies the projection of op relevant to this shard.
+    void apply(const KvOp& op);
+
+    std::int64_t get(const std::string& key) const;
+    // Sum of all values held by this shard.
+    std::int64_t total() const;
+    std::size_t size() const { return data_.size(); }
+    std::uint64_t applied_count() const { return applied_; }
+
+    // Order-sensitive hash over the applied history: two replicas have the
+    // same hash iff they applied the same ops in the same order.
+    std::uint64_t state_hash() const { return hash_; }
+
+private:
+    void mix(std::uint64_t v);
+
+    GroupId shard_;
+    int num_groups_;
+    std::map<std::string, std::int64_t> data_;
+    std::uint64_t applied_ = 0;
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace wbam::kv
+
+#endif  // WBAM_KVSTORE_SHARD_HPP

@@ -1,0 +1,193 @@
+#include "multicast/checker.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "codec/wire.hpp"
+
+namespace wbam {
+
+namespace {
+
+std::string describe(MsgId m) {
+    std::ostringstream os;
+    os << "m(client=" << msg_id_client(m) << ",seq=" << (m & 0xffffffff) << ")";
+    return os.str();
+}
+
+bool is_correct(const CheckOptions& opts, ProcessId p) {
+    if (opts.correct.empty()) return true;
+    return opts.correct[static_cast<std::size_t>(p)];
+}
+
+}  // namespace
+
+std::string CheckResult::summary(std::size_t limit) const {
+    std::ostringstream os;
+    os << failures.size() << " violation(s)";
+    for (std::size_t i = 0; i < failures.size() && i < limit; ++i)
+        os << "\n  - " << failures[i];
+    return os.str();
+}
+
+CheckResult check_multicast_properties(const DeliveryLog& log,
+                                       const Topology& topo,
+                                       const CheckOptions& opts) {
+    CheckResult result;
+    auto fail = [&result](const std::string& msg) {
+        result.failures.push_back(msg);
+    };
+    const auto& multicasts = log.multicasts();
+
+    // --- Validity + Integrity, and per-process delivered sets -------------
+    std::unordered_map<ProcessId, std::unordered_set<MsgId>> delivered_by;
+    for (const auto& [proc, events] : log.deliveries()) {
+        auto& seen = delivered_by[proc];
+        const GroupId g = topo.group_of(proc);
+        for (const DeliveryEvent& ev : events) {
+            const auto it = multicasts.find(ev.msg);
+            if (it == multicasts.end()) {
+                fail("validity: process " + std::to_string(proc) + " delivered " +
+                     describe(ev.msg) + " which was never multicast");
+                continue;
+            }
+            const auto& dests = it->second.dests;
+            if (g == invalid_group ||
+                !std::binary_search(dests.begin(), dests.end(), g))
+                fail("validity: process " + std::to_string(proc) +
+                     " (group " + std::to_string(g) + ") delivered " +
+                     describe(ev.msg) + " not addressed to its group");
+            if (!seen.insert(ev.msg).second)
+                fail("integrity: process " + std::to_string(proc) +
+                     " delivered " + describe(ev.msg) + " twice");
+        }
+    }
+
+    // --- Per-group sequence consistency ------------------------------------
+    // Within a group every member's delivery sequence must be a prefix of
+    // the longest member sequence (correct members end up equal once the
+    // run quiesces; crashed members may stop early).
+    for (GroupId g = 0; g < topo.num_groups(); ++g) {
+        const std::vector<MsgId>* longest = nullptr;
+        std::vector<std::vector<MsgId>> seqs;
+        std::vector<ProcessId> procs;
+        for (const ProcessId p : topo.members(g)) {
+            const auto it = log.deliveries().find(p);
+            std::vector<MsgId> seq;
+            if (it != log.deliveries().end()) {
+                seq.reserve(it->second.size());
+                for (const auto& ev : it->second) seq.push_back(ev.msg);
+            }
+            seqs.push_back(std::move(seq));
+            procs.push_back(p);
+        }
+        for (const auto& s : seqs)
+            if (!longest || s.size() > longest->size()) longest = &s;
+        if (!longest) continue;
+        for (std::size_t i = 0; i < seqs.size(); ++i) {
+            if (!std::equal(seqs[i].begin(), seqs[i].end(), longest->begin()))
+                fail("group order: member " + std::to_string(procs[i]) +
+                     " of group " + std::to_string(g) +
+                     " delivered a sequence that is not a prefix of its "
+                     "group's order");
+        }
+    }
+
+    // --- Ordering: acyclicity of the union of delivery orders -------------
+    // Consecutive deliveries at one process generate that process's total
+    // order by transitivity; a cycle in the union across processes means no
+    // single total order exists.
+    std::unordered_map<MsgId, std::vector<MsgId>> succ;
+    std::unordered_map<MsgId, int> indegree;
+    std::unordered_set<std::uint64_t> edge_seen;
+    std::unordered_set<MsgId> nodes;
+    for (const auto& [proc, events] : log.deliveries()) {
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            nodes.insert(events[i].msg);
+            if (i == 0) continue;
+            const MsgId a = events[i - 1].msg;
+            const MsgId b = events[i].msg;
+            const std::uint64_t key = a * 0x9e3779b97f4a7c15ULL ^ b;
+            if (!edge_seen.insert(key).second) continue;
+            succ[a].push_back(b);
+            indegree[b] += 1;
+        }
+    }
+    std::deque<MsgId> ready;
+    for (const MsgId n : nodes)
+        if (indegree.find(n) == indegree.end()) ready.push_back(n);
+    std::size_t ordered = 0;
+    while (!ready.empty()) {
+        const MsgId n = ready.front();
+        ready.pop_front();
+        ++ordered;
+        const auto it = succ.find(n);
+        if (it == succ.end()) continue;
+        for (const MsgId s : it->second)
+            if (--indegree[s] == 0) ready.push_back(s);
+    }
+    if (ordered != nodes.size())
+        fail("ordering: delivery orders across processes form a cycle (" +
+             std::to_string(nodes.size() - ordered) + " messages involved)");
+
+    // --- Termination ----------------------------------------------------------
+    if (opts.check_termination) {
+        std::unordered_set<MsgId> delivered_somewhere;
+        for (const auto& [proc, set] : delivered_by)
+            delivered_somewhere.insert(set.begin(), set.end());
+        for (const auto& [id, rec] : multicasts) {
+            const bool must_deliver = is_correct(opts, rec.sender) ||
+                                      delivered_somewhere.count(id) > 0;
+            if (!must_deliver) continue;
+            for (const GroupId g : rec.dests) {
+                for (const ProcessId p : topo.members(g)) {
+                    if (!is_correct(opts, p)) continue;
+                    const auto it = delivered_by.find(p);
+                    if (it == delivered_by.end() || !it->second.count(id))
+                        fail("termination: correct process " +
+                             std::to_string(p) + " of group " +
+                             std::to_string(g) + " never delivered " +
+                             describe(id));
+                }
+            }
+        }
+    }
+    return result;
+}
+
+CheckResult check_genuineness(const std::vector<sim::SendRecord>& trace,
+                              const DeliveryLog& log, const Topology& topo) {
+    CheckResult result;
+    const auto& multicasts = log.multicasts();
+    // Participants allowed for message m: its sender and the members of its
+    // destination groups.
+    auto allowed = [&](const MulticastRecord& rec, ProcessId p) {
+        if (p == rec.sender) return true;
+        const GroupId g = topo.group_of(p);
+        if (g == invalid_group) return false;
+        return std::binary_search(rec.dests.begin(), rec.dests.end(), g);
+    };
+    std::unordered_set<MsgId> flagged;
+    for (const sim::SendRecord& rec : trace) {
+        if (rec.about == invalid_msg) continue;  // group-local housekeeping
+        const auto mod = static_cast<codec::Module>(rec.module);
+        if (mod != codec::Module::proto && mod != codec::Module::paxos &&
+            mod != codec::Module::client)
+            continue;
+        const auto it = multicasts.find(rec.about);
+        if (it == multicasts.end()) continue;
+        for (const ProcessId p : {rec.from, rec.to}) {
+            if (!allowed(it->second, p) && flagged.insert(rec.about).second)
+                result.failures.push_back(
+                    "genuineness: process " + std::to_string(p) +
+                    " participated in ordering " + describe(rec.about) +
+                    " without being a sender or destination member");
+        }
+    }
+    return result;
+}
+
+}  // namespace wbam

@@ -1,0 +1,49 @@
+// Protocol-independent verification of the atomic multicast specification
+// (§II of the paper): Validity, Integrity, Ordering, Termination — plus
+// Genuineness, audited from the simulator's wire trace. Used by the test
+// suite against all four protocol implementations.
+#ifndef WBAM_MULTICAST_CHECKER_HPP
+#define WBAM_MULTICAST_CHECKER_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/topology.hpp"
+#include "multicast/delivery_log.hpp"
+#include "sim/world.hpp"
+
+namespace wbam {
+
+struct CheckOptions {
+    // correct[p] == false marks process p as faulty (crashed during the
+    // run); faulty processes are exempt from Termination and may lag their
+    // group. Empty means every process is correct.
+    std::vector<bool> correct;
+    // Require that every message that should be delivered has been (run
+    // must have quiesced).
+    bool check_termination = true;
+};
+
+struct CheckResult {
+    std::vector<std::string> failures;
+
+    bool ok() const { return failures.empty(); }
+    // Up to `limit` failures joined for gtest messages.
+    std::string summary(std::size_t limit = 5) const;
+};
+
+// Validity, Integrity, per-group sequence consistency, global Ordering
+// (acyclicity of the union of per-process delivery orders) and Termination.
+CheckResult check_multicast_properties(const DeliveryLog& log,
+                                       const Topology& topo,
+                                       const CheckOptions& opts = {});
+
+// Genuineness (§II): every process that sent or received a protocol message
+// about m is either m's sender or a member of a destination group of m.
+// `trace` is World::send_trace() (tracing must have been enabled).
+CheckResult check_genuineness(const std::vector<sim::SendRecord>& trace,
+                              const DeliveryLog& log, const Topology& topo);
+
+}  // namespace wbam
+
+#endif  // WBAM_MULTICAST_CHECKER_HPP

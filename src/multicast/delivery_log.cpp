@@ -1,0 +1,40 @@
+#include "multicast/delivery_log.hpp"
+
+#include "common/assert.hpp"
+
+namespace wbam {
+
+Duration MulticastRecord::delivery_latency() const {
+    WBAM_ASSERT(partially_delivered());
+    TimePoint last = 0;
+    for (const auto& [group, at] : first_delivery) last = std::max(last, at);
+    return last - multicast_at;
+}
+
+void DeliveryLog::note_multicast(TimePoint at, ProcessId sender,
+                                 const AppMessage& m) {
+    WBAM_ASSERT(m.id != invalid_msg);
+    const auto [it, inserted] = multicasts_.try_emplace(m.id);
+    if (!inserted) return;  // client retry of the same message
+    it->second.multicast_at = at;
+    it->second.sender = sender;
+    it->second.dests = m.dests;
+}
+
+void DeliveryLog::note_delivery(TimePoint at, ProcessId proc, GroupId group,
+                                const AppMessage& m) {
+    deliveries_[proc].push_back(DeliveryEvent{at, m.id});
+    ++total_deliveries_;
+    const auto it = multicasts_.find(m.id);
+    if (it == multicasts_.end()) return;  // checker will flag as invalid
+    it->second.first_delivery.try_emplace(group, at);
+}
+
+std::size_t DeliveryLog::completed_count() const {
+    std::size_t n = 0;
+    for (const auto& [id, rec] : multicasts_)
+        if (rec.partially_delivered()) ++n;
+    return n;
+}
+
+}  // namespace wbam

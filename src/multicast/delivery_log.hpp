@@ -1,0 +1,66 @@
+// Run-wide record of multicasts and deliveries, shared by the correctness
+// checker and the latency/throughput reporting. One instance per World;
+// protocols append through their DeliverySink.
+#ifndef WBAM_MULTICAST_DELIVERY_LOG_HPP
+#define WBAM_MULTICAST_DELIVERY_LOG_HPP
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "multicast/message.hpp"
+
+namespace wbam {
+
+struct DeliveryEvent {
+    TimePoint at = 0;
+    MsgId msg = invalid_msg;
+};
+
+struct MulticastRecord {
+    TimePoint multicast_at = 0;
+    ProcessId sender = invalid_process;
+    std::vector<GroupId> dests;
+    // First delivery time per destination group (absent until delivered).
+    std::map<GroupId, TimePoint> first_delivery;
+
+    bool partially_delivered() const {
+        return first_delivery.size() == dests.size();
+    }
+    // The paper's client-perceived latency: first delivery in the slowest
+    // destination group, relative to multicast time.
+    Duration delivery_latency() const;
+};
+
+class DeliveryLog {
+public:
+    // Registers multicast(m). Must be called before deliveries of m.
+    void note_multicast(TimePoint at, ProcessId sender, const AppMessage& m);
+    // Registers deliver(m) at process `proc` of group `group`.
+    void note_delivery(TimePoint at, ProcessId proc, GroupId group,
+                       const AppMessage& m);
+
+    const std::unordered_map<MsgId, MulticastRecord>& multicasts() const {
+        return multicasts_;
+    }
+    // Per-process delivery sequences, in delivery order.
+    const std::unordered_map<ProcessId, std::vector<DeliveryEvent>>&
+    deliveries() const {
+        return deliveries_;
+    }
+
+    std::size_t total_deliveries() const { return total_deliveries_; }
+    // Messages whose every destination group has delivered at least once.
+    std::size_t completed_count() const;
+
+private:
+    std::unordered_map<MsgId, MulticastRecord> multicasts_;
+    std::unordered_map<ProcessId, std::vector<DeliveryEvent>> deliveries_;
+    std::size_t total_deliveries_ = 0;
+};
+
+}  // namespace wbam
+
+#endif  // WBAM_MULTICAST_DELIVERY_LOG_HPP

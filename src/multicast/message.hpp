@@ -1,0 +1,54 @@
+// The application-level multicast message: a unique id, the set of
+// destination groups, and an opaque payload. This is what clients hand to
+// a protocol and what delivery upcalls produce.
+#ifndef WBAM_MULTICAST_MESSAGE_HPP
+#define WBAM_MULTICAST_MESSAGE_HPP
+
+#include <algorithm>
+#include <vector>
+
+#include "codec/fields.hpp"
+#include "common/types.hpp"
+
+namespace wbam {
+
+struct AppMessage {
+    MsgId id = invalid_msg;
+    std::vector<GroupId> dests;  // sorted, unique
+    Bytes payload;
+
+    bool addressed_to(GroupId g) const {
+        return std::binary_search(dests.begin(), dests.end(), g);
+    }
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, id);
+        codec::write_field(w, dests);
+        codec::write_field(w, payload);
+    }
+    static AppMessage decode(codec::Reader& r) {
+        AppMessage m;
+        codec::read_field(r, m.id);
+        codec::read_field(r, m.dests);
+        codec::read_field(r, m.payload);
+        if (m.dests.empty()) throw codec::DecodeError("message with no dests");
+        if (!std::is_sorted(m.dests.begin(), m.dests.end()) ||
+            std::adjacent_find(m.dests.begin(), m.dests.end()) != m.dests.end())
+            throw codec::DecodeError("dests not sorted/unique");
+        return m;
+    }
+
+    friend bool operator==(const AppMessage&, const AppMessage&) = default;
+};
+
+// Builds a well-formed AppMessage (sorts and dedups the destinations).
+inline AppMessage make_app_message(MsgId id, std::vector<GroupId> dests,
+                                   Bytes payload = {}) {
+    std::sort(dests.begin(), dests.end());
+    dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+    return AppMessage{id, std::move(dests), std::move(payload)};
+}
+
+}  // namespace wbam
+
+#endif  // WBAM_MULTICAST_MESSAGE_HPP

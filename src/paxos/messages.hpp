@@ -1,0 +1,178 @@
+// Wire messages of the intra-group multi-Paxos used by the black-box
+// baselines (FT-Skeen and FastCast). Travels as codec::Module::paxos.
+#ifndef WBAM_PAXOS_MESSAGES_HPP
+#define WBAM_PAXOS_MESSAGES_HPP
+
+#include <vector>
+
+#include "codec/fields.hpp"
+#include "common/types.hpp"
+
+namespace wbam::paxos {
+
+enum class MsgType : std::uint8_t {
+    p1a = 0,
+    p1b = 1,
+    p2a = 2,
+    p2b = 3,
+    chosen = 4,
+    nack = 5,
+};
+
+// A replicated command. `about` names the application message the command
+// concerns (for genuineness auditing); `data` is the host protocol's
+// serialized command. An empty `data` is a no-op (gap filler).
+struct Command {
+    MsgId about = invalid_msg;
+    Bytes data;
+
+    bool is_noop() const { return data.empty(); }
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, about);
+        codec::write_field(w, data);
+    }
+    static Command decode(codec::Reader& r) {
+        Command c;
+        codec::read_field(r, c.about);
+        codec::read_field(r, c.data);
+        return c;
+    }
+    friend bool operator==(const Command&, const Command&) = default;
+};
+
+struct P1aMsg {
+    Ballot ballot;
+    std::uint64_t low_slot = 1;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, ballot);
+        codec::write_field(w, low_slot);
+    }
+    static P1aMsg decode(codec::Reader& r) {
+        P1aMsg m;
+        codec::read_field(r, m.ballot);
+        codec::read_field(r, m.low_slot);
+        return m;
+    }
+};
+
+struct AcceptedEntry {
+    std::uint64_t slot = 0;
+    Ballot ballot;
+    Command cmd;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, slot);
+        codec::write_field(w, ballot);
+        codec::write_field(w, cmd);
+    }
+    static AcceptedEntry decode(codec::Reader& r) {
+        AcceptedEntry e;
+        codec::read_field(r, e.slot);
+        codec::read_field(r, e.ballot);
+        codec::read_field(r, e.cmd);
+        return e;
+    }
+};
+
+struct ChosenEntry {
+    std::uint64_t slot = 0;
+    Command cmd;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, slot);
+        codec::write_field(w, cmd);
+    }
+    static ChosenEntry decode(codec::Reader& r) {
+        ChosenEntry e;
+        codec::read_field(r, e.slot);
+        codec::read_field(r, e.cmd);
+        return e;
+    }
+};
+
+struct P1bMsg {
+    Ballot ballot;
+    std::vector<AcceptedEntry> accepted;  // accepted but possibly unchosen
+    std::vector<ChosenEntry> known_chosen;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, ballot);
+        codec::write_field(w, accepted);
+        codec::write_field(w, known_chosen);
+    }
+    static P1bMsg decode(codec::Reader& r) {
+        P1bMsg m;
+        codec::read_field(r, m.ballot);
+        codec::read_field(r, m.accepted);
+        codec::read_field(r, m.known_chosen);
+        return m;
+    }
+};
+
+struct P2aMsg {
+    Ballot ballot;
+    std::uint64_t slot = 0;
+    Command cmd;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, ballot);
+        codec::write_field(w, slot);
+        codec::write_field(w, cmd);
+    }
+    static P2aMsg decode(codec::Reader& r) {
+        P2aMsg m;
+        codec::read_field(r, m.ballot);
+        codec::read_field(r, m.slot);
+        codec::read_field(r, m.cmd);
+        return m;
+    }
+};
+
+struct P2bMsg {
+    Ballot ballot;
+    std::uint64_t slot = 0;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, ballot);
+        codec::write_field(w, slot);
+    }
+    static P2bMsg decode(codec::Reader& r) {
+        P2bMsg m;
+        codec::read_field(r, m.ballot);
+        codec::read_field(r, m.slot);
+        return m;
+    }
+};
+
+struct ChosenMsg {
+    std::uint64_t slot = 0;
+    Command cmd;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, slot);
+        codec::write_field(w, cmd);
+    }
+    static ChosenMsg decode(codec::Reader& r) {
+        ChosenMsg m;
+        codec::read_field(r, m.slot);
+        codec::read_field(r, m.cmd);
+        return m;
+    }
+};
+
+struct NackMsg {
+    Ballot promised;
+
+    void encode(codec::Writer& w) const { codec::write_field(w, promised); }
+    static NackMsg decode(codec::Reader& r) {
+        NackMsg m;
+        codec::read_field(r, m.promised);
+        return m;
+    }
+};
+
+}  // namespace wbam::paxos
+
+#endif  // WBAM_PAXOS_MESSAGES_HPP

@@ -1,0 +1,234 @@
+#include "paxos/multipaxos.hpp"
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace wbam::paxos {
+
+namespace {
+constexpr auto mod = codec::Module::paxos;
+std::uint8_t type_of(MsgType t) { return static_cast<std::uint8_t>(t); }
+}  // namespace
+
+MultiPaxos::MultiPaxos(std::vector<ProcessId> members, int quorum, ApplyFn apply,
+                       PaxosConfig cfg)
+    : members_(std::move(members)), quorum_(static_cast<std::size_t>(quorum)),
+      apply_(std::move(apply)), cfg_(cfg) {
+    WBAM_ASSERT(!members_.empty());
+    WBAM_ASSERT(quorum_ >= 1 && quorum_ <= members_.size());
+}
+
+void MultiPaxos::start(Context& ctx) {
+    self_ = ctx.self();
+    promised_ = Ballot{1, members_.front()};
+    my_ballot_ = promised_;
+    leading_ = self_ == members_.front();
+}
+
+bool MultiPaxos::submit(Context& ctx, Command cmd) {
+    if (leading_) {
+        propose_at(ctx, next_slot_++, std::move(cmd));
+        return true;
+    }
+    if (phase1_pending_) {
+        queue_.push_back(std::move(cmd));
+        return true;
+    }
+    return false;
+}
+
+void MultiPaxos::propose_at(Context& ctx, std::uint64_t slot, Command cmd) {
+    ctx.charge(cfg_.cmd_cost);
+    auto& inflight = inflight_[slot];
+    inflight.cmd = std::move(cmd);
+    inflight.last_sent = ctx.now();
+    ctx.send_many(members_, codec::encode_envelope(
+                                 mod, type_of(MsgType::p2a), inflight.cmd.about,
+                                 P2aMsg{my_ballot_, slot, inflight.cmd}));
+}
+
+void MultiPaxos::maybe_lead(Context& ctx) {
+    if (leading_ || phase1_pending_) return;
+    my_ballot_ =
+        Ballot{std::max(promised_.round, my_ballot_.round) + 1, self_};
+    phase1_pending_ = true;
+    phase1_started_ = ctx.now();
+    p1b_acks_.clear();
+    log::info("paxos p", self_, " phase1 at ", to_string(my_ballot_));
+    const Bytes wire = codec::encode_envelope(
+        mod, type_of(MsgType::p1a), invalid_msg,
+        P1aMsg{my_ballot_, applied_upto_ + 1});
+    for (const ProcessId p : members_) ctx.send(p, wire);
+}
+
+bool MultiPaxos::handle_message(Context& ctx, ProcessId from,
+                                codec::EnvelopeView& env) {
+    if (env.module != mod) return false;
+    switch (static_cast<MsgType>(env.type)) {
+        case MsgType::p1a: handle_p1a(ctx, from, P1aMsg::decode(env.body)); break;
+        case MsgType::p1b: handle_p1b(ctx, from, P1bMsg::decode(env.body)); break;
+        case MsgType::p2a: handle_p2a(ctx, from, P2aMsg::decode(env.body)); break;
+        case MsgType::p2b: handle_p2b(ctx, from, P2bMsg::decode(env.body)); break;
+        case MsgType::chosen: handle_chosen(ctx, ChosenMsg::decode(env.body)); break;
+        case MsgType::nack: handle_nack(NackMsg::decode(env.body)); break;
+    }
+    return true;
+}
+
+void MultiPaxos::handle_p1a(Context& ctx, ProcessId from, const P1aMsg& m) {
+    if (m.ballot < promised_) {
+        ctx.send(from, codec::encode_envelope(mod, type_of(MsgType::nack),
+                                              invalid_msg, NackMsg{promised_}));
+        return;
+    }
+    promised_ = m.ballot;
+    if (m.ballot.leader() != self_) {
+        leading_ = false;
+        phase1_pending_ = false;
+    }
+    P1bMsg reply{m.ballot, {}, {}};
+    for (const auto& [slot, entry] : accepted_) {
+        if (slot < m.low_slot) continue;
+        if (chosen_.count(slot)) continue;
+        reply.accepted.push_back(AcceptedEntry{slot, entry.first, entry.second});
+    }
+    for (const auto& [slot, cmd] : chosen_) {
+        if (slot < m.low_slot) continue;
+        reply.known_chosen.push_back(ChosenEntry{slot, cmd});
+    }
+    ctx.send(from, codec::encode_envelope(mod, type_of(MsgType::p1b),
+                                          invalid_msg, reply));
+}
+
+void MultiPaxos::handle_p1b(Context& ctx, ProcessId from, const P1bMsg& m) {
+    if (!phase1_pending_ || m.ballot != my_ballot_) return;
+    // Catch up on chosen slots immediately.
+    for (const ChosenEntry& e : m.known_chosen)
+        mark_chosen(ctx, e.slot, e.cmd, false);
+    p1b_acks_[from] = m;
+    if (p1b_acks_.size() < quorum_) return;
+    finish_phase1(ctx);
+}
+
+void MultiPaxos::finish_phase1(Context& ctx) {
+    // Adopt the highest-ballot accepted value for every open slot.
+    std::map<std::uint64_t, std::pair<Ballot, Command>> adopt;
+    std::uint64_t max_slot = applied_upto_;
+    for (const auto& [p, ack] : p1b_acks_) {
+        for (const AcceptedEntry& e : ack.accepted) {
+            max_slot = std::max(max_slot, e.slot);
+            auto [it, inserted] = adopt.try_emplace(
+                e.slot, std::make_pair(e.ballot, e.cmd));
+            if (!inserted && e.ballot > it->second.first)
+                it->second = {e.ballot, e.cmd};
+        }
+    }
+    if (!chosen_.empty()) max_slot = std::max(max_slot, chosen_.rbegin()->first);
+    phase1_pending_ = false;
+    leading_ = true;
+    p1b_acks_.clear();
+    next_slot_ = max_slot + 1;
+    // Re-propose adopted values at their original slots and fill gaps with
+    // no-ops so the log applies without holes.
+    for (std::uint64_t slot = applied_upto_ + 1; slot <= max_slot; ++slot) {
+        if (chosen_.count(slot)) continue;
+        const auto it = adopt.find(slot);
+        propose_at(ctx, slot, it != adopt.end() ? it->second.second : Command{});
+    }
+    // Drain commands queued while phase 1 was running.
+    while (!queue_.empty()) {
+        propose_at(ctx, next_slot_++, std::move(queue_.front()));
+        queue_.pop_front();
+    }
+    log::info("paxos p", self_, " leads ", to_string(my_ballot_), " from slot ",
+              next_slot_);
+}
+
+void MultiPaxos::handle_p2a(Context& ctx, ProcessId from, const P2aMsg& m) {
+    if (m.ballot < promised_) {
+        ctx.send(from, codec::encode_envelope(mod, type_of(MsgType::nack),
+                                              invalid_msg, NackMsg{promised_}));
+        return;
+    }
+    promised_ = m.ballot;
+    if (m.ballot.leader() != self_) {
+        leading_ = false;
+        phase1_pending_ = false;
+    }
+    accepted_[m.slot] = {m.ballot, m.cmd};
+    ctx.send(from,
+             codec::encode_envelope(mod, type_of(MsgType::p2b), m.cmd.about,
+                                    P2bMsg{m.ballot, m.slot}));
+}
+
+void MultiPaxos::handle_p2b(Context& ctx, ProcessId from, const P2bMsg& m) {
+    if (!leading_ || m.ballot != my_ballot_) return;
+    const auto it = inflight_.find(m.slot);
+    if (it == inflight_.end()) return;  // already chosen
+    it->second.acks.insert(from);
+    if (it->second.acks.size() < quorum_) return;
+    Command cmd = std::move(it->second.cmd);
+    inflight_.erase(it);
+    mark_chosen(ctx, m.slot, std::move(cmd), true);
+}
+
+void MultiPaxos::handle_chosen(Context& ctx, const ChosenMsg& m) {
+    mark_chosen(ctx, m.slot, m.cmd, false);
+}
+
+void MultiPaxos::mark_chosen(Context& ctx, std::uint64_t slot, Command cmd,
+                             bool announce) {
+    const auto [it, inserted] = chosen_.try_emplace(slot, std::move(cmd));
+    if (!inserted) {
+        // Paxos guarantees agreement: a slot can only be chosen once.
+        WBAM_ASSERT_MSG(it->second == cmd, "two values chosen for one slot");
+        return;
+    }
+    if (announce) {
+        std::vector<ProcessId> others;
+        others.reserve(members_.size() - 1);
+        for (const ProcessId p : members_)
+            if (p != self_) others.push_back(p);
+        ctx.send_many(others, codec::encode_envelope(
+                                  mod, type_of(MsgType::chosen),
+                                  it->second.about, ChosenMsg{slot, it->second}));
+    }
+    apply_ready(ctx);
+}
+
+void MultiPaxos::apply_ready(Context& ctx) {
+    for (auto it = chosen_.find(applied_upto_ + 1); it != chosen_.end();
+         it = chosen_.find(applied_upto_ + 1)) {
+        ++applied_upto_;
+        if (!it->second.is_noop()) apply_(ctx, it->first, it->second);
+    }
+}
+
+void MultiPaxos::handle_nack(const NackMsg& m) {
+    if (m.promised > my_ballot_ && m.promised.leader() != self_) {
+        leading_ = false;
+        phase1_pending_ = false;
+    }
+}
+
+void MultiPaxos::on_tick(Context& ctx) {
+    if (phase1_pending_ &&
+        ctx.now() - phase1_started_ >= cfg_.retry_interval) {
+        // Phase 1 stalled (lost messages or a competing candidate): retry
+        // with a fresh ballot.
+        phase1_pending_ = false;
+        maybe_lead(ctx);
+        return;
+    }
+    if (!leading_) return;
+    for (auto& [slot, inflight] : inflight_) {
+        if (ctx.now() - inflight.last_sent < cfg_.retry_interval) continue;
+        inflight.last_sent = ctx.now();
+        const Bytes wire = codec::encode_envelope(
+            mod, type_of(MsgType::p2a), inflight.cmd.about,
+            P2aMsg{my_ballot_, slot, inflight.cmd});
+        for (const ProcessId p : members_) ctx.send(p, wire);
+    }
+}
+
+}  // namespace wbam::paxos

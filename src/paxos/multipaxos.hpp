@@ -1,0 +1,110 @@
+// Leader-based multi-Paxos over one group, embedded as a sub-component of
+// a replica protocol (the "consensus as a black box" of the baseline
+// multicast protocols). Pipelined phase 2 in steady state (one round trip
+// leader -> quorum per command); phase 1 covers all open slots at once on
+// leader change; chosen commands are applied strictly in slot order on
+// every member.
+#ifndef WBAM_PAXOS_MULTIPAXOS_HPP
+#define WBAM_PAXOS_MULTIPAXOS_HPP
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "codec/wire.hpp"
+#include "common/process.hpp"
+#include "paxos/messages.hpp"
+
+namespace wbam::paxos {
+
+struct PaxosConfig {
+    Duration retry_interval = milliseconds(200);
+    // CPU work the proposer performs per command driven through the engine
+    // (benchmark cost model; zero in tests).
+    Duration cmd_cost = 0;
+};
+
+class MultiPaxos {
+public:
+    // apply is invoked exactly once per slot, in slot order, on every
+    // member (no-op gap fillers are skipped).
+    using ApplyFn =
+        std::function<void(Context&, std::uint64_t slot, const Command&)>;
+
+    MultiPaxos(std::vector<ProcessId> members, int quorum, ApplyFn apply,
+               PaxosConfig cfg = {});
+
+    // Bootstrap: every member starts promised to ballot (1, members[0]);
+    // members[0] leads without running phase 1.
+    void start(Context& ctx);
+
+    // Proposes a command. Returns false when this member neither leads nor
+    // is establishing leadership (caller should retry later).
+    bool submit(Context& ctx, Command cmd);
+
+    // Starts phase 1 with a fresh ballot unless already leading/trying.
+    // Drive this from the leader elector.
+    void maybe_lead(Context& ctx);
+
+    // Consumes codec::Module::paxos envelopes; returns true if consumed.
+    bool handle_message(Context& ctx, ProcessId from, codec::EnvelopeView& env);
+
+    // Periodic retransmission (in-flight proposals, stalled phase 1).
+    void on_tick(Context& ctx);
+
+    bool is_leader() const { return leading_; }
+    bool establishing() const { return phase1_pending_; }
+    ProcessId leader_hint() const { return promised_.leader(); }
+    std::uint64_t applied_upto() const { return applied_upto_; }
+    std::uint64_t chosen_count() const { return chosen_.size(); }
+
+private:
+    struct InFlight {
+        Command cmd;
+        std::set<ProcessId> acks;
+        TimePoint last_sent = 0;
+    };
+
+    void broadcast(Context& ctx, MsgType type, MsgId about, const Bytes& wire);
+    void propose_at(Context& ctx, std::uint64_t slot, Command cmd);
+    void mark_chosen(Context& ctx, std::uint64_t slot, Command cmd,
+                     bool announce);
+    void apply_ready(Context& ctx);
+    void finish_phase1(Context& ctx);
+
+    void handle_p1a(Context& ctx, ProcessId from, const P1aMsg& m);
+    void handle_p1b(Context& ctx, ProcessId from, const P1bMsg& m);
+    void handle_p2a(Context& ctx, ProcessId from, const P2aMsg& m);
+    void handle_p2b(Context& ctx, ProcessId from, const P2bMsg& m);
+    void handle_chosen(Context& ctx, const ChosenMsg& m);
+    void handle_nack(const NackMsg& m);
+
+    std::vector<ProcessId> members_;
+    std::size_t quorum_;
+    ApplyFn apply_;
+    PaxosConfig cfg_;
+    ProcessId self_ = invalid_process;
+
+    // acceptor state
+    Ballot promised_;
+    std::map<std::uint64_t, std::pair<Ballot, Command>> accepted_;
+
+    // learner state
+    std::map<std::uint64_t, Command> chosen_;
+    std::uint64_t applied_upto_ = 0;  // slots start at 1
+
+    // proposer state
+    bool leading_ = false;
+    bool phase1_pending_ = false;
+    Ballot my_ballot_;
+    std::uint64_t next_slot_ = 1;
+    std::map<std::uint64_t, InFlight> inflight_;
+    std::deque<Command> queue_;  // submitted while phase 1 runs
+    std::map<ProcessId, P1bMsg> p1b_acks_;
+    TimePoint phase1_started_ = 0;
+};
+
+}  // namespace wbam::paxos
+
+#endif  // WBAM_PAXOS_MULTIPAXOS_HPP

@@ -1,0 +1,210 @@
+#include "runtime/threaded.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <unordered_set>
+
+#include "codec/reader.hpp"
+#include "common/assert.hpp"
+
+namespace wbam::runtime {
+
+namespace {
+std::uint64_t link_key(ProcessId from, ProcessId to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+}
+}  // namespace
+
+struct ThreadedWorld::Host {
+    ProcessId id = invalid_process;
+    std::unique_ptr<Process> proc;
+    std::unique_ptr<HostContext> ctx;
+    Rng rng{0};
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Mail> mailbox;
+    std::unordered_set<TimerId> active_timers;  // guarded by mutex
+    std::atomic<TimerId> next_timer{1};
+};
+
+struct ThreadedWorld::HostContext final : Context {
+    ThreadedWorld* world = nullptr;
+    Host* host = nullptr;
+
+    ProcessId self() const override { return host->id; }
+    TimePoint now() const override { return world->now(); }
+    void send(ProcessId to, Bytes bytes) override {
+        world->enqueue_wire(host->id, to, std::move(bytes));
+    }
+    TimerId set_timer(Duration delay) override {
+        const TimerId id = host->next_timer.fetch_add(1);
+        {
+            const std::lock_guard<std::mutex> guard(host->mutex);
+            host->active_timers.insert(id);
+        }
+        const std::lock_guard<std::mutex> guard(world->net_mutex_);
+        world->in_flight_.push(Flight{.due = world->now() + delay,
+                                      .seq = world->net_seq_++,
+                                      .from = host->id, .to = host->id,
+                                      .bytes = {}, .timer = id});
+        world->net_cv_.notify_one();
+        return id;
+    }
+    void cancel_timer(TimerId id) override {
+        const std::lock_guard<std::mutex> guard(host->mutex);
+        host->active_timers.erase(id);
+    }
+    Rng& rng() override { return host->rng; }
+};
+
+ThreadedWorld::ThreadedWorld(Topology topo,
+                             std::unique_ptr<sim::DelayModel> delays,
+                             std::uint64_t seed)
+    : topo_(std::move(topo)), delays_(std::move(delays)),
+      net_rng_(seed ^ 0xabcdef1234567890ULL), seed_rng_(seed),
+      epoch_(std::chrono::steady_clock::now()) {
+    hosts_.resize(static_cast<std::size_t>(topo_.num_processes()));
+    for (int i = 0; i < topo_.num_processes(); ++i) {
+        hosts_[static_cast<std::size_t>(i)] = std::make_unique<Host>();
+        Host& h = *hosts_[static_cast<std::size_t>(i)];
+        h.id = i;
+        h.rng = seed_rng_.fork();
+        h.ctx = std::make_unique<HostContext>();
+        h.ctx->world = this;
+        h.ctx->host = &h;
+    }
+}
+
+ThreadedWorld::~ThreadedWorld() { shutdown(); }
+
+TimePoint ThreadedWorld::now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void ThreadedWorld::add_process(ProcessId id, std::unique_ptr<Process> p) {
+    WBAM_ASSERT(!running_);
+    WBAM_ASSERT(id >= 0 && static_cast<std::size_t>(id) < hosts_.size());
+    hosts_[static_cast<std::size_t>(id)]->proc = std::move(p);
+}
+
+void ThreadedWorld::start() {
+    WBAM_ASSERT(!running_);
+    running_ = true;
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+    for (auto& host : hosts_) {
+        WBAM_ASSERT_MSG(host->proc != nullptr, "unregistered process");
+        post(host->id, Mail{.kind = Mail::Kind::start});
+        threads_.emplace_back([this, h = host.get()] { host_loop(*h); });
+    }
+}
+
+void ThreadedWorld::run_for(Duration d) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+}
+
+void ThreadedWorld::shutdown() {
+    {
+        const std::lock_guard<std::mutex> guard(net_mutex_);
+        if (!running_) return;
+        running_ = false;
+        net_cv_.notify_all();
+    }
+    dispatcher_.join();
+    for (auto& host : hosts_) post(host->id, Mail{.kind = Mail::Kind::stop});
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+}
+
+void ThreadedWorld::enqueue_wire(ProcessId from, ProcessId to, Bytes bytes) {
+    const std::lock_guard<std::mutex> guard(net_mutex_);
+    Duration delay = 0;
+    if (from != to) delay = delays_->sample(from, to, bytes.size(), net_rng_);
+    TimePoint due = now() + delay;
+    // Reliable FIFO per channel, as in the simulator.
+    auto [it, inserted] = last_arrival_.try_emplace(link_key(from, to), due);
+    if (!inserted) {
+        due = std::max(due, it->second);
+        it->second = due;
+    }
+    in_flight_.push(Flight{.due = due, .seq = net_seq_++, .from = from,
+                           .to = to, .bytes = std::move(bytes)});
+    net_cv_.notify_one();
+}
+
+void ThreadedWorld::post(ProcessId to, Mail mail) {
+    Host& h = *hosts_[static_cast<std::size_t>(to)];
+    const std::lock_guard<std::mutex> guard(h.mutex);
+    h.mailbox.push_back(std::move(mail));
+    h.cv.notify_one();
+}
+
+void ThreadedWorld::dispatcher_loop() {
+    std::unique_lock<std::mutex> lock(net_mutex_);
+    for (;;) {
+        if (!running_) return;
+        if (in_flight_.empty()) {
+            net_cv_.wait(lock);
+            continue;
+        }
+        const TimePoint due = in_flight_.top().due;
+        const TimePoint current = now();
+        if (due > current) {
+            net_cv_.wait_for(lock, std::chrono::nanoseconds(due - current));
+            continue;
+        }
+        // Collect everything due, deliver outside the lock.
+        std::vector<Flight> ready;
+        while (!in_flight_.empty() && in_flight_.top().due <= current) {
+            ready.push_back(in_flight_.top());
+            in_flight_.pop();
+        }
+        lock.unlock();
+        for (auto& f : ready) {
+            if (f.timer != invalid_timer) {
+                post(f.to, Mail{.kind = Mail::Kind::timer, .timer = f.timer});
+            } else {
+                post(f.to, Mail{.kind = Mail::Kind::message, .from = f.from,
+                                .bytes = std::move(f.bytes)});
+            }
+        }
+        lock.lock();
+    }
+}
+
+void ThreadedWorld::host_loop(Host& host) {
+    for (;;) {
+        Mail mail;
+        {
+            std::unique_lock<std::mutex> lock(host.mutex);
+            host.cv.wait(lock, [&host] { return !host.mailbox.empty(); });
+            mail = std::move(host.mailbox.front());
+            host.mailbox.pop_front();
+            if (mail.kind == Mail::Kind::timer &&
+                host.active_timers.erase(mail.timer) == 0)
+                continue;  // cancelled
+        }
+        switch (mail.kind) {
+            case Mail::Kind::start:
+                host.proc->on_start(*host.ctx);
+                break;
+            case Mail::Kind::message:
+                try {
+                    host.proc->on_message(*host.ctx, mail.from, mail.bytes);
+                } catch (const codec::DecodeError&) {
+                    // Malformed input is dropped (see sim::World).
+                }
+                break;
+            case Mail::Kind::timer:
+                host.proc->on_timer(*host.ctx, mail.timer);
+                break;
+            case Mail::Kind::stop:
+                return;
+        }
+    }
+}
+
+}  // namespace wbam::runtime

@@ -1,0 +1,96 @@
+// Real-time multi-threaded runtime implementing the same Process/Context
+// contract as the discrete-event simulator: every process runs on its own
+// thread with a serial mailbox; a dispatcher thread injects configurable
+// network delays and enforces per-channel FIFO. Used by examples that want
+// to demonstrate the protocols under genuine concurrency; tests and
+// benches use the deterministic simulator.
+#ifndef WBAM_RUNTIME_THREADED_HPP
+#define WBAM_RUNTIME_THREADED_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/process.hpp"
+#include "common/topology.hpp"
+#include "sim/network.hpp"
+
+namespace wbam::runtime {
+
+class ThreadedWorld {
+public:
+    // `delays` is sampled under an internal lock; it may be any sim delay
+    // model (uniform, jitter, WAN matrix).
+    ThreadedWorld(Topology topo, std::unique_ptr<sim::DelayModel> delays,
+                  std::uint64_t seed = 1);
+    ~ThreadedWorld();
+
+    ThreadedWorld(const ThreadedWorld&) = delete;
+    ThreadedWorld& operator=(const ThreadedWorld&) = delete;
+
+    void add_process(ProcessId id, std::unique_ptr<Process> p);
+    // Spawns all threads and calls on_start on each process (on its own
+    // thread).
+    void start();
+    // Sleeps the caller for wall-clock `d`.
+    void run_for(Duration d);
+    // Stops dispatch, drains mailboxes and joins all threads.
+    void shutdown();
+
+    TimePoint now() const;
+
+private:
+    struct Mail {
+        enum class Kind : std::uint8_t { start, message, timer, stop };
+        Kind kind = Kind::message;
+        ProcessId from = invalid_process;
+        Bytes bytes;
+        TimerId timer = invalid_timer;
+    };
+
+    struct Host;
+    struct HostContext;
+
+    void dispatcher_loop();
+    void host_loop(Host& host);
+    void enqueue_wire(ProcessId from, ProcessId to, Bytes bytes);
+    void post(ProcessId to, Mail mail);
+
+    struct Flight {
+        TimePoint due = 0;
+        std::uint64_t seq = 0;
+        ProcessId from = invalid_process;
+        ProcessId to = invalid_process;
+        Bytes bytes;
+        TimerId timer = invalid_timer;  // set for timer flights
+        bool operator>(const Flight& o) const {
+            return due != o.due ? due > o.due : seq > o.seq;
+        }
+    };
+
+    Topology topo_;
+    std::unique_ptr<sim::DelayModel> delays_;
+    Rng net_rng_;
+    Rng seed_rng_;
+    std::chrono::steady_clock::time_point epoch_;
+
+    std::vector<std::unique_ptr<Host>> hosts_;
+    std::vector<std::thread> threads_;
+    std::thread dispatcher_;
+
+    std::mutex net_mutex_;
+    std::condition_variable net_cv_;
+    std::priority_queue<Flight, std::vector<Flight>, std::greater<>> in_flight_;
+    std::unordered_map<std::uint64_t, TimePoint> last_arrival_;
+    std::uint64_t net_seq_ = 0;
+    bool running_ = false;
+};
+
+}  // namespace wbam::runtime
+
+#endif  // WBAM_RUNTIME_THREADED_HPP

@@ -1,0 +1,39 @@
+#include "sim/network.hpp"
+
+#include "common/assert.hpp"
+
+namespace wbam::sim {
+
+Duration JitterDelay::sample(ProcessId, ProcessId, std::size_t, Rng& rng) {
+    if (jitter_ <= 0) return base_;
+    return base_ + rng.next_range(0, jitter_);
+}
+
+RegionMatrixDelay::RegionMatrixDelay(std::vector<int> region_of,
+                                     std::vector<std::vector<Duration>> rtt,
+                                     double jitter_frac)
+    : region_of_(std::move(region_of)), rtt_(std::move(rtt)),
+      jitter_frac_(jitter_frac) {
+    for (const int r : region_of_)
+        WBAM_ASSERT(r >= 0 && static_cast<std::size_t>(r) < rtt_.size());
+    for (const auto& row : rtt_) WBAM_ASSERT(row.size() == rtt_.size());
+}
+
+int RegionMatrixDelay::region_of(ProcessId p) const {
+    WBAM_ASSERT(p >= 0 && static_cast<std::size_t>(p) < region_of_.size());
+    return region_of_[static_cast<std::size_t>(p)];
+}
+
+Duration RegionMatrixDelay::sample(ProcessId from, ProcessId to, std::size_t,
+                                   Rng& rng) {
+    const int a = region_of(from);
+    const int b = region_of(to);
+    const Duration one_way = rtt_[static_cast<std::size_t>(a)]
+                                 [static_cast<std::size_t>(b)] / 2;
+    if (jitter_frac_ <= 0.0) return one_way;
+    const auto jitter = static_cast<Duration>(
+        static_cast<double>(one_way) * jitter_frac_ * rng.next_double());
+    return one_way + jitter;
+}
+
+}  // namespace wbam::sim

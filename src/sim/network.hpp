@@ -1,0 +1,72 @@
+// Network delay models for the simulator. A model samples the one-way
+// delay of a message; the World layers FIFO enforcement, per-link
+// overrides, partitions and crashes on top.
+#ifndef WBAM_SIM_NETWORK_HPP
+#define WBAM_SIM_NETWORK_HPP
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace wbam::sim {
+
+class DelayModel {
+public:
+    virtual ~DelayModel() = default;
+    virtual Duration sample(ProcessId from, ProcessId to, std::size_t bytes,
+                            Rng& rng) = 0;
+};
+
+// Every link has the same fixed one-way delay. Used by latency tests that
+// assert exact multiples of delta.
+class UniformDelay final : public DelayModel {
+public:
+    explicit UniformDelay(Duration delta) : delta_(delta) {}
+    Duration sample(ProcessId, ProcessId, std::size_t, Rng&) override {
+        return delta_;
+    }
+    Duration delta() const { return delta_; }
+
+private:
+    Duration delta_;
+};
+
+// Uniformly jittered delay in [base, base + jitter]; models a LAN.
+class JitterDelay final : public DelayModel {
+public:
+    JitterDelay(Duration base, Duration jitter) : base_(base), jitter_(jitter) {}
+    Duration sample(ProcessId, ProcessId, std::size_t, Rng& rng) override;
+
+private:
+    Duration base_;
+    Duration jitter_;
+};
+
+// Region-based latency matrix; models a WAN of data centres. Each process
+// is mapped to a region; delay between two processes is half the RTT of
+// their regions (plus a small intra-region floor and relative jitter).
+class RegionMatrixDelay final : public DelayModel {
+public:
+    // region_of[p] = region of process p; rtt[a][b] = round-trip between
+    // regions a and b (rtt[a][a] is the intra-region RTT).
+    RegionMatrixDelay(std::vector<int> region_of,
+                      std::vector<std::vector<Duration>> rtt,
+                      double jitter_frac = 0.0);
+
+    Duration sample(ProcessId from, ProcessId to, std::size_t bytes,
+                    Rng& rng) override;
+
+    int region_of(ProcessId p) const;
+
+private:
+    std::vector<int> region_of_;
+    std::vector<std::vector<Duration>> rtt_;
+    double jitter_frac_;
+};
+
+}  // namespace wbam::sim
+
+#endif  // WBAM_SIM_NETWORK_HPP

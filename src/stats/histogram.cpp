@@ -1,0 +1,90 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace wbam::stats {
+
+Histogram::Histogram() : buckets_(64 * sub_count, 0) {}
+
+std::size_t Histogram::bucket_of(Duration value) {
+    const auto v = static_cast<std::uint64_t>(std::max<Duration>(value, 0));
+    if (v < sub_count) return static_cast<std::size_t>(v);
+    // v in [2^msb, 2^(msb+1)), split into sub_count equal sub-buckets.
+    const int msb = 63 - std::countl_zero(v);
+    const auto group = static_cast<std::size_t>(msb - sub_bits);
+    const auto sub =
+        static_cast<std::size_t>((v >> (msb - sub_bits)) & (sub_count - 1));
+    return sub_count + group * sub_count + sub;
+}
+
+Duration Histogram::bucket_upper(std::size_t bucket) {
+    if (bucket < sub_count) return static_cast<Duration>(bucket);
+    const std::size_t group = (bucket - sub_count) / sub_count;
+    const std::size_t sub = (bucket - sub_count) % sub_count;
+    const int msb = static_cast<int>(group) + sub_bits;
+    const std::uint64_t base = 1ull << msb;
+    const std::uint64_t width = base >> sub_bits;
+    return static_cast<Duration>(base + (sub + 1) * width - 1);
+}
+
+void Histogram::record(Duration value) {
+    const std::size_t b = bucket_of(value);
+    if (b < buckets_.size()) ++buckets_[b];
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += static_cast<double>(value);
+}
+
+void Histogram::merge(const Histogram& other) {
+    WBAM_ASSERT(buckets_.size() == other.buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    if (other.count_ > 0) {
+        if (count_ == 0) {
+            min_ = other.min_;
+            max_ = other.max_;
+        } else {
+            min_ = std::min(min_, other.min_);
+            max_ = std::max(max_, other.max_);
+        }
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void Histogram::clear() {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = max_ = 0;
+}
+
+Duration Histogram::min() const { return min_; }
+Duration Histogram::max() const { return max_; }
+
+double Histogram::mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+Duration Histogram::percentile(double q) const {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        seen += buckets_[b];
+        if (seen >= target) return std::min(bucket_upper(b), max_);
+    }
+    return max_;
+}
+
+}  // namespace wbam::stats

@@ -1,0 +1,62 @@
+// Latency histogram with logarithmic buckets (HDR-style): constant-size,
+// ~2% relative error, O(1) record, percentile queries by scan. Used by the
+// benchmark harness for latency distributions.
+#ifndef WBAM_STATS_HISTOGRAM_HPP
+#define WBAM_STATS_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace wbam::stats {
+
+class Histogram {
+public:
+    Histogram();
+
+    void record(Duration value);
+    void merge(const Histogram& other);
+    void clear();
+
+    std::uint64_t count() const { return count_; }
+    Duration min() const;
+    Duration max() const;
+    double mean() const;
+    // q in [0, 1]; returns an upper bound of the bucket containing the
+    // quantile.
+    Duration percentile(double q) const;
+
+private:
+    static std::size_t bucket_of(Duration value);
+    static Duration bucket_upper(std::size_t bucket);
+
+    // 64 magnitude groups x 16 sub-buckets.
+    static constexpr int sub_bits = 4;
+    static constexpr int sub_count = 1 << sub_bits;
+
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    Duration min_ = 0;
+    Duration max_ = 0;
+};
+
+// Online mean/max/throughput accumulator for completed operations.
+struct Summary {
+    std::uint64_t count = 0;
+    double sum_ms = 0;
+    double max_ms = 0;
+
+    void record(Duration d) {
+        ++count;
+        const double ms = to_millis(d);
+        sum_ms += ms;
+        if (ms > max_ms) max_ms = ms;
+    }
+    double mean_ms() const { return count ? sum_ms / static_cast<double>(count) : 0; }
+};
+
+}  // namespace wbam::stats
+
+#endif  // WBAM_STATS_HISTOGRAM_HPP

@@ -1,0 +1,207 @@
+// Wire messages of the white-box atomic multicast protocol (Figure 4 of
+// the paper). MULTICAST uses the shared client wire format
+// (multicast/api.hpp); everything here travels as codec::Module::proto.
+#ifndef WBAM_WBCAST_MESSAGES_HPP
+#define WBAM_WBCAST_MESSAGES_HPP
+
+#include <utility>
+#include <vector>
+
+#include "multicast/message.hpp"
+
+namespace wbam::wbcast {
+
+enum class MsgType : std::uint8_t {
+    accept = 0,        // leader -> all processes of dest(m)   ("2a")
+    accept_ack = 1,    // process -> leaders of dest(m)        ("2b")
+    deliver = 2,       // leader -> own group
+    newleader = 3,     // candidate -> own group               ("1a")
+    newleader_ack = 4, // member -> candidate                  ("1b")
+    new_state = 5,     // new leader -> own group
+    newstate_ack = 6,  // member -> new leader
+    gc_status = 7,     // member -> leader: delivery progress
+    gc_prune = 8,      // leader -> own group: compaction floor
+};
+
+// The vector of ballots in which each destination group's local timestamp
+// proposal was made; sorted by group id. ACCEPT_ACKs quorum-match on it.
+using BallotVector = std::vector<std::pair<GroupId, Ballot>>;
+
+struct AcceptMsg {
+    AppMessage msg;
+    GroupId from_group = invalid_group;
+    Ballot ballot;  // cballot of the proposing leader
+    Timestamp lts;  // local timestamp proposal of from_group
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, msg);
+        codec::write_field(w, from_group);
+        codec::write_field(w, ballot);
+        codec::write_field(w, lts);
+    }
+    static AcceptMsg decode(codec::Reader& r) {
+        AcceptMsg a;
+        codec::read_field(r, a.msg);
+        codec::read_field(r, a.from_group);
+        codec::read_field(r, a.ballot);
+        codec::read_field(r, a.lts);
+        return a;
+    }
+};
+
+struct AcceptAckMsg {
+    GroupId from_group = invalid_group;
+    BallotVector ballots;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, from_group);
+        codec::write_field(w, ballots);
+    }
+    static AcceptAckMsg decode(codec::Reader& r) {
+        AcceptAckMsg a;
+        codec::read_field(r, a.from_group);
+        codec::read_field(r, a.ballots);
+        return a;
+    }
+};
+
+struct DeliverMsg {
+    AppMessage msg;
+    Ballot ballot;  // cballot of the delivering leader
+    Timestamp lts;
+    Timestamp gts;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, msg);
+        codec::write_field(w, ballot);
+        codec::write_field(w, lts);
+        codec::write_field(w, gts);
+    }
+    static DeliverMsg decode(codec::Reader& r) {
+        DeliverMsg d;
+        codec::read_field(r, d.msg);
+        codec::read_field(r, d.ballot);
+        codec::read_field(r, d.lts);
+        codec::read_field(r, d.gts);
+        return d;
+    }
+};
+
+struct NewLeaderMsg {
+    Ballot ballot;
+
+    void encode(codec::Writer& w) const { codec::write_field(w, ballot); }
+    static NewLeaderMsg decode(codec::Reader& r) {
+        NewLeaderMsg m;
+        codec::read_field(r, m.ballot);
+        return m;
+    }
+};
+
+// Per-message state carried by recovery messages. Entries in the START
+// phase are never transferred; PROPOSED entries are not transferred either
+// because the recovery rules (lines 46-54) ignore them.
+struct EntryState {
+    AppMessage msg;
+    std::uint8_t phase = 0;  // Phase::accepted or Phase::committed
+    Timestamp lts;
+    Timestamp gts;  // meaningful iff committed
+    bool compacted = false;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, msg);
+        codec::write_field(w, phase);
+        codec::write_field(w, lts);
+        codec::write_field(w, gts);
+        codec::write_field(w, compacted);
+    }
+    static EntryState decode(codec::Reader& r) {
+        EntryState e;
+        codec::read_field(r, e.msg);
+        codec::read_field(r, e.phase);
+        codec::read_field(r, e.lts);
+        codec::read_field(r, e.gts);
+        codec::read_field(r, e.compacted);
+        return e;
+    }
+};
+
+struct NewLeaderAckMsg {
+    Ballot ballot;   // the ballot being joined
+    Ballot cballot;  // last ballot this member synchronised with
+    std::uint64_t clock = 0;
+    std::vector<EntryState> entries;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, ballot);
+        codec::write_field(w, cballot);
+        codec::write_field(w, clock);
+        codec::write_field(w, entries);
+    }
+    static NewLeaderAckMsg decode(codec::Reader& r) {
+        NewLeaderAckMsg m;
+        codec::read_field(r, m.ballot);
+        codec::read_field(r, m.cballot);
+        codec::read_field(r, m.clock);
+        codec::read_field(r, m.entries);
+        return m;
+    }
+};
+
+struct NewStateMsg {
+    Ballot ballot;
+    std::uint64_t clock = 0;
+    std::vector<EntryState> entries;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, ballot);
+        codec::write_field(w, clock);
+        codec::write_field(w, entries);
+    }
+    static NewStateMsg decode(codec::Reader& r) {
+        NewStateMsg m;
+        codec::read_field(r, m.ballot);
+        codec::read_field(r, m.clock);
+        codec::read_field(r, m.entries);
+        return m;
+    }
+};
+
+struct NewStateAckMsg {
+    Ballot ballot;
+
+    void encode(codec::Writer& w) const { codec::write_field(w, ballot); }
+    static NewStateAckMsg decode(codec::Reader& r) {
+        NewStateAckMsg m;
+        codec::read_field(r, m.ballot);
+        return m;
+    }
+};
+
+struct GcStatusMsg {
+    Timestamp max_delivered_gts;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, max_delivered_gts);
+    }
+    static GcStatusMsg decode(codec::Reader& r) {
+        GcStatusMsg m;
+        codec::read_field(r, m.max_delivered_gts);
+        return m;
+    }
+};
+
+struct GcPruneMsg {
+    Timestamp floor;
+
+    void encode(codec::Writer& w) const { codec::write_field(w, floor); }
+    static GcPruneMsg decode(codec::Reader& r) {
+        GcPruneMsg m;
+        codec::read_field(r, m.floor);
+        return m;
+    }
+};
+
+}  // namespace wbam::wbcast
+
+#endif  // WBAM_WBCAST_MESSAGES_HPP

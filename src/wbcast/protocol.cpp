@@ -1,0 +1,564 @@
+#include "wbcast/protocol.hpp"
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace wbam::wbcast {
+
+namespace {
+constexpr auto proto = codec::Module::proto;
+
+std::uint8_t type_of(MsgType t) { return static_cast<std::uint8_t>(t); }
+}  // namespace
+
+WbcastReplica::WbcastReplica(const Topology& topo, ProcessId pid,
+                             DeliverySink sink, ReplicaConfig cfg)
+    : topo_(topo), pid_(pid), g0_(topo.group_of(pid)), sink_(std::move(sink)),
+      cfg_(cfg),
+      elector_(topo.members_leader_first(topo.group_of(pid)),
+               elect::ElectorConfig{cfg.election_enabled,
+                                    cfg.heartbeat_interval,
+                                    cfg.suspect_timeout},
+               [this](Context& ctx, ProcessId trusted) {
+                   on_trust_change(ctx, trusted);
+               }) {
+    WBAM_ASSERT_MSG(g0_ != invalid_group, "wbcast replica must be in a group");
+    // All members bootstrap agreeing on a ballot led by the initial leader.
+    cballot_ = ballot_ = Ballot{1, topo_.initial_leader(g0_)};
+    status_ = pid_ == topo_.initial_leader(g0_) ? Status::leader
+                                                : Status::follower;
+}
+
+void WbcastReplica::on_start(Context& ctx) {
+    elector_.start(ctx);
+    retry_timer_ = ctx.set_timer(cfg_.retry_interval);
+    if (cfg_.gc_enabled) gc_timer_ = ctx.set_timer(cfg_.gc_interval);
+}
+
+void WbcastReplica::on_message(Context& ctx, ProcessId from,
+                               const Bytes& bytes) {
+    codec::EnvelopeView env(bytes);
+    if (elector_.handle_message(ctx, from, env)) return;
+    if (env.module == codec::Module::client) {
+        if (env.type != static_cast<std::uint8_t>(ClientMsgType::multicast))
+            return;
+        handle_multicast(ctx, AppMessage::decode(env.body));
+        return;
+    }
+    if (env.module != proto) return;
+    switch (static_cast<MsgType>(env.type)) {
+        case MsgType::accept:
+            handle_accept(ctx, from, AcceptMsg::decode(env.body));
+            return;
+        case MsgType::accept_ack:
+            handle_accept_ack(ctx, from, env.about,
+                              AcceptAckMsg::decode(env.body));
+            return;
+        case MsgType::deliver:
+            handle_deliver(ctx, DeliverMsg::decode(env.body));
+            return;
+        case MsgType::newleader:
+            handle_newleader(ctx, from, NewLeaderMsg::decode(env.body));
+            return;
+        case MsgType::newleader_ack:
+            handle_newleader_ack(ctx, from, NewLeaderAckMsg::decode(env.body));
+            return;
+        case MsgType::new_state:
+            handle_new_state(ctx, from, NewStateMsg::decode(env.body));
+            return;
+        case MsgType::newstate_ack:
+            handle_newstate_ack(ctx, from, NewStateAckMsg::decode(env.body));
+            return;
+        case MsgType::gc_status:
+            handle_gc_status(from, GcStatusMsg::decode(env.body));
+            return;
+        case MsgType::gc_prune:
+            handle_gc_prune(GcPruneMsg::decode(env.body));
+            return;
+    }
+}
+
+// --- normal operation --------------------------------------------------------
+
+void WbcastReplica::handle_multicast(Context& ctx, const AppMessage& m) {
+    if (status_ != Status::leader) return;  // line 4 precondition
+    if (!m.addressed_to(g0_)) return;
+    Entry& e = entries_[m.id];
+    e.last_activity = ctx.now();
+    if (e.phase == Phase::start) {
+        // Lines 5-8: assign the local timestamp under the current ballot.
+        ctx.charge(cfg_.wbcast_multicast_cost);
+        e.msg = m;
+        clock_ += 1;
+        e.lts = Timestamp{clock_, g0_};
+        e.phase = Phase::proposed;
+        const bool fresh = pending_by_lts_.emplace(e.lts, m.id).second;
+        WBAM_ASSERT_MSG(fresh, "local timestamps must be unique at a process");
+    }
+    // Line 9. On a duplicate MULTICAST (retry path) the stored timestamp is
+    // re-sent unchanged, preserving Invariant 1 within this ballot.
+    send_accept(ctx, e);
+}
+
+void WbcastReplica::send_accept(Context& ctx, const Entry& e) {
+    std::vector<ProcessId> recipients;
+    for (const GroupId g : e.msg.dests)
+        for (const ProcessId p : topo_.members(g)) recipients.push_back(p);
+    ctx.send_many(recipients,
+                  codec::encode_envelope(proto, type_of(MsgType::accept),
+                                         e.msg.id,
+                                         AcceptMsg{e.msg, g0_, cballot_, e.lts}));
+}
+
+void WbcastReplica::handle_accept(Context& ctx, ProcessId, const AcceptMsg& a) {
+    if (!a.msg.addressed_to(g0_)) return;
+    ctx.charge(cfg_.wbcast_accept_cost);
+    Entry& e = entries_[a.msg.id];
+    e.last_activity = ctx.now();
+    if (e.msg.id == invalid_msg) {
+        e.msg = a.msg;
+    } else if (e.msg.payload.empty() && !a.msg.payload.empty()) {
+        e.msg.payload = a.msg.payload;  // fill in after compaction races
+    }
+    remote_leader_hint_[a.from_group] = a.ballot.leader();
+
+    // Record the proposal; a higher ballot for the same group supersedes.
+    const auto it = e.accepts.find(a.from_group);
+    if (it == e.accepts.end()) {
+        e.accepts.emplace(a.from_group, std::make_pair(a.ballot, a.lts));
+    } else if (a.ballot > it->second.first) {
+        it->second = {a.ballot, a.lts};
+    } else if (a.ballot == it->second.first) {
+        // Invariant 1: at most one local timestamp per (message, ballot).
+        WBAM_ASSERT_MSG(a.lts == it->second.second,
+                        "Invariant 1: conflicting ACCEPTs in one ballot");
+    } else {
+        return;  // stale ballot
+    }
+
+    // Line 10 trigger: an ACCEPT from every destination group.
+    if (e.accepts.size() != e.msg.dests.size()) return;
+    // Line 11 guards: normal status, and we participate in the ballot our
+    // own group's proposal was made in.
+    if (status_ == Status::recovering) return;
+    const auto own = e.accepts.find(g0_);
+    WBAM_ASSERT(own != e.accepts.end());
+    if (own->second.first != cballot_) return;
+
+    if (e.phase == Phase::start || e.phase == Phase::proposed) {
+        // Lines 12-13: adopt our group's timestamp for m.
+        drop_pending(e);
+        e.lts = own->second.second;
+        e.phase = Phase::accepted;
+        const bool fresh = pending_by_lts_.emplace(e.lts, e.msg.id).second;
+        WBAM_ASSERT_MSG(fresh, "accepted local timestamps must be unique");
+    }
+    // Line 14: speculative clock advance past the future global timestamp.
+    // Safe even if some proposals come from deposed leaders: the clock may
+    // always increase (§III).
+    Timestamp max_lts;
+    BallotVector vec;
+    vec.reserve(e.accepts.size());
+    for (const auto& [g, bal_lts] : e.accepts) {
+        max_lts = std::max(max_lts, bal_lts.second);
+        vec.emplace_back(g, bal_lts.first);
+    }
+    if (cfg_.wbcast_speculative_clock) clock_ = std::max(clock_, max_lts.time);
+    // Lines 15-16: acknowledge to every proposing leader.
+    std::vector<ProcessId> leaders;
+    leaders.reserve(e.accepts.size());
+    for (const auto& [g, bal_lts] : e.accepts)
+        leaders.push_back(bal_lts.first.leader());
+    ctx.send_many(leaders, codec::encode_envelope(
+                               proto, type_of(MsgType::accept_ack), e.msg.id,
+                               AcceptAckMsg{g0_, vec}));
+    // Buffered acks may already satisfy the quorum condition.
+    if (status_ == Status::leader) check_commit(ctx, e);
+}
+
+void WbcastReplica::handle_accept_ack(Context& ctx, ProcessId from, MsgId id,
+                                      const AcceptAckMsg& a) {
+    if (status_ != Status::leader) return;  // line 18 precondition
+    const auto eit = entries_.find(id);
+    if (eit == entries_.end()) return;
+    Entry& e = eit->second;
+    if (e.phase == Phase::committed) return;
+    e.last_activity = ctx.now();
+    // Acks are buffered even if we have not yet received the matching
+    // ACCEPTs ourselves (they may overtake them under jittered delays);
+    // check_commit matches them against the proposals once complete.
+    e.acks[a.ballots][a.from_group].insert(from);
+    check_commit(ctx, e);
+}
+
+void WbcastReplica::check_commit(Context& ctx, Entry& e) {
+    // Line 17: quorum of matching acks in each destination group, including
+    // myself, for exactly the set of proposals we received, with our own
+    // group's proposal made in our current ballot (line 18).
+    if (status_ != Status::leader || e.phase == Phase::committed) return;
+    if (e.accepts.size() != e.msg.dests.size()) return;
+    BallotVector vec;
+    vec.reserve(e.accepts.size());
+    for (const auto& [g, bal_lts] : e.accepts) vec.emplace_back(g, bal_lts.first);
+    const auto own = e.accepts.find(g0_);
+    if (own == e.accepts.end() || own->second.first != cballot_) return;
+    const auto ait = e.acks.find(vec);
+    if (ait == e.acks.end()) return;
+    auto& per_group = ait->second;
+    if (per_group[g0_].count(pid_) == 0) return;
+    const auto q = static_cast<std::size_t>(topo_.quorum_size());
+    for (const GroupId g : e.msg.dests)
+        if (per_group[g].size() < q) return;
+
+    // Lines 19-20: commit.
+    Timestamp gts;
+    for (const auto& [g, bal_lts] : e.accepts)
+        gts = std::max(gts, bal_lts.second);
+    drop_pending(e);
+    e.phase = Phase::committed;
+    e.gts = gts;
+    e.acks.clear();
+    // The speculative advance at line 14 already ran here (we accepted our
+    // own proposal), so no extra round trip is needed to persist the clock.
+    if (cfg_.wbcast_speculative_clock) WBAM_ASSERT(clock_ >= gts.time);
+    clock_ = std::max(clock_, gts.time);
+    const bool unique = committed_by_gts_.emplace(gts, e.msg.id).second;
+    WBAM_ASSERT_MSG(unique, "Invariant 4: global timestamps are unique");
+    log::debug("wbcast p", pid_, " commits ", e.msg.id, " gts ", to_string(gts));
+    try_deliver(ctx);
+}
+
+void WbcastReplica::try_deliver(Context& ctx) {
+    // Line 21: deliver committed messages in gts order while no message in
+    // PROPOSED/ACCEPTED could still commit below them.
+    if (status_ != Status::leader) return;
+    while (!committed_by_gts_.empty()) {
+        const auto [gts, id] = *committed_by_gts_.begin();
+        if (!pending_by_lts_.empty() && pending_by_lts_.begin()->first <= gts)
+            break;
+        committed_by_gts_.erase(committed_by_gts_.begin());
+        Entry& e = entries_.at(id);
+        e.deliver_sent = true;  // Delivered[m'] <- TRUE (line 22)
+        // Line 23: replicate the outcome off the critical path. Our own
+        // copy arrives via the zero-delay self channel.
+        ctx.send_many(topo_.members(g0_),
+                      codec::encode_envelope(
+                          proto, type_of(MsgType::deliver), id,
+                          DeliverMsg{e.msg, cballot_, e.lts, e.gts}));
+    }
+}
+
+void WbcastReplica::handle_deliver(Context& ctx, const DeliverMsg& d) {
+    // Line 25 preconditions; max_delivered_gts deduplicates re-deliveries
+    // after leader changes.
+    if (status_ == Status::recovering) return;
+    if (cballot_ != d.ballot) return;
+    if (max_delivered_gts_ >= d.gts) return;
+    Entry& e = entries_[d.msg.id];
+    drop_pending(e);
+    if (e.msg.id == invalid_msg || !d.msg.payload.empty()) e.msg = d.msg;
+    e.phase = Phase::committed;
+    e.lts = d.lts;
+    e.gts = d.gts;
+    committed_by_gts_.erase(d.gts);
+    clock_ = std::max(clock_, d.gts.time);  // line 29
+    max_delivered_gts_ = d.gts;
+    sink_(ctx, g0_, e.msg);  // line 31
+}
+
+void WbcastReplica::drop_pending(Entry& e) {
+    if (e.phase == Phase::proposed || e.phase == Phase::accepted) {
+        const auto it = pending_by_lts_.find(e.lts);
+        if (it != pending_by_lts_.end() && it->second == e.msg.id)
+            pending_by_lts_.erase(it);
+    }
+}
+
+// --- leader change ------------------------------------------------------------
+
+void WbcastReplica::on_trust_change(Context& ctx, ProcessId trusted) {
+    if (trusted == pid_ && status_ != Status::leader) recover(ctx);
+}
+
+void WbcastReplica::recover(Context& ctx) {
+    // Line 36: pick a ballot we lead, higher than any we have seen.
+    const Ballot b{std::max(ballot_.round, cballot_.round) + 1, pid_};
+    recovery_ = Recovery{.b = b};
+    last_recover_attempt_ = ctx.now();
+    log::info("wbcast p", pid_, " starts recovery at ", to_string(b));
+    const Bytes wire = codec::encode_envelope(proto, type_of(MsgType::newleader),
+                                              invalid_msg, NewLeaderMsg{b});
+    for (const ProcessId p : topo_.members(g0_)) ctx.send(p, wire);
+}
+
+std::vector<EntryState> WbcastReplica::snapshot_entries() const {
+    std::vector<EntryState> out;
+    for (const auto& [id, e] : entries_) {
+        if (e.phase != Phase::accepted && e.phase != Phase::committed) continue;
+        out.push_back(EntryState{e.msg, static_cast<std::uint8_t>(e.phase),
+                                 e.lts, e.gts, e.compacted});
+    }
+    return out;
+}
+
+void WbcastReplica::handle_newleader(Context& ctx, ProcessId from,
+                                     const NewLeaderMsg& m) {
+    if (m.ballot <= ballot_) return;  // line 38
+    ballot_ = m.ballot;
+    status_ = Status::recovering;  // stops normal processing (lines 11/18/25)
+    if (recovery_ && recovery_->b < m.ballot) recovery_.reset();
+    ctx.send(from, codec::encode_envelope(
+                       proto, type_of(MsgType::newleader_ack), invalid_msg,
+                       NewLeaderAckMsg{m.ballot, cballot_, clock_,
+                                       snapshot_entries()}));
+}
+
+void WbcastReplica::install_entry(const EntryState& es) {
+    Entry& e = entries_[es.msg.id];
+    e.msg = es.msg;
+    e.phase = static_cast<Phase>(es.phase);
+    e.lts = es.lts;
+    e.gts = es.gts;
+    e.compacted = es.compacted;
+    if (e.compacted) ++compacted_count_;
+    if (e.phase == Phase::accepted) {
+        const bool fresh = pending_by_lts_.emplace(e.lts, es.msg.id).second;
+        WBAM_ASSERT_MSG(fresh, "recovered local timestamps must be unique");
+    } else if (e.phase == Phase::committed) {
+        if (e.compacted) {
+            // Already delivered by every group member; nothing to re-send.
+            e.deliver_sent = true;
+        } else {
+            const bool unique = committed_by_gts_.emplace(e.gts, es.msg.id).second;
+            WBAM_ASSERT_MSG(unique, "recovered global timestamps must be unique");
+        }
+    }
+}
+
+void WbcastReplica::handle_newleader_ack(Context& ctx, ProcessId from,
+                                         const NewLeaderAckMsg& m) {
+    if (!recovery_ || recovery_->b != m.ballot || recovery_->state_sent) return;
+    if (status_ != Status::recovering || ballot_ != m.ballot) return;
+    recovery_->acks[from] = m;
+    if (recovery_->acks.size() < static_cast<std::size_t>(topo_.quorum_size()))
+        return;
+
+    // Lines 44-54: recompute the initial state from the quorum.
+    entries_.clear();
+    pending_by_lts_.clear();
+    committed_by_gts_.clear();
+    compacted_count_ = 0;
+
+    Ballot max_cb;
+    for (const auto& [p, ack] : recovery_->acks)
+        max_cb = std::max(max_cb, ack.cballot);
+
+    // Rule 1 (lines 47-50): committed anywhere stays committed.
+    for (const auto& [p, ack] : recovery_->acks) {
+        for (const EntryState& es : ack.entries) {
+            if (static_cast<Phase>(es.phase) != Phase::committed) continue;
+            const auto it = entries_.find(es.msg.id);
+            if (it == entries_.end()) {
+                install_entry(es);
+                continue;
+            }
+            // Invariant 3: all copies agree on the timestamps.
+            WBAM_ASSERT_MSG(it->second.lts == es.lts &&
+                                it->second.gts == es.gts,
+                            "Invariant 3: committed copies disagree");
+            if (es.compacted && !it->second.compacted) {
+                // Someone observed full group delivery; adopt that view.
+                committed_by_gts_.erase(it->second.gts);
+                it->second.compacted = true;
+                it->second.deliver_sent = true;
+                ++compacted_count_;
+            }
+            if (it->second.msg.payload.empty() && !es.msg.payload.empty())
+                it->second.msg.payload = es.msg.payload;
+        }
+    }
+    // Rule 2 (lines 51-53): accepted at a maximal-cballot member stays
+    // accepted; acceptances from lower ballots are disregarded.
+    for (const auto& [p, ack] : recovery_->acks) {
+        if (ack.cballot != max_cb) continue;
+        for (const EntryState& es : ack.entries) {
+            if (static_cast<Phase>(es.phase) != Phase::accepted) continue;
+            const auto it = entries_.find(es.msg.id);
+            if (it == entries_.end()) {
+                install_entry(es);
+            } else if (it->second.phase == Phase::accepted) {
+                WBAM_ASSERT_MSG(it->second.lts == es.lts,
+                                "accepted copies in max cballot disagree");
+            }
+        }
+    }
+    // Line 54: the clock must not fall below any quorum-accepted global
+    // timestamp (Invariant 2c); the max over the quorum guarantees that.
+    for (const auto& [p, ack] : recovery_->acks)
+        clock_ = std::max(clock_, ack.clock);
+    cballot_ = recovery_->b;  // line 55
+    recovery_->state_sent = true;
+
+    // Line 56: bring a quorum of followers in sync before resuming.
+    const Bytes wire = codec::encode_envelope(
+        proto, type_of(MsgType::new_state), invalid_msg,
+        NewStateMsg{recovery_->b, clock_, snapshot_entries()});
+    for (const ProcessId p : topo_.members(g0_))
+        if (p != pid_) ctx.send(p, wire);
+    if (topo_.quorum_size() == 1)
+        handle_newstate_ack(ctx, pid_, NewStateAckMsg{recovery_->b});
+}
+
+void WbcastReplica::handle_new_state(Context& ctx, ProcessId from,
+                                     const NewStateMsg& m) {
+    if (status_ != Status::recovering || ballot_ != m.ballot) return;  // line 58
+    status_ = Status::follower;
+    cballot_ = m.ballot;
+    clock_ = m.clock;
+    entries_.clear();
+    pending_by_lts_.clear();
+    committed_by_gts_.clear();
+    compacted_count_ = 0;
+    for (const EntryState& es : m.entries) install_entry(es);
+    recovery_.reset();
+    ctx.send(from, codec::encode_envelope(proto, type_of(MsgType::newstate_ack),
+                                          invalid_msg,
+                                          NewStateAckMsg{m.ballot}));
+}
+
+void WbcastReplica::handle_newstate_ack(Context& ctx, ProcessId from,
+                                        const NewStateAckMsg& m) {
+    if (!recovery_ || recovery_->b != m.ballot || !recovery_->state_sent) return;
+    if (status_ != Status::recovering || ballot_ != m.ballot) return;  // line 64
+    recovery_->state_acks.insert(from);
+    // Together with this process, the synced members must form a quorum.
+    std::size_t synced = recovery_->state_acks.size();
+    if (!recovery_->state_acks.count(pid_)) synced += 1;
+    if (synced < static_cast<std::size_t>(topo_.quorum_size())) return;
+
+    status_ = Status::leader;  // line 65
+    recovery_.reset();
+    log::info("wbcast p", pid_, " is leader of ", to_string(cballot_));
+    // Lines 66-68: re-deliver every unblocked committed message from the
+    // beginning; followers (and our own upcall path) deduplicate via
+    // max_delivered_gts.
+    try_deliver(ctx);
+    // Resume stuck accepted messages immediately (message recovery, §IV).
+    for (auto& [id, e] : entries_) {
+        if (e.phase != Phase::accepted) continue;
+        e.last_activity = ctx.now();
+        const Bytes wire = encode_multicast_request(e.msg);
+        for (const GroupId g : e.msg.dests) ctx.send(leader_guess(g), wire);
+    }
+}
+
+// --- message recovery & garbage collection ---------------------------------
+
+ProcessId WbcastReplica::leader_guess(GroupId g) const {
+    if (g == g0_) return status_ == Status::leader ? pid_ : cballot_.leader();
+    const auto it = remote_leader_hint_.find(g);
+    return it != remote_leader_hint_.end() ? it->second
+                                           : topo_.initial_leader(g);
+}
+
+void WbcastReplica::retry_stuck(Context& ctx) {
+    if (status_ != Status::leader) return;
+    for (auto& [id, e] : entries_) {
+        if (e.phase != Phase::proposed && e.phase != Phase::accepted) continue;
+        if (ctx.now() - e.last_activity < cfg_.retry_interval) continue;
+        // Lines 32-34: re-send MULTICAST(m) to the destination leaders;
+        // groups that processed m re-send their protocol messages, groups
+        // that never saw it start processing it.
+        e.last_activity = ctx.now();
+        e.retries += 1;
+        const Bytes wire = encode_multicast_request(e.msg);
+        for (const GroupId g : e.msg.dests) {
+            if (e.retries <= 2) {
+                ctx.send(leader_guess(g), wire);
+            } else {
+                // Leader guesses may be stale; fall back to broadcast.
+                for (const ProcessId p : topo_.members(g)) ctx.send(p, wire);
+            }
+        }
+    }
+}
+
+void WbcastReplica::handle_gc_status(ProcessId from, const GcStatusMsg& m) {
+    auto& known = member_delivered_[from];
+    known = std::max(known, m.max_delivered_gts);
+}
+
+void WbcastReplica::handle_gc_prune(const GcPruneMsg& m) {
+    for (auto& [id, e] : entries_) {
+        if (e.phase != Phase::committed || e.compacted) continue;
+        if (e.gts > m.floor || e.gts > max_delivered_gts_) continue;
+        compact(e);
+    }
+}
+
+void WbcastReplica::run_gc(Context& ctx) {
+    member_delivered_[pid_] = max_delivered_gts_;
+    Timestamp floor;
+    bool first = true;
+    for (const ProcessId p : topo_.members(g0_)) {
+        const auto it = member_delivered_.find(p);
+        if (it == member_delivered_.end()) return;  // no report yet
+        floor = first ? it->second : std::min(floor, it->second);
+        first = false;
+    }
+    if (floor == bottom_ts) return;
+    bool any = false;
+    for (auto& [id, e] : entries_) {
+        if (e.phase != Phase::committed || e.compacted || !e.deliver_sent)
+            continue;
+        if (e.gts > floor) continue;
+        compact(e);
+        any = true;
+    }
+    if (!any) return;
+    const Bytes wire = codec::encode_envelope(proto, type_of(MsgType::gc_prune),
+                                              invalid_msg, GcPruneMsg{floor});
+    for (const ProcessId p : topo_.members(g0_))
+        if (p != pid_) ctx.send(p, wire);
+}
+
+void WbcastReplica::compact(Entry& e) {
+    // A message delivered by every member of the group can drop its payload
+    // and vote bookkeeping; the ordering facts (lts/gts/phase) stay, so
+    // recovery and late retries remain correct.
+    e.msg.payload.clear();
+    e.msg.payload.shrink_to_fit();
+    e.accepts.clear();
+    e.acks.clear();
+    e.compacted = true;
+    ++compacted_count_;
+}
+
+void WbcastReplica::on_timer(Context& ctx, TimerId id) {
+    if (elector_.handle_timer(ctx, id)) return;
+    if (id == retry_timer_) {
+        retry_timer_ = ctx.set_timer(cfg_.retry_interval);
+        // If we are the trusted leader candidate but recovery stalled
+        // (lost messages, competing candidate), start a fresh ballot.
+        if (cfg_.election_enabled && elector_.trusts_self(ctx) &&
+            status_ != Status::leader &&
+            ctx.now() - last_recover_attempt_ >= 2 * cfg_.retry_interval)
+            recover(ctx);
+        retry_stuck(ctx);
+        return;
+    }
+    if (id == gc_timer_) {
+        gc_timer_ = ctx.set_timer(cfg_.gc_interval);
+        if (status_ == Status::leader) {
+            run_gc(ctx);
+        } else if (status_ == Status::follower && cballot_.leader() != pid_) {
+            ctx.send(cballot_.leader(),
+                     codec::encode_envelope(proto, type_of(MsgType::gc_status),
+                                            invalid_msg,
+                                            GcStatusMsg{max_delivered_gts_}));
+        }
+        return;
+    }
+}
+
+}  // namespace wbam::wbcast

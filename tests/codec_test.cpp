@@ -1,0 +1,346 @@
+// Unit + property tests for the binary codec: primitive round-trips,
+// boundary values, malformed-input rejection, and randomized fuzzing.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codec/fields.hpp"
+#include "codec/wire.hpp"
+#include "common/rng.hpp"
+
+namespace wbam::codec {
+namespace {
+
+TEST(WriterTest, FixedWidthLittleEndian) {
+    Writer w;
+    w.u16(0x1234);
+    w.u32(0xdeadbeef);
+    const Bytes b = std::move(w).take();
+    ASSERT_EQ(b.size(), 6u);
+    EXPECT_EQ(b[0], 0x34);
+    EXPECT_EQ(b[1], 0x12);
+    EXPECT_EQ(b[2], 0xef);
+    EXPECT_EQ(b[3], 0xbe);
+    EXPECT_EQ(b[4], 0xad);
+    EXPECT_EQ(b[5], 0xde);
+}
+
+TEST(CodecTest, PrimitiveRoundTrips) {
+    Writer w;
+    w.u8(0xab);
+    w.u16(0xffff);
+    w.u32(0);
+    w.u64(std::numeric_limits<std::uint64_t>::max());
+    w.boolean(true);
+    w.boolean(false);
+    const Bytes b = w.buffer();
+    Reader r(b);
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0xffff);
+    EXPECT_EQ(r.u32(), 0u);
+    EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+    EXPECT_TRUE(r.boolean());
+    EXPECT_FALSE(r.boolean());
+    EXPECT_TRUE(r.done());
+}
+
+TEST(CodecTest, VarintBoundaries) {
+    const std::uint64_t cases[] = {0,           1,         127,
+                                   128,         16383,     16384,
+                                   (1ull << 32) - 1, 1ull << 32,
+                                   std::numeric_limits<std::uint64_t>::max()};
+    for (const std::uint64_t v : cases) {
+        Writer w;
+        w.varint(v);
+        Reader r(w.buffer());
+        EXPECT_EQ(r.varint(), v);
+        EXPECT_TRUE(r.done());
+    }
+}
+
+TEST(CodecTest, VarintEncodingSize) {
+    Writer w;
+    w.varint(127);
+    EXPECT_EQ(w.size(), 1u);
+    Writer w2;
+    w2.varint(128);
+    EXPECT_EQ(w2.size(), 2u);
+    Writer w3;
+    w3.varint(std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(w3.size(), 10u);
+}
+
+TEST(CodecTest, ZigzagBoundaries) {
+    for (const std::int64_t v :
+         {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+          std::numeric_limits<std::int64_t>::min(),
+          std::numeric_limits<std::int64_t>::max()}) {
+        Writer w;
+        w.zigzag(v);
+        Reader r(w.buffer());
+        EXPECT_EQ(r.zigzag(), v);
+    }
+}
+
+TEST(CodecTest, StringsAndBytes) {
+    Writer w;
+    w.str("hello");
+    w.str("");
+    w.bytes(Bytes{1, 2, 3});
+    Reader r(w.buffer());
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_EQ(r.str(), "");
+    EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+    EXPECT_TRUE(r.done());
+}
+
+TEST(CodecTest, TruncatedInputThrows) {
+    Writer w;
+    w.u64(42);
+    Bytes b = w.buffer();
+    b.pop_back();
+    Reader r(b);
+    EXPECT_THROW(r.u64(), DecodeError);
+}
+
+TEST(CodecTest, EmptyInputThrows) {
+    const Bytes b;
+    Reader r(b);
+    EXPECT_THROW(r.u8(), DecodeError);
+}
+
+TEST(CodecTest, OverlongVarintThrows) {
+    const Bytes b{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+    Reader r(b);
+    EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(CodecTest, VarintTopBitOverflowThrows) {
+    // 10 bytes whose last byte carries more than 1 significant bit.
+    const Bytes b{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f};
+    Reader r(b);
+    EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(CodecTest, InvalidBooleanThrows) {
+    const Bytes b{2};
+    Reader r(b);
+    EXPECT_THROW(r.boolean(), DecodeError);
+}
+
+TEST(CodecTest, HostileCollectionLengthRejected) {
+    // Declares 2^40 elements with no content: must throw, not allocate.
+    Writer w;
+    w.varint(1ull << 40);
+    Reader r(w.buffer());
+    EXPECT_THROW(r.length(), DecodeError);
+}
+
+TEST(CodecTest, TrailingBytesDetected) {
+    Writer w;
+    w.u8(1);
+    w.u8(2);
+    Reader r(w.buffer());
+    r.u8();
+    EXPECT_THROW(r.expect_done(), DecodeError);
+}
+
+TEST(FieldsTest, ScalarFieldRoundTrips) {
+    Writer w;
+    write_field(w, std::int32_t{-12345});
+    write_field(w, std::uint64_t{9999999999ull});
+    write_field(w, true);
+    Reader r(w.buffer());
+    std::int32_t a = 0;
+    std::uint64_t b = 0;
+    bool c = false;
+    read_field(r, a);
+    read_field(r, b);
+    read_field(r, c);
+    EXPECT_EQ(a, -12345);
+    EXPECT_EQ(b, 9999999999ull);
+    EXPECT_TRUE(c);
+}
+
+TEST(FieldsTest, Int32OverflowRejected) {
+    Writer w;
+    write_field(w, std::int64_t{1} << 40);
+    Reader r(w.buffer());
+    std::int32_t v = 0;
+    EXPECT_THROW(read_field(r, v), DecodeError);
+}
+
+TEST(FieldsTest, TimestampRoundTripIncludingBottom) {
+    for (const Timestamp ts : {bottom_ts, Timestamp{1, 0}, Timestamp{777, 9}}) {
+        Writer w;
+        write_field(w, ts);
+        Reader r(w.buffer());
+        Timestamp out;
+        read_field(r, out);
+        EXPECT_EQ(out, ts);
+    }
+}
+
+TEST(FieldsTest, BallotRoundTripIncludingBottom) {
+    for (const Ballot b : {bottom_ballot, Ballot{1, 0}, Ballot{42, 17}}) {
+        Writer w;
+        write_field(w, b);
+        Reader r(w.buffer());
+        Ballot out;
+        read_field(r, out);
+        EXPECT_EQ(out, b);
+    }
+}
+
+TEST(FieldsTest, VectorAndMapRoundTrip) {
+    const std::vector<std::int32_t> v{1, -2, 3};
+    const std::map<std::int32_t, Timestamp> m{{1, {5, 0}}, {2, {6, 1}}};
+    Writer w;
+    write_field(w, v);
+    write_field(w, m);
+    Reader r(w.buffer());
+    std::vector<std::int32_t> v2;
+    std::map<std::int32_t, Timestamp> m2;
+    read_field(r, v2);
+    read_field(r, m2);
+    EXPECT_EQ(v, v2);
+    EXPECT_EQ(m, m2);
+}
+
+TEST(FieldsTest, OptionalRoundTrip) {
+    Writer w;
+    write_field(w, std::optional<Timestamp>{});
+    write_field(w, std::optional<Timestamp>{Timestamp{3, 2}});
+    Reader r(w.buffer());
+    std::optional<Timestamp> a = Timestamp{9, 9};
+    std::optional<Timestamp> b;
+    read_field(r, a);
+    read_field(r, b);
+    EXPECT_FALSE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*b, (Timestamp{3, 2}));
+}
+
+TEST(EnvelopeTest, RoundTrip) {
+    struct Body {
+        std::uint32_t x = 0;
+        void encode(Writer& w) const { write_field(w, x); }
+        static Body decode(Reader& r) {
+            Body b;
+            read_field(r, b.x);
+            return b;
+        }
+    };
+    const Bytes wire = encode_envelope(Module::proto, 7, make_msg_id(3, 4),
+                                       Body{.x = 99});
+    EnvelopeView env(wire);
+    EXPECT_EQ(env.module, Module::proto);
+    EXPECT_EQ(env.type, 7);
+    EXPECT_EQ(env.about, make_msg_id(3, 4));
+    EXPECT_EQ(Body::decode(env.body).x, 99u);
+    env.body.expect_done();
+}
+
+TEST(EnvelopeTest, BodylessEnvelope) {
+    const Bytes wire = encode_envelope(Module::elect, 1, invalid_msg);
+    EnvelopeView env(wire);
+    EXPECT_EQ(env.module, Module::elect);
+    EXPECT_EQ(env.about, invalid_msg);
+    EXPECT_TRUE(env.body.done());
+}
+
+TEST(EnvelopeTest, UnknownModuleRejected) {
+    const Bytes wire{0x37, 0, 0};
+    EXPECT_THROW(EnvelopeView{wire}, DecodeError);
+}
+
+// Property: random primitive sequences round-trip exactly.
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomSequenceRoundTrips) {
+    Rng rng(GetParam());
+    const int ops = 200;
+    std::vector<int> kinds;
+    std::vector<std::uint64_t> u64s;
+    std::vector<std::int64_t> i64s;
+    std::vector<std::string> strs;
+    Writer w;
+    for (int i = 0; i < ops; ++i) {
+        const int kind = static_cast<int>(rng.next_below(3));
+        kinds.push_back(kind);
+        switch (kind) {
+            case 0: {
+                const auto v = rng.next_u64() >> rng.next_below(64);
+                u64s.push_back(v);
+                w.varint(v);
+                break;
+            }
+            case 1: {
+                const auto v = static_cast<std::int64_t>(rng.next_u64()) >>
+                               rng.next_below(64);
+                i64s.push_back(v);
+                w.zigzag(v);
+                break;
+            }
+            default: {
+                std::string s;
+                const auto len = rng.next_below(40);
+                for (std::uint64_t j = 0; j < len; ++j)
+                    s.push_back(static_cast<char>(rng.next_below(256)));
+                strs.push_back(s);
+                w.str(s);
+                break;
+            }
+        }
+    }
+    Reader r(w.buffer());
+    std::size_t iu = 0;
+    std::size_t ii = 0;
+    std::size_t is = 0;
+    for (const int kind : kinds) {
+        switch (kind) {
+            case 0: EXPECT_EQ(r.varint(), u64s[iu++]); break;
+            case 1: EXPECT_EQ(r.zigzag(), i64s[ii++]); break;
+            default: EXPECT_EQ(r.str(), strs[is++]); break;
+        }
+    }
+    EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// Property: a Reader over random garbage either decodes or throws
+// DecodeError — never crashes or reads out of bounds.
+class CodecGarbage : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecGarbage, GarbageNeverCrashes) {
+    Rng rng(GetParam() * 7919);
+    for (int trial = 0; trial < 200; ++trial) {
+        Bytes junk(rng.next_below(64));
+        for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+        Reader r(junk);
+        try {
+            while (!r.done()) {
+                switch (rng.next_below(5)) {
+                    case 0: r.varint(); break;
+                    case 1: r.zigzag(); break;
+                    case 2: r.boolean(); break;
+                    case 3: r.bytes(); break;
+                    default: r.str(); break;
+                }
+            }
+        } catch (const DecodeError&) {
+            // expected on malformed input
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecGarbage, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace wbam::codec

@@ -1,0 +1,194 @@
+// Unit tests for common/: ids, timestamps, ballots, RNG, topology.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "common/topology.hpp"
+#include "common/types.hpp"
+
+namespace wbam {
+namespace {
+
+TEST(MsgIdTest, EncodesClientAndSequence) {
+    const MsgId id = make_msg_id(42, 7);
+    EXPECT_EQ(msg_id_client(id), 42);
+    EXPECT_NE(id, invalid_msg);
+}
+
+TEST(MsgIdTest, ZeroSequenceIsNotInvalid) {
+    EXPECT_NE(make_msg_id(0, 0), invalid_msg);
+}
+
+TEST(MsgIdTest, DistinctClientsDistinctIds) {
+    std::set<MsgId> seen;
+    for (ProcessId c = 0; c < 50; ++c)
+        for (std::uint32_t s = 0; s < 50; ++s) seen.insert(make_msg_id(c, s));
+    EXPECT_EQ(seen.size(), 2500u);
+}
+
+TEST(TimestampTest, BottomIsMinimal) {
+    EXPECT_TRUE(bottom_ts.is_bottom());
+    EXPECT_LT(bottom_ts, (Timestamp{1, 0}));
+    EXPECT_LT(bottom_ts, (Timestamp{0, 0}));  // any real group beats invalid
+}
+
+TEST(TimestampTest, LexicographicOrder) {
+    const Timestamp a{3, 1};
+    const Timestamp b{3, 2};
+    const Timestamp c{4, 0};
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_LT(a, c);
+    EXPECT_EQ(a, (Timestamp{3, 1}));
+}
+
+TEST(TimestampTest, TieBrokenByGroup) {
+    EXPECT_LT((Timestamp{5, 0}), (Timestamp{5, 1}));
+    EXPECT_GT((Timestamp{5, 2}), (Timestamp{5, 1}));
+}
+
+TEST(BallotTest, BottomIsMinimal) {
+    EXPECT_TRUE(bottom_ballot.is_bottom());
+    EXPECT_LT(bottom_ballot, (Ballot{1, 0}));
+}
+
+TEST(BallotTest, LexicographicOrderAndLeader) {
+    const Ballot b1{1, 5};
+    const Ballot b2{1, 6};
+    const Ballot b3{2, 0};
+    EXPECT_LT(b1, b2);
+    EXPECT_LT(b2, b3);
+    EXPECT_EQ(b1.leader(), 5);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowInRange) {
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+    }
+}
+
+TEST(RngTest, NextRangeInclusiveBounds) {
+    Rng r(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.next_range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, BoolRespectsProbabilityEdges) {
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.next_bool(0.0));
+        EXPECT_TRUE(r.next_bool(1.0));
+    }
+}
+
+TEST(RngTest, BoolRoughlyFair) {
+    Rng r(17);
+    int heads = 0;
+    for (int i = 0; i < 10000; ++i) heads += r.next_bool(0.5);
+    EXPECT_NEAR(heads, 5000, 400);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+    Rng parent(21);
+    Rng child = parent.fork();
+    // The child stream differs from the parent's continuation.
+    int same = 0;
+    for (int i = 0; i < 100; ++i) same += (parent.next_u64() == child.next_u64());
+    EXPECT_LT(same, 3);
+}
+
+TEST(TopologyTest, LayoutIsDense) {
+    const Topology t(3, 3, 2);
+    EXPECT_EQ(t.num_replicas(), 9);
+    EXPECT_EQ(t.num_processes(), 11);
+    EXPECT_EQ(t.member(0, 0), 0);
+    EXPECT_EQ(t.member(2, 2), 8);
+    EXPECT_EQ(t.client(0), 9);
+    EXPECT_EQ(t.client(1), 10);
+}
+
+TEST(TopologyTest, GroupOfAndReplicaIndex) {
+    const Topology t(4, 5, 1);
+    for (GroupId g = 0; g < 4; ++g) {
+        for (int i = 0; i < 5; ++i) {
+            const ProcessId p = t.member(g, i);
+            EXPECT_EQ(t.group_of(p), g);
+            EXPECT_EQ(t.replica_index(p), i);
+        }
+    }
+    EXPECT_EQ(t.group_of(t.client(0)), invalid_group);
+}
+
+TEST(TopologyTest, QuorumSizes) {
+    EXPECT_EQ(Topology(1, 1, 0).quorum_size(), 1);
+    EXPECT_EQ(Topology(1, 3, 0).quorum_size(), 2);
+    EXPECT_EQ(Topology(1, 5, 0).quorum_size(), 3);
+    EXPECT_EQ(Topology(1, 7, 0).max_faulty_per_group(), 3);
+}
+
+TEST(TopologyTest, ClientClassification) {
+    const Topology t(2, 3, 3);
+    for (ProcessId p = 0; p < 6; ++p) {
+        EXPECT_TRUE(t.is_replica(p));
+        EXPECT_FALSE(t.is_client(p));
+    }
+    for (ProcessId p = 6; p < 9; ++p) {
+        EXPECT_FALSE(t.is_replica(p));
+        EXPECT_TRUE(t.is_client(p));
+    }
+    EXPECT_FALSE(t.is_replica(9));
+    EXPECT_FALSE(t.is_client(-1));
+}
+
+TEST(TopologyTest, GroupsAreDisjoint) {
+    const Topology t(5, 3, 0);
+    std::unordered_set<ProcessId> seen;
+    for (GroupId g = 0; g < 5; ++g)
+        for (const ProcessId p : t.members(g)) EXPECT_TRUE(seen.insert(p).second);
+    EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST(TopologyTest, AllGroupsEnumerated) {
+    const Topology t(4, 3, 0);
+    const auto gs = t.all_groups();
+    ASSERT_EQ(gs.size(), 4u);
+    for (GroupId g = 0; g < 4; ++g) EXPECT_EQ(gs[static_cast<std::size_t>(g)], g);
+}
+
+}  // namespace
+}  // namespace wbam

@@ -1,0 +1,141 @@
+// Tests for the Ω-style leader elector: initial trust, convergence after a
+// crash, stability without failures, and re-trust after heal.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/topology.hpp"
+#include "elect/elector.hpp"
+#include "sim/network.hpp"
+#include "sim/world.hpp"
+
+namespace wbam::elect {
+namespace {
+
+constexpr Duration delta = milliseconds(1);
+
+class ElectHost final : public Process {
+public:
+    ElectHost(std::vector<ProcessId> members, ElectorConfig cfg) {
+        elector = std::make_unique<Elector>(
+            std::move(members), cfg,
+            [this](Context& c, ProcessId t) {
+                changes.emplace_back(c.now(), t);
+            });
+    }
+
+    void on_start(Context& c) override { elector->start(c); }
+    void on_message(Context& c, ProcessId from, const Bytes& bytes) override {
+        codec::EnvelopeView env(bytes);
+        elector->handle_message(c, from, env);
+    }
+    void on_timer(Context& c, TimerId id) override {
+        elector->handle_timer(c, id);
+    }
+
+    std::unique_ptr<Elector> elector;
+    std::vector<std::pair<TimePoint, ProcessId>> changes;
+};
+
+struct ElectWorld {
+    explicit ElectWorld(int n, ElectorConfig cfg = {.enabled = true,
+                                                    .heartbeat_interval =
+                                                        milliseconds(5),
+                                                    .suspect_timeout =
+                                                        milliseconds(20)},
+                        std::uint64_t seed = 1)
+        : world(Topology(1, n, 0), std::make_unique<sim::UniformDelay>(delta),
+                seed) {
+        std::vector<ProcessId> members;
+        for (ProcessId p = 0; p < n; ++p) members.push_back(p);
+        for (ProcessId p = 0; p < n; ++p) {
+            auto host = std::make_unique<ElectHost>(members, cfg);
+            hosts.push_back(host.get());
+            world.add_process(p, std::move(host));
+        }
+        world.start();
+    }
+
+    sim::World world;
+    std::vector<ElectHost*> hosts;
+};
+
+TEST(ElectTest, InitiallyTrustsMemberZero) {
+    ElectWorld w(3);
+    w.world.run_for(milliseconds(5));
+    for (ElectHost* h : w.hosts) EXPECT_EQ(h->elector->trusted(), 0);
+}
+
+TEST(ElectTest, StableWithoutFailures) {
+    ElectWorld w(3);
+    w.world.run_for(milliseconds(500));
+    for (ElectHost* h : w.hosts) {
+        EXPECT_EQ(h->elector->trusted(), 0);
+        // Exactly one trust decision (the initial one) was reported.
+        EXPECT_EQ(h->changes.size(), 1u);
+    }
+}
+
+TEST(ElectTest, FailsOverToNextMemberAfterCrash) {
+    ElectWorld w(3);
+    w.world.at(milliseconds(10), [&w] { w.world.crash(0); });
+    w.world.run_for(milliseconds(200));
+    EXPECT_EQ(w.hosts[1]->elector->trusted(), 1);
+    EXPECT_EQ(w.hosts[2]->elector->trusted(), 1);
+}
+
+TEST(ElectTest, FailoverSkipsMultipleCrashedMembers) {
+    ElectWorld w(5);
+    w.world.at(milliseconds(10), [&w] {
+        w.world.crash(0);
+        w.world.crash(1);
+    });
+    w.world.run_for(milliseconds(200));
+    for (int h = 2; h < 5; ++h)
+        EXPECT_EQ(w.hosts[h]->elector->trusted(), 2) << "host " << h;
+}
+
+TEST(ElectTest, PartitionedMemberReTrustedAfterHeal) {
+    ElectWorld w(3);
+    w.world.at(milliseconds(5), [&w] {
+        w.world.block_link(0, 1);
+        w.world.block_link(0, 2);
+    });
+    w.world.run_for(milliseconds(200));
+    EXPECT_EQ(w.hosts[1]->elector->trusted(), 1);
+    EXPECT_EQ(w.hosts[2]->elector->trusted(), 1);
+    // Heal: member 0 becomes the lowest live member again.
+    w.world.at(w.world.now() + milliseconds(1), [&w] {
+        w.world.unblock_link(0, 1);
+        w.world.unblock_link(0, 2);
+    });
+    w.world.run_for(milliseconds(200));
+    EXPECT_EQ(w.hosts[1]->elector->trusted(), 0);
+    EXPECT_EQ(w.hosts[2]->elector->trusted(), 0);
+}
+
+TEST(ElectTest, DisabledElectorTrustsStaticLeader) {
+    ElectWorld w(3, ElectorConfig{.enabled = false});
+    w.world.at(milliseconds(10), [&w] { w.world.crash(0); });
+    w.world.run_for(milliseconds(200));
+    // Static mode never reconsiders (used by latency-exact benches).
+    EXPECT_EQ(w.hosts[1]->elector->trusted(), 0);
+    EXPECT_EQ(w.hosts[1]->changes.size(), 1u);
+}
+
+TEST(ElectTest, AllMembersConvergeToSameLeader) {
+    ElectWorld w(7, {.enabled = true,
+                     .heartbeat_interval = milliseconds(5),
+                     .suspect_timeout = milliseconds(20)},
+                 99);
+    w.world.at(milliseconds(10), [&w] { w.world.crash(2); });
+    w.world.at(milliseconds(30), [&w] { w.world.crash(0); });
+    w.world.run_for(milliseconds(400));
+    for (int h = 0; h < 7; ++h) {
+        if (w.world.is_crashed(h)) continue;
+        EXPECT_EQ(w.hosts[h]->elector->trusted(), 1) << "host " << h;
+    }
+}
+
+}  // namespace
+}  // namespace wbam::elect

@@ -1,0 +1,214 @@
+// Tests for FastCast: exact 4δ collision-free latency at leaders (5δ at
+// followers) via speculation, specification compliance, speculation
+// mismatch correction across leader changes, and failure recovery.
+#include <gtest/gtest.h>
+
+#include "fastcast/fastcast.hpp"
+#include "test_util.hpp"
+
+namespace wbam {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+using harness::ProtocolKind;
+
+constexpr Duration delta = milliseconds(1);
+
+ClusterConfig fc_config(int groups, int clients, std::uint64_t seed = 1) {
+    ClusterConfig cfg;
+    cfg.kind = ProtocolKind::fastcast;
+    cfg.groups = groups;
+    cfg.group_size = 3;
+    cfg.clients = clients;
+    cfg.seed = seed;
+    cfg.delta = delta;
+    return cfg;
+}
+
+Duration latency_of(const Cluster& c, MsgId id) {
+    const auto& rec = c.log().multicasts().at(id);
+    EXPECT_TRUE(rec.partially_delivered());
+    return rec.partially_delivered() ? rec.delivery_latency() : Duration{-1};
+}
+
+TEST(FastCastTest, CollisionFreeLatencyIsFourDelta) {
+    // MULTICAST (δ); consensus 1 and the speculative exchange overlap; the
+    // speculative second consensus applies at 4δ, CONFIRMs arrive at 4δ.
+    Cluster c(fc_config(2, 1));
+    const MsgId id = c.multicast_at(0, 0, {0, 1});
+    c.run_for(milliseconds(50));
+    EXPECT_EQ(latency_of(c, id), 4 * delta);
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+}
+
+TEST(FastCastTest, FollowersDeliverAtFiveDelta) {
+    Cluster c(fc_config(2, 1));
+    const MsgId id = c.multicast_at(0, 0, {0, 1});
+    c.run_for(milliseconds(50));
+    for (GroupId g = 0; g < 2; ++g) {
+        for (const ProcessId p : c.topo().members(g)) {
+            const auto it = c.log().deliveries().find(p);
+            ASSERT_NE(it, c.log().deliveries().end()) << "process " << p;
+            ASSERT_EQ(it->second.size(), 1u);
+            EXPECT_EQ(it->second[0].msg, id);
+            const Duration expect =
+                p == c.topo().initial_leader(g) ? 4 * delta : 5 * delta;
+            EXPECT_EQ(it->second[0].at, expect) << "process " << p;
+        }
+    }
+}
+
+TEST(FastCastTest, FasterThanFtSkeenSlowerThanWbcast) {
+    // The headline ordering of §VI on one collision-free multicast.
+    ClusterConfig fc = fc_config(2, 1);
+    ClusterConfig ft = fc;
+    ft.kind = ProtocolKind::ftskeen;
+    ClusterConfig wb = fc;
+    wb.kind = ProtocolKind::wbcast;
+    Duration lat[3];
+    ClusterConfig* cfgs[3] = {&wb, &fc, &ft};
+    for (int i = 0; i < 3; ++i) {
+        Cluster c(*cfgs[i]);
+        const MsgId id = c.multicast_at(0, 0, {0, 1});
+        c.run_for(milliseconds(50));
+        lat[i] = latency_of(c, id);
+    }
+    EXPECT_LT(lat[0], lat[1]);  // wbcast < fastcast
+    EXPECT_LT(lat[1], lat[2]);  // fastcast < ftskeen
+}
+
+TEST(FastCastTest, ConvoyDelaysDeliveryBeyondCollisionFree) {
+    // Clock passes gts(m) when the speculative Commit applies (4δ after
+    // multicast): a message sneaking below it blocks m (bound: 8δ).
+    Cluster c(fc_config(2, 2));
+    const Duration eps = microseconds(10);
+    const ProcessId convoy_client = c.topo().client(1);
+    c.world().set_link_override(convoy_client, c.topo().initial_leader(0), eps);
+    c.world().set_link_override(convoy_client, c.topo().initial_leader(1),
+                                delta);
+    c.multicast_at(0, 0, {1});  // warm group 1's clock
+    const TimePoint t1 = milliseconds(20);
+    const MsgId m = c.multicast_at(t1, 0, {0, 1});
+    // m' must enter group 0's log before Commit(m) applies: submit its
+    // Propose before Commit(m) is submitted at 2δ.
+    c.multicast_at(t1 + 2 * delta - 2 * eps, 1, {0, 1});
+    c.run_for(milliseconds(100));
+    const auto& rec = c.log().multicasts().at(m);
+    ASSERT_TRUE(rec.partially_delivered());
+    const Duration m_at_g0 = rec.first_delivery.at(0) - rec.multicast_at;
+    EXPECT_GE(m_at_g0, 6 * delta - 4 * eps);
+    EXPECT_LE(m_at_g0, 8 * delta);
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+}
+
+TEST(FastCastTest, GenuinenessHolds) {
+    ClusterConfig cfg = fc_config(5, 1);
+    cfg.trace_sends = true;
+    Cluster c(cfg);
+    c.multicast_at(0, 0, {1, 3});
+    c.run_for(milliseconds(80));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_TRUE(c.check_genuine().ok()) << c.check_genuine().summary();
+}
+
+TEST(FastCastTest, PartialMulticastRecoveredThroughSpecPropose) {
+    // The client reaches only group 0; group 1 learns m from the
+    // speculative exchange.
+    Cluster c(fc_config(2, 1, 3));
+    const ProcessId client = c.topo().client(0);
+    c.world().at(0, [&c, client] {
+        c.world().block_link(client, c.topo().initial_leader(1));
+    });
+    c.multicast_at(milliseconds(1), 0, {0, 1});
+    c.world().at(milliseconds(2), [&c, client] { c.world().crash(client); });
+    c.run_for(milliseconds(500));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_EQ(c.log().completed_count(), 1u);
+}
+
+TEST(FastCastTest, RetriesDoNotDuplicateDeliveries) {
+    ClusterConfig cfg = fc_config(2, 1);
+    cfg.client_retry = milliseconds(4);
+    Cluster c(cfg);
+    c.multicast_at(0, 0, {0, 1});
+    c.run_for(milliseconds(150));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_EQ(c.log().total_deliveries(), 6u);
+}
+
+TEST(FastCastTest, LeaderCrashBeforeConsensusCompletes) {
+    // The leader dies with its tentative timestamp in flight; the new
+    // leader's durable timestamp may differ and the CONFIRM/corrective
+    // Commit path must reconcile.
+    ClusterConfig cfg = fc_config(2, 1, 7);
+    cfg.replica.heartbeat_interval = milliseconds(5);
+    cfg.replica.suspect_timeout = milliseconds(20);
+    cfg.replica.retry_interval = milliseconds(25);
+    cfg.client_retry = milliseconds(50);
+    Cluster c(cfg);
+    c.multicast_at(milliseconds(2), 0, {0, 1});
+    c.world().at(milliseconds(2) + delta + microseconds(100),
+                 [&c] { c.world().crash(0); });
+    c.multicast_at(milliseconds(200), 0, {0, 1});
+    c.run_for(milliseconds(1200));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_EQ(c.log().completed_count(), 2u);
+}
+
+TEST(FastCastTest, CrashAfterDeliveryKeepsFollowersConsistent) {
+    ClusterConfig cfg = fc_config(2, 1, 11);
+    cfg.replica.heartbeat_interval = milliseconds(5);
+    cfg.replica.suspect_timeout = milliseconds(20);
+    cfg.replica.retry_interval = milliseconds(25);
+    cfg.client_retry = milliseconds(50);
+    Cluster c(cfg);
+    for (int i = 0; i < 3; ++i)
+        c.multicast_at(milliseconds(1) + i * microseconds(300), 0, {0, 1});
+    c.world().at(milliseconds(10), [&c] { c.world().crash(0); });
+    for (int i = 0; i < 3; ++i)
+        c.multicast_at(milliseconds(200) + i * microseconds(300), 0, {0, 1});
+    c.run_for(milliseconds(1200));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_EQ(c.log().completed_count(), 6u);
+}
+
+struct FcSweepParam {
+    std::uint64_t seed;
+    int groups;
+    int clients;
+    int messages;
+    int max_dests;
+};
+
+class FastCastSweep : public ::testing::TestWithParam<FcSweepParam> {};
+
+TEST_P(FastCastSweep, SpecificationHolds) {
+    const auto p = GetParam();
+    ClusterConfig cfg = fc_config(p.groups, p.clients, p.seed);
+    cfg.trace_sends = true;
+    cfg.make_delays = [] {
+        return std::make_unique<sim::JitterDelay>(microseconds(200),
+                                                  microseconds(1800));
+    };
+    Cluster c(cfg);
+    Rng rng(p.seed * 97 + 5);
+    testutil::random_workload(c, rng, p.messages, milliseconds(40),
+                              p.max_dests);
+    c.run_for(milliseconds(600));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_TRUE(c.check_genuine().ok()) << c.check_genuine().summary();
+    EXPECT_EQ(c.log().completed_count(), c.log().multicasts().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, FastCastSweep,
+    ::testing::Values(FcSweepParam{1, 2, 2, 30, 2},
+                      FcSweepParam{2, 3, 3, 40, 3},
+                      FcSweepParam{3, 5, 4, 50, 5},
+                      FcSweepParam{4, 4, 3, 40, 2},
+                      FcSweepParam{5, 8, 6, 60, 4},
+                      FcSweepParam{6, 2, 6, 80, 2}));
+
+}  // namespace
+}  // namespace wbam

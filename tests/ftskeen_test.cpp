@@ -1,0 +1,189 @@
+// Tests for fault-tolerant Skeen (consensus black box): exact 6δ
+// collision-free latency at leaders (7δ at followers), specification
+// compliance over random workloads, and recovery from leader crashes.
+#include <gtest/gtest.h>
+
+#include "ftskeen/ftskeen.hpp"
+#include "test_util.hpp"
+
+namespace wbam {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+using harness::ProtocolKind;
+
+constexpr Duration delta = milliseconds(1);
+
+ClusterConfig ft_config(int groups, int clients, std::uint64_t seed = 1) {
+    ClusterConfig cfg;
+    cfg.kind = ProtocolKind::ftskeen;
+    cfg.groups = groups;
+    cfg.group_size = 3;
+    cfg.clients = clients;
+    cfg.seed = seed;
+    cfg.delta = delta;
+    return cfg;
+}
+
+Duration latency_of(const Cluster& c, MsgId id) {
+    const auto& rec = c.log().multicasts().at(id);
+    EXPECT_TRUE(rec.partially_delivered());
+    return rec.partially_delivered() ? rec.delivery_latency() : Duration{-1};
+}
+
+TEST(FtSkeenTest, CollisionFreeLatencyIsSixDelta) {
+    // MULTICAST (δ) + consensus on the local timestamp (2δ) + PROPOSE
+    // exchange (δ) + consensus on the global timestamp (2δ).
+    Cluster c(ft_config(2, 1));
+    const MsgId id = c.multicast_at(0, 0, {0, 1});
+    c.run_for(milliseconds(50));
+    EXPECT_EQ(latency_of(c, id), 6 * delta);
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+}
+
+TEST(FtSkeenTest, FollowersDeliverAtSevenDelta) {
+    Cluster c(ft_config(2, 1));
+    const MsgId id = c.multicast_at(0, 0, {0, 1});
+    c.run_for(milliseconds(50));
+    for (GroupId g = 0; g < 2; ++g) {
+        for (const ProcessId p : c.topo().members(g)) {
+            const auto it = c.log().deliveries().find(p);
+            ASSERT_NE(it, c.log().deliveries().end()) << "process " << p;
+            ASSERT_EQ(it->second.size(), 1u);
+            EXPECT_EQ(it->second[0].msg, id);
+            const Duration expect =
+                p == c.topo().initial_leader(g) ? 6 * delta : 7 * delta;
+            EXPECT_EQ(it->second[0].at, expect) << "process " << p;
+        }
+    }
+}
+
+TEST(FtSkeenTest, SingleGroupStillPaysBothConsensusRounds) {
+    // Even with one destination group the black-box structure runs two
+    // consensus instances: 1δ + 2δ + 0 (self PROPOSE) + 2δ = 5δ.
+    Cluster c(ft_config(2, 1));
+    const MsgId id = c.multicast_at(0, 0, {1});
+    c.run_for(milliseconds(50));
+    EXPECT_EQ(latency_of(c, id), 5 * delta);
+}
+
+TEST(FtSkeenTest, ConvoyBlocksDeliveryWellBeyondCollisionFree) {
+    // The clock passes gts(m) only when the Commit command applies (6δ), so
+    // a conflicting message slipping under it delays m far beyond 6δ
+    // (the analytical worst case is 12δ).
+    Cluster c(ft_config(2, 2));
+    const Duration eps = microseconds(10);
+    const ProcessId convoy_client = c.topo().client(1);
+    c.world().set_link_override(convoy_client, c.topo().initial_leader(0), eps);
+    c.world().set_link_override(convoy_client, c.topo().initial_leader(1),
+                                delta);
+    c.multicast_at(0, 0, {1});  // warm group 1's clock
+    const TimePoint t1 = milliseconds(20);
+    const MsgId m = c.multicast_at(t1, 0, {0, 1});
+    // m' must enter group 0's log before Commit(m): its Propose is
+    // submitted when it reaches the leader, so arrive just before the
+    // leader assembles the PROPOSE exchange (4δ after t1).
+    c.multicast_at(t1 + 4 * delta - 2 * eps, 1, {0, 1});
+    c.run_for(milliseconds(100));
+    const auto& rec = c.log().multicasts().at(m);
+    ASSERT_TRUE(rec.partially_delivered());
+    const Duration m_at_g0 = rec.first_delivery.at(0) - rec.multicast_at;
+    // Blocked until m' commits at group 0: at least 9δ in this schedule,
+    // within the paper's 12δ bound.
+    EXPECT_GE(m_at_g0, 9 * delta - 4 * eps);
+    EXPECT_LE(m_at_g0, 12 * delta);
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+}
+
+TEST(FtSkeenTest, GenuinenessHolds) {
+    ClusterConfig cfg = ft_config(5, 1);
+    cfg.trace_sends = true;
+    Cluster c(cfg);
+    c.multicast_at(0, 0, {1, 3});
+    c.run_for(milliseconds(80));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_TRUE(c.check_genuine().ok()) << c.check_genuine().summary();
+}
+
+TEST(FtSkeenTest, RetriesDoNotDuplicateDeliveries) {
+    ClusterConfig cfg = ft_config(2, 1);
+    cfg.client_retry = milliseconds(4);
+    Cluster c(cfg);
+    c.multicast_at(0, 0, {0, 1});
+    c.run_for(milliseconds(150));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_EQ(c.log().total_deliveries(), 6u);
+}
+
+TEST(FtSkeenTest, LeaderCrashRecoversViaPaxosTakeover) {
+    ClusterConfig cfg = ft_config(2, 1, 5);
+    cfg.replica.heartbeat_interval = milliseconds(5);
+    cfg.replica.suspect_timeout = milliseconds(20);
+    cfg.replica.retry_interval = milliseconds(25);
+    cfg.client_retry = milliseconds(50);
+    Cluster c(cfg);
+    c.multicast_at(milliseconds(2), 0, {0, 1});
+    c.world().at(milliseconds(4), [&c] { c.world().crash(0); });
+    c.multicast_at(milliseconds(200), 0, {0, 1});
+    c.run_for(milliseconds(1000));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_EQ(c.log().completed_count(), 2u);
+}
+
+TEST(FtSkeenTest, RemoteLeaderCrashMidExchange) {
+    // Group 1's leader dies after the first consensus but (possibly)
+    // before its PROPOSE reaches group 0; retries re-drive the exchange.
+    ClusterConfig cfg = ft_config(2, 1, 9);
+    cfg.replica.heartbeat_interval = milliseconds(5);
+    cfg.replica.suspect_timeout = milliseconds(20);
+    cfg.replica.retry_interval = milliseconds(25);
+    cfg.client_retry = milliseconds(50);
+    Cluster c(cfg);
+    c.multicast_at(milliseconds(2), 0, {0, 1});
+    c.world().at(milliseconds(2) + 3 * delta + microseconds(100),
+                 [&c] { c.world().crash(c.topo().initial_leader(1)); });
+    c.run_for(milliseconds(1000));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_EQ(c.log().completed_count(), 1u);
+}
+
+struct FtSweepParam {
+    std::uint64_t seed;
+    int groups;
+    int clients;
+    int messages;
+    int max_dests;
+};
+
+class FtSkeenSweep : public ::testing::TestWithParam<FtSweepParam> {};
+
+TEST_P(FtSkeenSweep, SpecificationHolds) {
+    const auto p = GetParam();
+    ClusterConfig cfg = ft_config(p.groups, p.clients, p.seed);
+    cfg.trace_sends = true;
+    cfg.make_delays = [] {
+        return std::make_unique<sim::JitterDelay>(microseconds(200),
+                                                  microseconds(1800));
+    };
+    Cluster c(cfg);
+    Rng rng(p.seed * 53 + 1);
+    testutil::random_workload(c, rng, p.messages, milliseconds(40),
+                              p.max_dests);
+    c.run_for(milliseconds(600));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_TRUE(c.check_genuine().ok()) << c.check_genuine().summary();
+    EXPECT_EQ(c.log().completed_count(), c.log().multicasts().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, FtSkeenSweep,
+    ::testing::Values(FtSweepParam{1, 2, 2, 30, 2},
+                      FtSweepParam{2, 3, 3, 40, 3},
+                      FtSweepParam{3, 5, 4, 50, 5},
+                      FtSweepParam{4, 4, 3, 40, 2},
+                      FtSweepParam{5, 8, 6, 60, 4},
+                      FtSweepParam{6, 2, 6, 80, 2}));
+
+}  // namespace
+}  // namespace wbam

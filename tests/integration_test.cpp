@@ -1,0 +1,178 @@
+// Cross-protocol integration tests: identical workloads run against every
+// protocol; each run must satisfy the full specification, and the latency
+// ordering of the paper (WbCast < FastCast < FT-Skeen) must hold under
+// contention. Also covers staggered leader placement and the wire-level
+// cost-model hooks.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace wbam {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+using harness::ProtocolKind;
+
+constexpr Duration delta = milliseconds(1);
+
+ClusterConfig config_for(ProtocolKind kind, int groups, int clients,
+                         std::uint64_t seed) {
+    ClusterConfig cfg;
+    cfg.kind = kind;
+    cfg.groups = groups;
+    cfg.group_size = kind == ProtocolKind::skeen ? 1 : 3;
+    cfg.clients = clients;
+    cfg.seed = seed;
+    cfg.delta = delta;
+    cfg.trace_sends = true;
+    return cfg;
+}
+
+const ProtocolKind all_kinds[] = {ProtocolKind::skeen, ProtocolKind::ftskeen,
+                                  ProtocolKind::fastcast, ProtocolKind::wbcast};
+
+TEST(IntegrationTest, IdenticalWorkloadSatisfiesSpecEverywhere) {
+    for (const ProtocolKind kind : all_kinds) {
+        Cluster c(config_for(kind, 4, 3, 99));
+        Rng rng(4242);
+        testutil::random_workload(c, rng, 60, milliseconds(30), 3);
+        c.run_for(milliseconds(600));
+        EXPECT_TRUE(c.check().ok())
+            << harness::to_string(kind) << ": " << c.check().summary();
+        EXPECT_TRUE(c.check_genuine().ok()) << harness::to_string(kind);
+        EXPECT_EQ(c.log().completed_count(), c.log().multicasts().size())
+            << harness::to_string(kind);
+    }
+}
+
+TEST(IntegrationTest, LatencyOrderingUnderContention) {
+    // 20 conflicting messages; mean completion latency must order
+    // wbcast < fastcast < ftskeen (Theorems 3/4 + §VI).
+    double mean[3] = {0, 0, 0};
+    const ProtocolKind kinds[] = {ProtocolKind::wbcast, ProtocolKind::fastcast,
+                                  ProtocolKind::ftskeen};
+    for (int k = 0; k < 3; ++k) {
+        Cluster c(config_for(kinds[k], 2, 4, 7));
+        for (int i = 0; i < 20; ++i)
+            c.multicast_at(i * microseconds(150), i % 4, {0, 1});
+        c.run_for(milliseconds(300));
+        double total = 0;
+        int n = 0;
+        for (const auto& [id, rec] : c.log().multicasts()) {
+            ASSERT_TRUE(rec.partially_delivered());
+            total += static_cast<double>(rec.delivery_latency());
+            ++n;
+        }
+        mean[k] = total / n;
+    }
+    EXPECT_LT(mean[0], mean[1]);
+    EXPECT_LT(mean[1], mean[2]);
+}
+
+TEST(IntegrationTest, StaggeredLeadersStillCorrect) {
+    for (const ProtocolKind kind :
+         {ProtocolKind::ftskeen, ProtocolKind::fastcast, ProtocolKind::wbcast}) {
+        ClusterConfig cfg = config_for(kind, 3, 2, 11);
+        cfg.staggered_leaders = true;
+        Cluster c(cfg);
+        // Leaders really are spread across replica indices.
+        EXPECT_EQ(c.topo().initial_leader(0), c.topo().member(0, 0));
+        EXPECT_EQ(c.topo().initial_leader(1), c.topo().member(1, 1));
+        EXPECT_EQ(c.topo().initial_leader(2), c.topo().member(2, 2));
+        Rng rng(5);
+        testutil::random_workload(c, rng, 30, milliseconds(20), 3);
+        c.run_for(milliseconds(400));
+        EXPECT_TRUE(c.check().ok())
+            << harness::to_string(kind) << ": " << c.check().summary();
+    }
+}
+
+TEST(IntegrationTest, StaggeredLeaderCrashFailsOverInElectionOrder) {
+    ClusterConfig cfg = config_for(ProtocolKind::wbcast, 2, 1, 13);
+    cfg.staggered_leaders = true;
+    cfg.replica.heartbeat_interval = milliseconds(5);
+    cfg.replica.suspect_timeout = milliseconds(20);
+    cfg.replica.retry_interval = milliseconds(25);
+    cfg.client_retry = milliseconds(50);
+    Cluster c(cfg);
+    // Group 1's initial leader is member(1,1) = process 4; crash it.
+    c.multicast_at(milliseconds(2), 0, {0, 1});
+    c.world().at(milliseconds(10), [&c] { c.world().crash(4); });
+    c.multicast_at(milliseconds(200), 0, {0, 1});
+    c.run_for(milliseconds(900));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_EQ(c.log().completed_count(), 2u);
+}
+
+TEST(IntegrationTest, MessageToEveryGroupIsAtomicBroadcast) {
+    // Single-group instantiation degenerates to atomic broadcast (§II).
+    for (const ProtocolKind kind : all_kinds) {
+        Cluster c(config_for(kind, 1, 3, 17));
+        for (int i = 0; i < 15; ++i)
+            c.multicast_at(i * microseconds(100), i % 3, {0});
+        c.run_for(milliseconds(300));
+        EXPECT_TRUE(c.check().ok())
+            << harness::to_string(kind) << ": " << c.check().summary();
+    }
+}
+
+TEST(IntegrationTest, EmptyPayloadMessagesAreOrderedToo) {
+    Cluster c(config_for(ProtocolKind::wbcast, 2, 2, 19));
+    c.multicast_at(0, 0, {0, 1}, Bytes{});
+    c.multicast_at(0, 1, {0, 1}, Bytes{});
+    c.run_for(milliseconds(100));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_EQ(c.log().total_deliveries(), 12u);
+}
+
+// The cost model must not change protocol outcomes, only timing.
+TEST(IntegrationTest, CpuCostsPreserveCorrectness) {
+    for (const ProtocolKind kind :
+         {ProtocolKind::ftskeen, ProtocolKind::fastcast, ProtocolKind::wbcast}) {
+        ClusterConfig cfg = config_for(kind, 2, 3, 23);
+        cfg.cpu = sim::CpuModel{.per_message = microseconds(5),
+                                .per_byte = nanoseconds(10),
+                                .wakeup = microseconds(20)};
+        cfg.replica.consensus_cmd_cost = microseconds(30);
+        cfg.replica.wbcast_multicast_cost = microseconds(30);
+        cfg.replica.wbcast_accept_cost = microseconds(2);
+        Cluster c(cfg);
+        Rng rng(29);
+        testutil::random_workload(c, rng, 30, milliseconds(30), 2);
+        c.run_for(milliseconds(800));
+        EXPECT_TRUE(c.check().ok())
+            << harness::to_string(kind) << ": " << c.check().summary();
+        EXPECT_EQ(c.log().completed_count(), c.log().multicasts().size());
+    }
+}
+
+TEST(IntegrationTest, DeterministicRunsAreBitIdentical) {
+    auto fingerprint = [](std::uint64_t seed) {
+        ClusterConfig cfg = config_for(ProtocolKind::wbcast, 3, 3, seed);
+        // Jittered delays so the world seed shapes the schedule.
+        cfg.make_delays = [] {
+            return std::make_unique<sim::JitterDelay>(microseconds(300),
+                                                      microseconds(1500));
+        };
+        Cluster c(cfg);
+        Rng rng(31 + seed);
+        testutil::random_workload(c, rng, 40, milliseconds(30), 3);
+        c.run_for(milliseconds(400));
+        std::uint64_t h = 14695981039346656037ull;
+        for (ProcessId p = 0; p < c.topo().num_replicas(); ++p) {
+            const auto it = c.log().deliveries().find(p);
+            if (it == c.log().deliveries().end()) continue;
+            for (const auto& ev : it->second) {
+                h = (h ^ ev.msg) * 1099511628211ull;
+                h = (h ^ static_cast<std::uint64_t>(ev.at)) * 1099511628211ull;
+            }
+        }
+        return h;
+    };
+    EXPECT_EQ(fingerprint(77), fingerprint(77));
+    EXPECT_NE(fingerprint(77), fingerprint(78));
+}
+
+}  // namespace
+}  // namespace wbam

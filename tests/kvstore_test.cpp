@@ -1,0 +1,166 @@
+// End-to-end tests of the partitioned replicated KV store over atomic
+// multicast: per-shard replica agreement, cross-shard atomicity (balance
+// conservation), and behaviour across protocols and leader failures.
+#include <gtest/gtest.h>
+
+#include "kvstore/kv_cluster.hpp"
+
+namespace wbam::kv {
+namespace {
+
+using harness::ClusterConfig;
+using harness::ProtocolKind;
+
+ClusterConfig kv_config(ProtocolKind kind, int groups, int clients,
+                        std::uint64_t seed = 1) {
+    ClusterConfig cfg;
+    cfg.kind = kind;
+    cfg.groups = groups;
+    cfg.group_size = kind == ProtocolKind::skeen ? 1 : 3;
+    cfg.clients = clients;
+    cfg.seed = seed;
+    cfg.delta = milliseconds(1);
+    return cfg;
+}
+
+TEST(ShardTest, PlacementIsStableAndInRange) {
+    for (const int k : {1, 2, 7, 10}) {
+        for (int i = 0; i < 100; ++i) {
+            const std::string key = "key-" + std::to_string(i);
+            const GroupId g = shard_of(key, k);
+            EXPECT_GE(g, 0);
+            EXPECT_LT(g, k);
+            EXPECT_EQ(g, shard_of(key, k));  // deterministic
+        }
+    }
+}
+
+TEST(ShardTest, AppliesOwnProjectionOnly) {
+    const int k = 4;
+    std::string local_key = "a";
+    while (shard_of(local_key, k) != 0) local_key += "x";
+    std::string remote_key = "b";
+    while (shard_of(remote_key, k) != 1) remote_key += "y";
+
+    ShardState s(0, k);
+    s.apply(KvOp{OpKind::put, local_key, "", 5});
+    s.apply(KvOp{OpKind::put, remote_key, "", 7});  // not ours: no effect
+    EXPECT_EQ(s.get(local_key), 5);
+    EXPECT_EQ(s.get(remote_key), 0);
+    EXPECT_EQ(s.total(), 5);
+}
+
+TEST(ShardTest, TransferAppliesBothSidesWhenOwned) {
+    const int k = 1;  // single shard owns everything
+    ShardState s(0, k);
+    s.apply(KvOp{OpKind::put, "a", "", 10});
+    s.apply(KvOp{OpKind::put, "b", "", 10});
+    s.apply(KvOp{OpKind::transfer, "a", "b", 4});
+    EXPECT_EQ(s.get("a"), 6);
+    EXPECT_EQ(s.get("b"), 14);
+    EXPECT_EQ(s.total(), 20);
+}
+
+TEST(KvClusterTest, SingleShardPutAndRead) {
+    KvCluster kv(kv_config(ProtocolKind::wbcast, 2, 1));
+    kv.put_at(0, 0, "alpha", 42);
+    kv.run_for(milliseconds(50));
+    const GroupId g = shard_of("alpha", 2);
+    for (const ProcessId p : kv.topo().members(g))
+        EXPECT_EQ(kv.read(p, "alpha"), 42) << "replica " << p;
+    EXPECT_TRUE(kv.replicas_agree());
+}
+
+TEST(KvClusterTest, CrossShardTransferConservesBalance) {
+    KvCluster kv(kv_config(ProtocolKind::wbcast, 4, 2));
+    // Seed 20 accounts with 100 each.
+    for (int i = 0; i < 20; ++i)
+        kv.put_at(i * microseconds(100), 0, "acct-" + std::to_string(i), 100);
+    kv.run_for(milliseconds(50));
+    EXPECT_EQ(kv.total_balance(), 2000);
+    // 50 random-ish transfers between accounts (many cross-shard).
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        const auto a = static_cast<int>(rng.next_below(20));
+        const auto b = static_cast<int>(rng.next_below(20));
+        if (a == b) continue;
+        kv.transfer_at(milliseconds(60) + i * microseconds(200),
+                       static_cast<int>(rng.next_below(2)),
+                       "acct-" + std::to_string(a), "acct-" + std::to_string(b),
+                       static_cast<std::int64_t>(rng.next_below(30)));
+    }
+    kv.run_for(milliseconds(300));
+    EXPECT_TRUE(kv.cluster().check().ok()) << kv.cluster().check().summary();
+    EXPECT_TRUE(kv.replicas_agree());
+    // Conservation: transfers move money, never create or destroy it.
+    for (int r = 0; r < 3; ++r)
+        EXPECT_EQ(kv.total_balance(r), 2000) << "replica index " << r;
+}
+
+TEST(KvClusterTest, ReplicasAgreeUnderConcurrentMixedLoad) {
+    KvCluster kv(kv_config(ProtocolKind::wbcast, 3, 4, 9));
+    Rng rng(11);
+    for (int i = 0; i < 120; ++i) {
+        const auto t = static_cast<TimePoint>(
+            rng.next_below(static_cast<std::uint64_t>(milliseconds(50))));
+        const int client = static_cast<int>(rng.next_below(4));
+        const std::string key = "k" + std::to_string(rng.next_below(10));
+        switch (rng.next_below(3)) {
+            case 0: kv.put_at(t, client, key, 10); break;
+            case 1: kv.add_at(t, client, key, 1); break;
+            default: {
+                const std::string to = "k" + std::to_string(rng.next_below(10));
+                if (to != key) kv.transfer_at(t, client, key, to, 1);
+                break;
+            }
+        }
+    }
+    kv.run_for(milliseconds(400));
+    EXPECT_TRUE(kv.cluster().check().ok()) << kv.cluster().check().summary();
+    EXPECT_TRUE(kv.replicas_agree());
+}
+
+TEST(KvClusterTest, WorksOverEveryProtocol) {
+    for (const ProtocolKind kind :
+         {ProtocolKind::skeen, ProtocolKind::ftskeen, ProtocolKind::fastcast,
+          ProtocolKind::wbcast}) {
+        KvCluster kv(kv_config(kind, 3, 2));
+        for (int i = 0; i < 10; ++i)
+            kv.put_at(i * microseconds(500), 0, "x" + std::to_string(i), i);
+        Rng rng(3);
+        for (int i = 0; i < 10; ++i)
+            kv.transfer_at(milliseconds(20) + i * microseconds(500), 1,
+                           "x" + std::to_string(rng.next_below(10)),
+                           "x" + std::to_string((i + 1) % 10), 1);
+        kv.run_for(milliseconds(300));
+        EXPECT_TRUE(kv.cluster().check().ok())
+            << harness::to_string(kind) << ": "
+            << kv.cluster().check().summary();
+        EXPECT_TRUE(kv.replicas_agree()) << harness::to_string(kind);
+    }
+}
+
+TEST(KvClusterTest, SurvivesLeaderCrash) {
+    ClusterConfig cfg = kv_config(ProtocolKind::wbcast, 3, 2, 21);
+    cfg.replica.heartbeat_interval = milliseconds(5);
+    cfg.replica.suspect_timeout = milliseconds(20);
+    cfg.replica.retry_interval = milliseconds(25);
+    cfg.client_retry = milliseconds(50);
+    KvCluster kv(cfg);
+    for (int i = 0; i < 10; ++i)
+        kv.put_at(milliseconds(1) + i * microseconds(300), 0,
+                  "v" + std::to_string(i), i * 10);
+    kv.cluster().world().at(milliseconds(10), [&kv] {
+        kv.cluster().world().crash(kv.topo().initial_leader(0));
+    });
+    for (int i = 0; i < 10; ++i)
+        kv.transfer_at(milliseconds(200) + i * microseconds(300), 1,
+                       "v" + std::to_string(i), "v" + std::to_string((i + 5) % 10),
+                       1);
+    kv.run_for(milliseconds(900));
+    EXPECT_TRUE(kv.cluster().check().ok()) << kv.cluster().check().summary();
+    EXPECT_TRUE(kv.replicas_agree());
+}
+
+}  // namespace
+}  // namespace wbam::kv

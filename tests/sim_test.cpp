@@ -1,0 +1,304 @@
+// Tests for the discrete-event simulator: timing exactness, FIFO channel
+// guarantees, timers, CPU queueing, crash/partition fault injection, and
+// run-to-run determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/process.hpp"
+#include "common/topology.hpp"
+#include "sim/network.hpp"
+#include "sim/world.hpp"
+
+namespace wbam::sim {
+namespace {
+
+struct Recorded {
+    TimePoint at;
+    ProcessId from;
+    Bytes bytes;
+};
+
+// Inert process that records everything it receives.
+class Probe final : public Process {
+public:
+    std::vector<Recorded> received;
+    std::vector<std::pair<TimePoint, TimerId>> fired;
+    Context* ctx = nullptr;
+
+    void on_start(Context& c) override { ctx = &c; }
+    void on_message(Context& c, ProcessId from, const Bytes& b) override {
+        received.push_back({c.now(), from, b});
+    }
+    void on_timer(Context& c, TimerId id) override {
+        fired.emplace_back(c.now(), id);
+    }
+};
+
+// World of n probe processes over a single-replica topology.
+struct ProbeWorld {
+    explicit ProbeWorld(int n, std::unique_ptr<DelayModel> delays,
+                        std::uint64_t seed = 1, CpuModel cpu = {})
+        : world(Topology(1, 1, n - 1), std::move(delays), seed, cpu) {
+        for (ProcessId p = 0; p < n; ++p) {
+            auto probe = std::make_unique<Probe>();
+            probes.push_back(probe.get());
+            world.add_process(p, std::move(probe));
+        }
+        world.start();
+    }
+
+    World world;
+    std::vector<Probe*> probes;
+};
+
+Bytes payload(std::uint8_t tag) { return Bytes{tag}; }
+
+TEST(SimTest, UniformDelayIsExact) {
+    ProbeWorld w(2, std::make_unique<UniformDelay>(milliseconds(5)));
+    w.world.at(milliseconds(1),
+               [&] { w.probes[0]->ctx->send(1, payload(7)); });
+    w.world.run_until(milliseconds(10));
+    ASSERT_EQ(w.probes[1]->received.size(), 1u);
+    EXPECT_EQ(w.probes[1]->received[0].at, milliseconds(6));
+    EXPECT_EQ(w.probes[1]->received[0].from, 0);
+    EXPECT_EQ(w.probes[1]->received[0].bytes, payload(7));
+}
+
+TEST(SimTest, SelfSendIsImmediateButAsynchronous) {
+    ProbeWorld w(1, std::make_unique<UniformDelay>(milliseconds(5)));
+    w.world.at(milliseconds(2), [&] { w.probes[0]->ctx->send(0, payload(1)); });
+    w.world.run_until(milliseconds(3));
+    ASSERT_EQ(w.probes[0]->received.size(), 1u);
+    EXPECT_EQ(w.probes[0]->received[0].at, milliseconds(2));
+}
+
+TEST(SimTest, EventsExecuteInTimeOrder) {
+    ProbeWorld w(3, std::make_unique<UniformDelay>(milliseconds(1)));
+    w.world.at(milliseconds(5), [&] { w.probes[0]->ctx->send(2, payload(2)); });
+    w.world.at(milliseconds(1), [&] { w.probes[1]->ctx->send(2, payload(1)); });
+    w.world.run_until(milliseconds(10));
+    ASSERT_EQ(w.probes[2]->received.size(), 2u);
+    EXPECT_EQ(w.probes[2]->received[0].bytes, payload(1));
+    EXPECT_EQ(w.probes[2]->received[1].bytes, payload(2));
+}
+
+TEST(SimTest, FifoHoldsUnderJitter) {
+    ProbeWorld w(2, std::make_unique<JitterDelay>(milliseconds(1), milliseconds(9)),
+                 42);
+    w.world.at(0, [&] {
+        for (std::uint8_t i = 0; i < 100; ++i)
+            w.probes[0]->ctx->send(1, payload(i));
+    });
+    w.world.run_until(milliseconds(100));
+    ASSERT_EQ(w.probes[1]->received.size(), 100u);
+    for (std::uint8_t i = 0; i < 100; ++i)
+        EXPECT_EQ(w.probes[1]->received[i].bytes, payload(i)) << int(i);
+    for (std::size_t i = 1; i < 100; ++i)
+        EXPECT_GE(w.probes[1]->received[i].at, w.probes[1]->received[i - 1].at);
+}
+
+TEST(SimTest, LinkOverrideBeatsModel) {
+    ProbeWorld w(2, std::make_unique<UniformDelay>(milliseconds(5)));
+    w.world.set_link_override(0, 1, milliseconds(1));
+    w.world.at(0, [&] { w.probes[0]->ctx->send(1, payload(1)); });
+    // Reverse direction still uses the model.
+    w.world.at(0, [&] { w.probes[1]->ctx->send(0, payload(2)); });
+    w.world.run_until(milliseconds(10));
+    ASSERT_EQ(w.probes[1]->received.size(), 1u);
+    EXPECT_EQ(w.probes[1]->received[0].at, milliseconds(1));
+    ASSERT_EQ(w.probes[0]->received.size(), 1u);
+    EXPECT_EQ(w.probes[0]->received[0].at, milliseconds(5));
+}
+
+TEST(SimTest, ClearLinkOverrideRestoresModel) {
+    ProbeWorld w(2, std::make_unique<UniformDelay>(milliseconds(5)));
+    w.world.set_link_override(0, 1, milliseconds(1));
+    w.world.clear_link_override(0, 1);
+    w.world.at(0, [&] { w.probes[0]->ctx->send(1, payload(1)); });
+    w.world.run_until(milliseconds(10));
+    ASSERT_EQ(w.probes[1]->received.size(), 1u);
+    EXPECT_EQ(w.probes[1]->received[0].at, milliseconds(5));
+}
+
+TEST(SimTest, TimerFiresAtRequestedTime) {
+    ProbeWorld w(1, std::make_unique<UniformDelay>(0));
+    TimerId id = invalid_timer;
+    w.world.at(milliseconds(3), [&] {
+        id = w.probes[0]->ctx->set_timer(milliseconds(4));
+    });
+    w.world.run_until(milliseconds(10));
+    ASSERT_EQ(w.probes[0]->fired.size(), 1u);
+    EXPECT_EQ(w.probes[0]->fired[0].first, milliseconds(7));
+    EXPECT_EQ(w.probes[0]->fired[0].second, id);
+}
+
+TEST(SimTest, CancelledTimerDoesNotFire) {
+    ProbeWorld w(1, std::make_unique<UniformDelay>(0));
+    w.world.at(0, [&] {
+        const TimerId id = w.probes[0]->ctx->set_timer(milliseconds(4));
+        w.probes[0]->ctx->cancel_timer(id);
+    });
+    w.world.run_until(milliseconds(10));
+    EXPECT_TRUE(w.probes[0]->fired.empty());
+}
+
+TEST(SimTest, TimerIdsAreUniquePerProcess) {
+    ProbeWorld w(1, std::make_unique<UniformDelay>(0));
+    w.world.at(0, [&] {
+        const TimerId a = w.probes[0]->ctx->set_timer(milliseconds(1));
+        const TimerId b = w.probes[0]->ctx->set_timer(milliseconds(1));
+        EXPECT_NE(a, b);
+    });
+    w.world.run_until(milliseconds(2));
+    EXPECT_EQ(w.probes[0]->fired.size(), 2u);
+}
+
+TEST(SimTest, CrashedProcessReceivesNothing) {
+    ProbeWorld w(2, std::make_unique<UniformDelay>(milliseconds(5)));
+    w.world.at(0, [&] { w.probes[0]->ctx->send(1, payload(1)); });
+    w.world.at(milliseconds(1), [&] { w.world.crash(1); });
+    w.world.run_until(milliseconds(10));
+    EXPECT_TRUE(w.probes[1]->received.empty());
+    EXPECT_TRUE(w.world.is_crashed(1));
+}
+
+TEST(SimTest, CrashedProcessTimersDoNotFire) {
+    ProbeWorld w(1, std::make_unique<UniformDelay>(0));
+    w.world.at(0, [&] { w.probes[0]->ctx->set_timer(milliseconds(5)); });
+    w.world.at(milliseconds(1), [&] { w.world.crash(0); });
+    w.world.run_until(milliseconds(10));
+    EXPECT_TRUE(w.probes[0]->fired.empty());
+}
+
+TEST(SimTest, MessagesSentBeforeCrashStillDeliver) {
+    // Crash-stop: messages already in flight are delivered to live peers.
+    ProbeWorld w(2, std::make_unique<UniformDelay>(milliseconds(5)));
+    w.world.at(0, [&] { w.probes[0]->ctx->send(1, payload(9)); });
+    w.world.at(milliseconds(1), [&] { w.world.crash(0); });
+    w.world.run_until(milliseconds(10));
+    ASSERT_EQ(w.probes[1]->received.size(), 1u);
+}
+
+TEST(SimTest, PartitionHoldsAndHealReleasesInOrder) {
+    ProbeWorld w(2, std::make_unique<UniformDelay>(milliseconds(2)));
+    w.world.at(0, [&] { w.world.block_link(0, 1); });
+    w.world.at(milliseconds(1), [&] {
+        w.probes[0]->ctx->send(1, payload(1));
+        w.probes[0]->ctx->send(1, payload(2));
+    });
+    w.world.at(milliseconds(10), [&] { w.world.unblock_link(0, 1); });
+    w.world.run_until(milliseconds(20));
+    // Held during the partition, released at heal + delay: reliable channel.
+    ASSERT_EQ(w.probes[1]->received.size(), 2u);
+    EXPECT_EQ(w.probes[1]->received[0].at, milliseconds(12));
+    EXPECT_EQ(w.probes[1]->received[0].bytes, payload(1));
+    EXPECT_EQ(w.probes[1]->received[1].bytes, payload(2));
+}
+
+TEST(SimTest, PartitionIsBidirectional) {
+    ProbeWorld w(2, std::make_unique<UniformDelay>(milliseconds(1)));
+    w.world.at(0, [&] { w.world.block_link(1, 0); });
+    w.world.at(milliseconds(1), [&] {
+        w.probes[0]->ctx->send(1, payload(1));
+        w.probes[1]->ctx->send(0, payload(2));
+    });
+    w.world.run_until(milliseconds(10));
+    EXPECT_TRUE(w.probes[0]->received.empty());
+    EXPECT_TRUE(w.probes[1]->received.empty());
+}
+
+TEST(SimTest, CpuCostSerializesHandlers) {
+    ProbeWorld w(3, std::make_unique<UniformDelay>(milliseconds(1)), 1,
+                 CpuModel{.per_message = microseconds(100)});
+    // Two messages from different senders arrive at process 2 simultaneously.
+    w.world.at(0, [&] {
+        w.probes[0]->ctx->send(2, payload(1));
+        w.probes[1]->ctx->send(2, payload(2));
+    });
+    w.world.run_until(milliseconds(5));
+    ASSERT_EQ(w.probes[2]->received.size(), 2u);
+    EXPECT_EQ(w.probes[2]->received[0].at, milliseconds(1) + microseconds(100));
+    EXPECT_EQ(w.probes[2]->received[1].at, milliseconds(1) + microseconds(200));
+}
+
+TEST(SimTest, CpuPerByteCost) {
+    ProbeWorld w(2, std::make_unique<UniformDelay>(0), 1,
+                 CpuModel{.per_message = 0, .per_byte = microseconds(1)});
+    w.world.at(0, [&] { w.probes[0]->ctx->send(1, Bytes(10, 0xee)); });
+    w.world.run_until(milliseconds(1));
+    ASSERT_EQ(w.probes[1]->received.size(), 1u);
+    EXPECT_EQ(w.probes[1]->received[0].at, microseconds(10));
+}
+
+TEST(SimTest, SendTraceRecordsHeaders) {
+    ProbeWorld w(2, std::make_unique<UniformDelay>(milliseconds(1)));
+    w.world.enable_send_trace(true);
+    w.world.at(0, [&] { w.probes[0]->ctx->send(1, payload(1)); });
+    w.world.run_until(milliseconds(5));
+    ASSERT_EQ(w.world.send_trace().size(), 1u);
+    const SendRecord& rec = w.world.send_trace()[0];
+    EXPECT_EQ(rec.from, 0);
+    EXPECT_EQ(rec.to, 1);
+    EXPECT_EQ(rec.size, 1u);
+    EXPECT_EQ(rec.module, 0xff);  // raw byte is not a valid envelope
+}
+
+TEST(SimTest, RunUntilIdleDrainsQueue) {
+    ProbeWorld w(2, std::make_unique<UniformDelay>(milliseconds(1)));
+    w.world.at(0, [&] { w.probes[0]->ctx->send(1, payload(1)); });
+    EXPECT_TRUE(w.world.run_until_idle(milliseconds(100)));
+    EXPECT_EQ(w.probes[1]->received.size(), 1u);
+}
+
+TEST(SimTest, DeterministicAcrossRuns) {
+    auto run = [](std::uint64_t seed) {
+        ProbeWorld w(4, std::make_unique<JitterDelay>(milliseconds(1),
+                                                      milliseconds(7)),
+                     seed);
+        w.world.at(0, [&] {
+            for (int i = 0; i < 50; ++i) {
+                w.probes[0]->ctx->send(1 + (i % 3), payload(
+                    static_cast<std::uint8_t>(i)));
+                w.probes[1]->ctx->send(3, payload(static_cast<std::uint8_t>(i)));
+            }
+        });
+        w.world.run_until(milliseconds(200));
+        std::vector<std::tuple<ProcessId, TimePoint, Bytes>> all;
+        for (ProcessId p = 0; p < 4; ++p)
+            for (const auto& r : w.probes[static_cast<std::size_t>(p)]->received)
+                all.emplace_back(p, r.at, r.bytes);
+        return all;
+    };
+    EXPECT_EQ(run(7), run(7));
+    EXPECT_NE(run(7), run(8));
+}
+
+TEST(RegionMatrixTest, DelaysFollowMatrix) {
+    // Two regions with 60ms RTT; processes 0,1 in region 0; process 2 in 1.
+    RegionMatrixDelay model({0, 0, 1},
+                            {{milliseconds(0), milliseconds(60)},
+                             {milliseconds(60), milliseconds(0)}});
+    Rng rng(1);
+    EXPECT_EQ(model.sample(0, 1, 0, rng), 0);
+    EXPECT_EQ(model.sample(0, 2, 0, rng), milliseconds(30));
+    EXPECT_EQ(model.sample(2, 1, 0, rng), milliseconds(30));
+    EXPECT_EQ(model.region_of(2), 1);
+}
+
+TEST(RegionMatrixTest, JitterBounded) {
+    RegionMatrixDelay model({0, 1},
+                            {{milliseconds(0), milliseconds(100)},
+                             {milliseconds(100), milliseconds(0)}},
+                            0.1);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const Duration d = model.sample(0, 1, 0, rng);
+        EXPECT_GE(d, milliseconds(50));
+        EXPECT_LE(d, milliseconds(55));
+    }
+}
+
+}  // namespace
+}  // namespace wbam::sim

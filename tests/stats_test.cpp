@@ -1,0 +1,114 @@
+// Tests for the log-bucketed histogram and summary accumulator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/histogram.hpp"
+
+namespace wbam::stats {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+    Histogram h;
+    h.record(milliseconds(5));
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), milliseconds(5));
+    EXPECT_EQ(h.max(), milliseconds(5));
+    EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(milliseconds(5)));
+    EXPECT_EQ(h.percentile(0.5), milliseconds(5));
+}
+
+TEST(HistogramTest, ExactForSmallValues) {
+    // Values below the sub-bucket count are stored exactly.
+    Histogram h;
+    for (Duration v = 0; v < 16; ++v) h.record(v);
+    for (double q : {0.0, 0.25, 0.5, 0.75}) {
+        const auto p = h.percentile(q);
+        EXPECT_GE(p, 0);
+        EXPECT_LT(p, 16);
+    }
+}
+
+TEST(HistogramTest, PercentileWithinRelativeError) {
+    Histogram h;
+    Rng rng(42);
+    std::vector<Duration> values;
+    for (int i = 0; i < 100000; ++i) {
+        const auto v = static_cast<Duration>(rng.next_below(50'000'000)) + 1000;
+        values.push_back(v);
+        h.record(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (const double q : {0.5, 0.9, 0.99}) {
+        const auto exact = values[static_cast<std::size_t>(
+            q * static_cast<double>(values.size() - 1))];
+        const auto approx = h.percentile(q);
+        // Log buckets with 16 sub-buckets: <= ~12.5% relative error.
+        EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                    static_cast<double>(exact) * 0.13)
+            << "q=" << q;
+    }
+}
+
+TEST(HistogramTest, MeanIsExact) {
+    Histogram h;
+    double expect = 0;
+    for (int i = 1; i <= 1000; ++i) {
+        h.record(i * 1000);
+        expect += i * 1000.0;
+    }
+    EXPECT_DOUBLE_EQ(h.mean(), expect / 1000.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+    Histogram a;
+    Histogram b;
+    a.record(milliseconds(1));
+    b.record(milliseconds(100));
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), milliseconds(1));
+    EXPECT_EQ(a.max(), milliseconds(100));
+}
+
+TEST(HistogramTest, ClearResets) {
+    Histogram h;
+    h.record(milliseconds(3));
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.9), 0);
+}
+
+TEST(HistogramTest, PercentileMonotoneInQ) {
+    Histogram h;
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        h.record(static_cast<Duration>(rng.next_below(1'000'000)));
+    Duration prev = 0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const Duration p = h.percentile(q);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(SummaryTest, TracksMeanAndMax) {
+    Summary s;
+    s.record(milliseconds(2));
+    s.record(milliseconds(4));
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_DOUBLE_EQ(s.mean_ms(), 3.0);
+    EXPECT_DOUBLE_EQ(s.max_ms, 4.0);
+}
+
+}  // namespace
+}  // namespace wbam::stats

@@ -1,0 +1,279 @@
+// Failure-injection tests for the white-box protocol: leader crashes at
+// every protocol phase, double crashes, partitions producing rival
+// leaders, follower crashes, client crashes mid-multicast, and recovery of
+// in-flight traffic. Every run is validated against the full multicast
+// specification plus the Figure 6 wire invariants.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "wbcast/protocol.hpp"
+
+namespace wbam {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+using harness::ProtocolKind;
+
+constexpr Duration delta = milliseconds(1);
+
+ClusterConfig failover_config(int groups, int clients, std::uint64_t seed = 1) {
+    ClusterConfig cfg;
+    cfg.kind = ProtocolKind::wbcast;
+    cfg.groups = groups;
+    cfg.group_size = 3;
+    cfg.clients = clients;
+    cfg.seed = seed;
+    cfg.delta = delta;
+    cfg.replica.heartbeat_interval = milliseconds(5);
+    cfg.replica.suspect_timeout = milliseconds(20);
+    cfg.replica.retry_interval = milliseconds(25);
+    cfg.replica.gc_interval = milliseconds(50);
+    cfg.client_retry = milliseconds(50);
+    cfg.trace_sends = true;
+    return cfg;
+}
+
+void expect_all_good(const Cluster& c, std::size_t expect_completed) {
+    const auto result = c.check();
+    EXPECT_TRUE(result.ok()) << result.summary();
+    const auto genuine = c.check_genuine();
+    EXPECT_TRUE(genuine.ok()) << genuine.summary();
+    EXPECT_EQ(c.log().completed_count(), expect_completed);
+}
+
+TEST(WbcastRecoveryTest, FollowerTakesOverAfterLeaderCrash) {
+    Cluster c(failover_config(2, 1));
+    testutil::WbcastInvariantMonitor monitor;
+    monitor.attach(c.world(), c.topo());
+    c.multicast_at(0, 0, {0, 1});
+    c.world().at(milliseconds(10), [&c] { c.world().crash(0); });
+    // Traffic after the crash must be handled by the new leader.
+    c.multicast_at(milliseconds(100), 0, {0, 1});
+    c.multicast_at(milliseconds(150), 0, {0});
+    c.run_for(milliseconds(600));
+    expect_all_good(c, 3);
+    EXPECT_TRUE(monitor.ok()) << monitor.summary();
+    // Some live member of group 0 is now leader.
+    int leaders = 0;
+    for (const ProcessId p : c.topo().members(0)) {
+        if (c.world().is_crashed(p)) continue;
+        auto& r = c.world().process_as<wbcast::WbcastReplica>(p);
+        leaders += r.status() == wbcast::Status::leader;
+    }
+    EXPECT_EQ(leaders, 1);
+}
+
+// Crash the leader of group 0 at a configurable instant relative to a
+// multicast issued at t=0 and verify the message still reaches every
+// correct destination replica.
+class WbcastCrashPoint : public ::testing::TestWithParam<Duration> {};
+
+TEST_P(WbcastCrashPoint, MessageSurvivesLeaderCrash) {
+    Cluster c(failover_config(2, 1, 7));
+    testutil::WbcastInvariantMonitor monitor;
+    monitor.attach(c.world(), c.topo());
+    c.multicast_at(milliseconds(2), 0, {0, 1});
+    c.world().at(milliseconds(2) + GetParam(), [&c] { c.world().crash(0); });
+    c.run_for(milliseconds(800));
+    expect_all_good(c, 1);
+    EXPECT_TRUE(monitor.ok()) << monitor.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Phases, WbcastCrashPoint,
+    ::testing::Values(
+        microseconds(500),                 // before MULTICAST reaches leader
+        delta + microseconds(10),          // after PROPOSED, ACCEPTs sent
+        2 * delta + microseconds(10),      // followers ACCEPTED, acks flying
+        3 * delta + microseconds(10),      // after commit + DELIVER sent
+        3 * delta + milliseconds(5)));     // well after delivery
+
+TEST(WbcastRecoveryTest, BothDestinationLeadersCrash) {
+    Cluster c(failover_config(2, 2, 11));
+    testutil::WbcastInvariantMonitor monitor;
+    monitor.attach(c.world(), c.topo());
+    c.multicast_at(milliseconds(2), 0, {0, 1});
+    c.multicast_at(milliseconds(3), 1, {0, 1});
+    c.world().at(milliseconds(4), [&c] {
+        c.world().crash(c.topo().initial_leader(0));
+        c.world().crash(c.topo().initial_leader(1));
+    });
+    c.multicast_at(milliseconds(200), 0, {0, 1});
+    c.run_for(milliseconds(800));
+    expect_all_good(c, 3);
+    EXPECT_TRUE(monitor.ok()) << monitor.summary();
+}
+
+TEST(WbcastRecoveryTest, CascadingLeaderCrashes) {
+    // The first replacement leader crashes too; the third member takes over
+    // (f=1 per group is exceeded here for group 0, but with group_size 5 we
+    // stay within the fault budget).
+    ClusterConfig cfg = failover_config(2, 1, 13);
+    cfg.group_size = 5;
+    Cluster c(cfg);
+    testutil::WbcastInvariantMonitor monitor;
+    monitor.attach(c.world(), c.topo());
+    c.multicast_at(milliseconds(2), 0, {0, 1});
+    c.world().at(milliseconds(10), [&c] { c.world().crash(0); });
+    c.world().at(milliseconds(100), [&c] { c.world().crash(1); });
+    c.multicast_at(milliseconds(300), 0, {0, 1});
+    c.run_for(milliseconds(900));
+    expect_all_good(c, 2);
+    EXPECT_TRUE(monitor.ok()) << monitor.summary();
+}
+
+TEST(WbcastRecoveryTest, FollowerCrashDoesNotBlockProgress) {
+    Cluster c(failover_config(2, 1, 17));
+    c.world().at(milliseconds(1), [&c] { c.world().crash(1); });  // follower
+    c.multicast_at(milliseconds(5), 0, {0, 1});
+    c.multicast_at(milliseconds(6), 0, {0, 1});
+    c.run_for(milliseconds(400));
+    expect_all_good(c, 2);
+}
+
+TEST(WbcastRecoveryTest, PartitionedLeaderCannotCommitAlone) {
+    // Cut the leader of group 0 off from its followers: it keeps its role
+    // but cannot reach an intra-group quorum, so nothing it does can commit;
+    // the followers elect a new leader which serves traffic. On heal the old
+    // leader is deposed by the higher ballot.
+    Cluster c(failover_config(2, 1, 19));
+    testutil::WbcastInvariantMonitor monitor;
+    monitor.attach(c.world(), c.topo());
+    c.world().at(milliseconds(1), [&c] {
+        c.world().block_link(0, 1);
+        c.world().block_link(0, 2);
+    });
+    c.multicast_at(milliseconds(30), 0, {0, 1});
+    c.world().at(milliseconds(300), [&c] {
+        c.world().unblock_link(0, 1);
+        c.world().unblock_link(0, 2);
+    });
+    c.multicast_at(milliseconds(500), 0, {0, 1});
+    c.run_for(milliseconds(1000));
+    expect_all_good(c, 2);
+    EXPECT_TRUE(monitor.ok()) << monitor.summary();
+    // The original ballot (1, p0) cannot have survived: the followers
+    // elected a new leader during the partition, and after the heal the Ω
+    // elector may legitimately hand leadership back to p0 — but only under
+    // a strictly higher ballot. Exactly one member leads at the end.
+    auto& old_leader = c.world().process_as<wbcast::WbcastReplica>(0);
+    EXPECT_GT(old_leader.cballot(), (Ballot{1, 0}));
+    int leaders = 0;
+    for (const ProcessId p : c.topo().members(0))
+        leaders += c.world().process_as<wbcast::WbcastReplica>(p).status() ==
+                   wbcast::Status::leader;
+    EXPECT_EQ(leaders, 1);
+}
+
+TEST(WbcastRecoveryTest, ClientCrashMidMulticastIsRecovered) {
+    // The client reaches only group 0's leader before dying; group 1 never
+    // receives MULTICAST(m). Group 0's leader retry(m) path (line 34) must
+    // complete the multicast.
+    Cluster c(failover_config(2, 1, 23));
+    const ProcessId client = c.topo().client(0);
+    const ProcessId leader1 = c.topo().initial_leader(1);
+    // Make the client->leader1 link very slow, then crash the client before
+    // the message leaves the held queue: group 1 never hears directly.
+    c.world().at(0, [&c, client, leader1] {
+        c.world().block_link(client, leader1);
+    });
+    c.multicast_at(milliseconds(1), 0, {0, 1});
+    c.world().at(milliseconds(2), [&c, client] { c.world().crash(client); });
+    c.run_for(milliseconds(800));
+    // The crashed client is exempt from Termination, but the message was
+    // delivered at group 0 or group 1 by someone, so it must be delivered
+    // everywhere correct.
+    expect_all_good(c, 1);
+}
+
+TEST(WbcastRecoveryTest, RecoveryPreservesDeliveredPrefix) {
+    // Deliveries made under the old leader are never re-delivered after
+    // recovery (max_delivered_gts dedup).
+    Cluster c(failover_config(2, 1, 29));
+    for (int i = 0; i < 5; ++i)
+        c.multicast_at(milliseconds(1) + i * microseconds(300), 0, {0, 1});
+    c.world().at(milliseconds(20), [&c] { c.world().crash(0); });
+    for (int i = 0; i < 5; ++i)
+        c.multicast_at(milliseconds(200) + i * microseconds(300), 0, {0, 1});
+    c.run_for(milliseconds(900));
+    expect_all_good(c, 10);
+    // Integrity is part of check(), but assert the exact delivery count:
+    // 10 messages x 2 groups x 3 replicas - 10 deliveries lost with the
+    // crashed replica (it died after delivering the first burst).
+    const auto it = c.log().deliveries().find(0);
+    const std::size_t dead_deliveries =
+        it == c.log().deliveries().end() ? 0 : it->second.size();
+    EXPECT_EQ(c.log().total_deliveries(), 60u - (10u - dead_deliveries));
+}
+
+TEST(WbcastRecoveryTest, StressWithCrashesAcrossGroups) {
+    // Random workload over 4 groups while one leader and one follower die.
+    ClusterConfig cfg = failover_config(4, 4, 31);
+    Cluster c(cfg);
+    testutil::WbcastInvariantMonitor monitor;
+    monitor.attach(c.world(), c.topo());
+    Rng rng(777);
+    testutil::random_workload(c, rng, 60, milliseconds(300), 3);
+    c.world().at(milliseconds(50), [&c] {
+        c.world().crash(c.topo().initial_leader(2));
+    });
+    c.world().at(milliseconds(120), [&c] {
+        c.world().crash(c.topo().member(3, 2));
+    });
+    c.run_for(milliseconds(1500));
+    const auto result = c.check();
+    EXPECT_TRUE(result.ok()) << result.summary();
+    EXPECT_TRUE(monitor.ok()) << monitor.summary();
+    EXPECT_EQ(c.log().completed_count(), 60u);
+}
+
+TEST(WbcastRecoveryTest, NewLeaderRedeliversFromTheBeginning) {
+    // A follower that lagged behind (link to it was slow) still converges:
+    // the new leader re-sends DELIVER for all committed messages and the
+    // follower applies the missing suffix in order.
+    Cluster c(failover_config(2, 1, 37));
+    const ProcessId lagging = 2;  // follower of group 0
+    c.world().set_link_override(0, lagging, milliseconds(15));  // slow DELIVERs
+    for (int i = 0; i < 4; ++i)
+        c.multicast_at(milliseconds(1) + i * microseconds(200), 0, {0, 1});
+    c.world().at(milliseconds(8), [&c] { c.world().crash(0); });
+    c.run_for(milliseconds(900));
+    expect_all_good(c, 4);
+    // The lagging follower delivered all four in a consistent order (the
+    // group-prefix check inside check() verifies order; count them too).
+    const auto it = c.log().deliveries().find(lagging);
+    ASSERT_NE(it, c.log().deliveries().end());
+    EXPECT_EQ(it->second.size(), 4u);
+}
+
+TEST(WbcastRecoveryTest, QuorumLossHaltsThenResumesOnHeal) {
+    // With two of three members of group 0 unreachable, nothing addressed
+    // to group 0 can commit; traffic resumes once the partition heals.
+    Cluster c(failover_config(2, 1, 41));
+    c.world().at(milliseconds(1), [&c] {
+        for (const ProcessId a : {1, 2})
+            for (const ProcessId other : {0, 3, 4, 5, 6}) {
+                if (a == other) continue;
+                c.world().block_link(a, other);
+            }
+        c.world().block_link(1, 2);
+    });
+    const MsgId m = c.multicast_at(milliseconds(10), 0, {0, 1});
+    c.run_for(milliseconds(300));
+    // Not deliverable at group 0 while the quorum is cut.
+    EXPECT_FALSE(c.log().multicasts().at(m).partially_delivered());
+    c.world().at(c.world().now() + milliseconds(1), [&c] {
+        for (const ProcessId a : {1, 2})
+            for (const ProcessId other : {0, 3, 4, 5, 6}) {
+                if (a == other) continue;
+                c.world().unblock_link(a, other);
+            }
+        c.world().unblock_link(1, 2);
+    });
+    c.run_for(milliseconds(1200));
+    expect_all_good(c, 1);
+}
+
+}  // namespace
+}  // namespace wbam

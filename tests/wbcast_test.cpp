@@ -1,0 +1,270 @@
+// Normal-operation tests for the white-box protocol: exact latencies
+// (3δ leaders / 4δ followers collision-free, 5δ failure-free), the full
+// multicast specification over randomized workloads, genuineness, the
+// Figure 6 invariants on the wire, and garbage collection.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "wbcast/protocol.hpp"
+
+namespace wbam {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+using harness::ProtocolKind;
+
+constexpr Duration delta = milliseconds(1);
+
+ClusterConfig wb_config(int groups, int clients, std::uint64_t seed = 1) {
+    ClusterConfig cfg;
+    cfg.kind = ProtocolKind::wbcast;
+    cfg.groups = groups;
+    cfg.group_size = 3;
+    cfg.clients = clients;
+    cfg.seed = seed;
+    cfg.delta = delta;
+    return cfg;
+}
+
+Duration latency_of(const Cluster& c, MsgId id) {
+    const auto& rec = c.log().multicasts().at(id);
+    EXPECT_TRUE(rec.partially_delivered());
+    return rec.partially_delivered() ? rec.delivery_latency() : Duration{-1};
+}
+
+TEST(WbcastTest, CollisionFreeLatencyIsThreeDeltaAtLeaders) {
+    Cluster c(wb_config(2, 1));
+    const MsgId id = c.multicast_at(0, 0, {0, 1});
+    c.run_for(milliseconds(30));
+    // MULTICAST + ACCEPT + ACCEPT_ACK; the leader's DELIVER to itself is on
+    // the zero-delay self channel.
+    EXPECT_EQ(latency_of(c, id), 3 * delta);
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+}
+
+TEST(WbcastTest, FollowersDeliverAtFourDelta) {
+    Cluster c(wb_config(2, 1));
+    const MsgId id = c.multicast_at(0, 0, {0, 1});
+    c.run_for(milliseconds(30));
+    for (GroupId g = 0; g < 2; ++g) {
+        for (const ProcessId p : c.topo().members(g)) {
+            const auto it = c.log().deliveries().find(p);
+            ASSERT_NE(it, c.log().deliveries().end());
+            ASSERT_EQ(it->second.size(), 1u);
+            EXPECT_EQ(it->second[0].msg, id);
+            const Duration lat = it->second[0].at;
+            if (p == c.topo().initial_leader(g)) {
+                EXPECT_EQ(lat, 3 * delta) << "leader " << p;
+            } else {
+                EXPECT_EQ(lat, 4 * delta) << "follower " << p;
+            }
+        }
+    }
+}
+
+TEST(WbcastTest, SingleGroupMessageCommitsInThreeDelta) {
+    Cluster c(wb_config(3, 1));
+    const MsgId id = c.multicast_at(0, 0, {1});
+    c.run_for(milliseconds(30));
+    EXPECT_EQ(latency_of(c, id), 3 * delta);
+}
+
+TEST(WbcastTest, ManyGroupsStillThreeDelta) {
+    Cluster c(wb_config(6, 1));
+    const MsgId id = c.multicast_at(0, 0, {0, 1, 2, 3, 4, 5});
+    c.run_for(milliseconds(30));
+    EXPECT_EQ(latency_of(c, id), 3 * delta);
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+}
+
+TEST(WbcastTest, FailureFreeLatencyIsFiveDeltaUnderConvoy) {
+    // The Figure 2 schedule adapted to the white-box protocol: a conflicting
+    // m' reaches group 0's leader just before its clock passes gts(m) (which
+    // happens at 2δ, upon receiving the remote ACCEPT). Delivery of m is
+    // then delayed until m' commits: 5δ in total (Theorem 4).
+    Cluster c(wb_config(2, 2));
+    const Duration eps = microseconds(10);
+    const ProcessId convoy_client = c.topo().client(1);
+    const ProcessId leader0 = c.topo().initial_leader(0);
+    const ProcessId leader1 = c.topo().initial_leader(1);
+    c.world().set_link_override(convoy_client, leader0, eps);
+    c.world().set_link_override(convoy_client, leader1, delta);
+    // Warm group 1's clock so gts(m) = (2, g1) while leader0's clock is 1.
+    c.multicast_at(0, 0, {1});
+    const TimePoint t1 = milliseconds(10);
+    const MsgId m = c.multicast_at(t1, 0, {0, 1});
+    const MsgId m2 = c.multicast_at(t1 + 2 * delta - 2 * eps, 1, {0, 1});
+    c.run_for(milliseconds(60));
+    const auto& rec = c.log().multicasts().at(m);
+    ASSERT_TRUE(rec.partially_delivered());
+    const Duration m_at_g0 = rec.first_delivery.at(0) - rec.multicast_at;
+    EXPECT_GE(m_at_g0, 5 * delta - 3 * eps);
+    EXPECT_LE(m_at_g0, 5 * delta);
+    // Group 1 was unaffected: 3δ there.
+    EXPECT_EQ(rec.first_delivery.at(1) - rec.multicast_at, 3 * delta);
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    (void)m2;
+}
+
+TEST(WbcastTest, DisjointMulticastsDoNotInterfere) {
+    Cluster c(wb_config(4, 2));
+    const MsgId a = c.multicast_at(0, 0, {0, 1});
+    const MsgId b = c.multicast_at(0, 1, {2, 3});
+    c.run_for(milliseconds(30));
+    EXPECT_EQ(latency_of(c, a), 3 * delta);
+    EXPECT_EQ(latency_of(c, b), 3 * delta);
+}
+
+TEST(WbcastTest, GenuinenessHolds) {
+    ClusterConfig cfg = wb_config(5, 2);
+    cfg.trace_sends = true;
+    Cluster c(cfg);
+    c.multicast_at(0, 0, {1, 3});
+    c.multicast_at(microseconds(100), 1, {0, 4});
+    c.run_for(milliseconds(50));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_TRUE(c.check_genuine().ok()) << c.check_genuine().summary();
+}
+
+TEST(WbcastTest, EveryReplicaDeliversExactlyOnce) {
+    ClusterConfig cfg = wb_config(3, 1);
+    cfg.client_retry = milliseconds(4);  // force duplicate MULTICASTs
+    Cluster c(cfg);
+    c.multicast_at(0, 0, {0, 1, 2});
+    c.run_for(milliseconds(100));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    // 3 groups x 3 replicas, one delivery each (Integrity despite retries).
+    EXPECT_EQ(c.log().total_deliveries(), 9u);
+}
+
+TEST(WbcastTest, ConcurrentConflictingBurstKeepsSpecification) {
+    ClusterConfig cfg = wb_config(3, 4);
+    cfg.trace_sends = true;
+    Cluster c(cfg);
+    testutil::WbcastInvariantMonitor monitor;
+    monitor.attach(c.world(), c.topo());
+    // All clients hammer the same two groups at the same instant.
+    for (int cl = 0; cl < 4; ++cl)
+        for (int i = 0; i < 5; ++i)
+            c.multicast_at(i * microseconds(100), cl, {0, 1});
+    c.run_for(milliseconds(100));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_TRUE(monitor.ok()) << monitor.summary();
+    EXPECT_EQ(c.log().completed_count(), 20u);
+}
+
+TEST(WbcastTest, GarbageCollectionCompactsDeliveredEntries) {
+    ClusterConfig cfg = wb_config(2, 1);
+    cfg.replica.gc_interval = milliseconds(10);
+    Cluster c(cfg);
+    for (int i = 0; i < 30; ++i)
+        c.multicast_at(i * microseconds(200), 0, {0, 1},
+                       Bytes(64, 0x5a));  // payload worth compacting
+    c.run_for(milliseconds(200));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    for (ProcessId p = 0; p < c.topo().num_replicas(); ++p) {
+        auto& replica = c.world().process_as<wbcast::WbcastReplica>(p);
+        EXPECT_EQ(replica.compacted_count(), 30u) << "replica " << p;
+        EXPECT_EQ(replica.pending_count(), 0u);
+    }
+}
+
+TEST(WbcastTest, GcDisabledKeepsEntriesIntact) {
+    ClusterConfig cfg = wb_config(2, 1);
+    cfg.replica.gc_enabled = false;
+    Cluster c(cfg);
+    for (int i = 0; i < 10; ++i)
+        c.multicast_at(i * microseconds(200), 0, {0, 1});
+    c.run_for(milliseconds(200));
+    auto& leader = c.world().process_as<wbcast::WbcastReplica>(0);
+    EXPECT_EQ(leader.compacted_count(), 0u);
+    EXPECT_EQ(leader.entry_count(), 10u);
+}
+
+TEST(WbcastTest, MulticastAfterGcStillDelivers) {
+    ClusterConfig cfg = wb_config(2, 1);
+    cfg.replica.gc_interval = milliseconds(10);
+    Cluster c(cfg);
+    for (int i = 0; i < 10; ++i)
+        c.multicast_at(i * microseconds(100), 0, {0, 1});
+    // Long quiet period: everything gets compacted; then more traffic.
+    for (int i = 0; i < 10; ++i)
+        c.multicast_at(milliseconds(100) + i * microseconds(100), 0, {0, 1});
+    c.run_for(milliseconds(300));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_EQ(c.log().completed_count(), 20u);
+}
+
+TEST(WbcastTest, LargePayloadRoundTrips) {
+    Cluster c(wb_config(2, 1));
+    Bytes payload(4096);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(i * 31);
+    c.multicast_at(0, 0, {0, 1}, payload);
+    c.run_for(milliseconds(30));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+}
+
+TEST(WbcastTest, ClocksAgreeWithDeliveredTimestamps) {
+    Cluster c(wb_config(2, 2));
+    c.multicast_at(0, 0, {0, 1});
+    c.multicast_at(microseconds(50), 1, {0, 1});
+    c.run_for(milliseconds(50));
+    // After quiescence every replica's clock is at least the time component
+    // of the highest delivered gts (Invariant 2c's visible effect).
+    for (ProcessId p = 0; p < c.topo().num_replicas(); ++p) {
+        auto& replica = c.world().process_as<wbcast::WbcastReplica>(p);
+        EXPECT_GE(replica.clock(), replica.max_delivered_gts().time);
+    }
+}
+
+// Specification sweep across random workloads, topologies and seeds.
+struct WbSweepParam {
+    std::uint64_t seed;
+    int groups;
+    int group_size;
+    int clients;
+    int messages;
+    int max_dests;
+};
+
+class WbcastSweep : public ::testing::TestWithParam<WbSweepParam> {};
+
+TEST_P(WbcastSweep, SpecificationAndInvariantsHold) {
+    const auto p = GetParam();
+    ClusterConfig cfg = wb_config(p.groups, p.clients, p.seed);
+    cfg.group_size = p.group_size;
+    cfg.trace_sends = true;
+    cfg.make_delays = [] {
+        return std::make_unique<sim::JitterDelay>(microseconds(200),
+                                                  microseconds(1800));
+    };
+    Cluster c(cfg);
+    testutil::WbcastInvariantMonitor monitor;
+    monitor.attach(c.world(), c.topo());
+    Rng rng(p.seed * 101 + 3);
+    testutil::random_workload(c, rng, p.messages, milliseconds(40),
+                              p.max_dests);
+    c.run_for(milliseconds(500));
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    EXPECT_TRUE(c.check_genuine().ok()) << c.check_genuine().summary();
+    EXPECT_TRUE(monitor.ok()) << monitor.summary();
+    EXPECT_EQ(c.log().completed_count(), c.log().multicasts().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, WbcastSweep,
+    ::testing::Values(WbSweepParam{1, 2, 3, 2, 30, 2},
+                      WbSweepParam{2, 3, 3, 3, 50, 3},
+                      WbSweepParam{3, 5, 3, 4, 60, 5},
+                      WbSweepParam{4, 4, 5, 4, 50, 4},
+                      WbSweepParam{5, 2, 5, 6, 80, 2},
+                      WbSweepParam{6, 8, 3, 6, 80, 8},
+                      WbSweepParam{7, 6, 3, 4, 60, 2},
+                      WbSweepParam{8, 3, 7, 3, 40, 3},
+                      WbSweepParam{9, 10, 3, 8, 100, 4},
+                      WbSweepParam{10, 1, 3, 4, 60, 1}));
+
+}  // namespace
+}  // namespace wbam
