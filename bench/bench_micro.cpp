@@ -1,10 +1,22 @@
 // Microbenchmarks of the substrate primitives (google-benchmark): codec
-// round-trips, envelope parsing, simulator event throughput, histogram
-// operations. These have no counterpart figure in the paper; they document
-// the cost floor of the simulation substrate.
+// round-trips, envelope parsing, the codec+fanout copy comparison against
+// the seed's copy-per-recipient wire path, simulator event throughput, and
+// histogram operations. These have no counterpart figure in the paper;
+// they document the cost floor of the simulation substrate.
+//
+// Besides the usual benchmark table, the binary writes BENCH_micro.json
+// (override the path with BENCH_MICRO_JSON) with the fan-out byte-copy
+// accounting, so the perf trajectory of the wire path is machine-readable
+// across PRs.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "codec/wire.hpp"
+#include "common/process.hpp"
 #include "common/rng.hpp"
 #include "common/topology.hpp"
 #include "multicast/message.hpp"
@@ -51,7 +63,7 @@ void BM_AcceptMsgRoundTrip(benchmark::State& state) {
         make_app_message(make_msg_id(1, 1), {0, 1, 2}, Bytes(20, 0x77)), 1,
         Ballot{3, 4}, Timestamp{99, 1}};
     for (auto _ : state) {
-        const Bytes wire = codec::encode_envelope(
+        const Buffer wire = codec::encode_envelope(
             codec::Module::proto,
             static_cast<std::uint8_t>(wbcast::MsgType::accept), a.msg.id, a);
         codec::EnvelopeView env(wire);
@@ -63,7 +75,7 @@ void BM_AcceptMsgRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_AcceptMsgRoundTrip);
 
 void BM_EnvelopePeek(benchmark::State& state) {
-    const Bytes wire = codec::encode_envelope(
+    const Buffer wire = codec::encode_envelope(
         codec::Module::proto, 2, make_msg_id(7, 9),
         wbcast::GcStatusMsg{Timestamp{5, 1}});
     for (auto _ : state) {
@@ -74,6 +86,163 @@ void BM_EnvelopePeek(benchmark::State& state) {
 }
 BENCHMARK(BM_EnvelopePeek);
 
+// --- codec + fan-out copy comparison ----------------------------------------
+//
+// The paper's Fig. 7/8 throughput ceiling is the leaders' serial encode +
+// fan-out cost. A 3-group ACCEPT touches every member of every destination
+// group (9 recipients here). The seed's wire path made one full payload
+// copy per recipient (Context::send_many's default copied Bytes per
+// destination); the shared-buffer substrate freezes one image and fans out
+// refcounted slices. Both paths are measured through the same mock context
+// and accounted with buffer_stats.
+
+// Sink standing in for a runtime: retains slices like the real runtimes do.
+class CollectContext final : public Context {
+public:
+    ProcessId self() const override { return 0; }
+    TimePoint now() const override { return 0; }
+    void send(ProcessId, BufferSlice bytes) override {
+        inboxes.push_back(std::move(bytes));
+    }
+    TimerId set_timer(Duration) override { return invalid_timer; }
+    void cancel_timer(TimerId) override {}
+    Rng& rng() override { return rng_; }
+
+    std::vector<BufferSlice> inboxes;
+
+private:
+    Rng rng_{1};
+};
+
+wbcast::AcceptMsg fanout_accept(std::size_t payload_size) {
+    return wbcast::AcceptMsg{
+        make_app_message(make_msg_id(1, 1), {0, 1, 2},
+                         Bytes(payload_size, 0xab)),
+        0, Ballot{1, 0}, Timestamp{7, 0}};
+}
+
+constexpr int fanout_recipients = 9;  // 3 destination groups x 3 members
+
+// Seed-equivalent path: encode to Bytes, then duplicate the wire image for
+// every recipient (what the pre-refactor Context::send_many default did).
+void fanout_seed_style(const wbcast::AcceptMsg& a, CollectContext& ctx) {
+    codec::Writer w;
+    w.u8(static_cast<std::uint8_t>(codec::Module::proto));
+    w.u8(static_cast<std::uint8_t>(wbcast::MsgType::accept));
+    w.varint(a.msg.id);
+    a.encode(w);
+    const Bytes wire = std::move(w).take();
+    for (int p = 0; p < fanout_recipients; ++p)
+        ctx.send(p, wire);  // lvalue Bytes -> counted per-recipient copy
+}
+
+// Shared-buffer path: freeze one image, fan out slices.
+void fanout_shared(const wbcast::AcceptMsg& a, CollectContext& ctx) {
+    const Buffer wire = codec::encode_envelope(
+        codec::Module::proto, static_cast<std::uint8_t>(wbcast::MsgType::accept),
+        a.msg.id, a);
+    std::vector<ProcessId> recipients(fanout_recipients);
+    for (int p = 0; p < fanout_recipients; ++p) recipients[p] = p;
+    ctx.send_many(recipients, wire);
+}
+
+void BM_AcceptFanoutSeedStyle(benchmark::State& state) {
+    const auto a = fanout_accept(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        CollectContext ctx;
+        fanout_seed_style(a, ctx);
+        benchmark::DoNotOptimize(ctx.inboxes);
+    }
+    state.SetItemsProcessed(state.iterations() * fanout_recipients);
+}
+BENCHMARK(BM_AcceptFanoutSeedStyle)->Arg(20)->Arg(1024)->Arg(4096);
+
+void BM_AcceptFanoutShared(benchmark::State& state) {
+    const auto a = fanout_accept(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        CollectContext ctx;
+        fanout_shared(a, ctx);
+        benchmark::DoNotOptimize(ctx.inboxes);
+    }
+    state.SetItemsProcessed(state.iterations() * fanout_recipients);
+}
+BENCHMARK(BM_AcceptFanoutShared)->Arg(20)->Arg(1024)->Arg(4096);
+
+// One fan-out, decoded at every recipient: byte-copy accounting per path,
+// reported in BENCH_micro.json.
+struct FanoutCopyStats {
+    std::size_t payload = 0;
+    std::uint64_t wire_size = 0;
+    std::uint64_t seed_bytes_copied = 0;
+    std::uint64_t shared_bytes_copied = 0;
+};
+
+FanoutCopyStats measure_fanout_copies(std::size_t payload_size) {
+    FanoutCopyStats out;
+    out.payload = payload_size;
+    const auto a = fanout_accept(payload_size);
+    out.wire_size = codec::encode_envelope(
+                        codec::Module::proto,
+                        static_cast<std::uint8_t>(wbcast::MsgType::accept),
+                        a.msg.id, a)
+                        .size();
+
+    auto run = [&](auto&& fanout) {
+        CollectContext ctx;
+        const std::uint64_t before = buffer_stats::bytes_copied();
+        fanout(a, ctx);
+        for (const BufferSlice& wire : ctx.inboxes) {
+            codec::EnvelopeView env(wire);
+            const auto decoded = wbcast::AcceptMsg::decode(env.body);
+            benchmark::DoNotOptimize(decoded);
+        }
+        return buffer_stats::bytes_copied() - before;
+    };
+    out.seed_bytes_copied = run(fanout_seed_style);
+    out.shared_bytes_copied = run(fanout_shared);
+    return out;
+}
+
+void write_bench_json() {
+    const char* path = std::getenv("BENCH_MICRO_JSON");
+    if (path == nullptr) path = "BENCH_micro.json";
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"bench_micro\",\n");
+    std::fprintf(f, "  \"fanout\": {\n");
+    std::fprintf(f, "    \"scenario\": \"3-group ACCEPT fan-out, %d recipients, encode + deliver + decode\",\n",
+                 fanout_recipients);
+    std::fprintf(f, "    \"payload_sizes\": [\n");
+    const std::size_t sizes[] = {20, 1024, 4096};
+    bool first = true;
+    for (const std::size_t payload : sizes) {
+        const FanoutCopyStats s = measure_fanout_copies(payload);
+        const double ratio =
+            s.shared_bytes_copied == 0
+                ? 0.0
+                : static_cast<double>(s.seed_bytes_copied) /
+                      static_cast<double>(s.shared_bytes_copied);
+        std::fprintf(f, "%s", first ? "" : ",\n");
+        first = false;
+        std::fprintf(f,
+                     "      {\"payload_bytes\": %zu, \"wire_bytes\": %llu, "
+                     "\"seed_bytes_copied\": %llu, "
+                     "\"shared_bytes_copied\": %llu, "
+                     "\"copy_reduction_factor\": %.2f}",
+                     payload,
+                     static_cast<unsigned long long>(s.wire_size),
+                     static_cast<unsigned long long>(s.seed_bytes_copied),
+                     static_cast<unsigned long long>(s.shared_bytes_copied),
+                     ratio);
+    }
+    std::fprintf(f, "\n    ]\n  }\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path);
+}
+
 // A ring of processes forwarding a token: measures raw event overhead of
 // the discrete-event scheduler (heap ops + dispatch + FIFO bookkeeping).
 class RingProcess final : public Process {
@@ -82,7 +251,7 @@ public:
     void on_start(Context& ctx) override {
         if (ctx.self() == 0) ctx.send(next_, Bytes{1});
     }
-    void on_message(Context& ctx, ProcessId, const Bytes& b) override {
+    void on_message(Context& ctx, ProcessId, const BufferSlice& b) override {
         if (--hops_ > 0) ctx.send(next_, b);
     }
     void on_timer(Context&, TimerId) override {}
@@ -142,4 +311,11 @@ BENCHMARK(BM_RngNext);
 }  // namespace
 }  // namespace wbam
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    wbam::write_bench_json();
+    return 0;
+}

@@ -29,7 +29,7 @@ int main() {
     const MsgId a = cluster.multicast_at(0, 0, {0, 1}, {'a'});
     const MsgId b = cluster.multicast_at(microseconds(50), 1, {0, 1}, {'b'});
     // A single-group message ordered only within group 1.
-    const MsgId c = cluster.multicast_at(microseconds(100), 0, {1}, {'c'});
+    (void)cluster.multicast_at(microseconds(100), 0, {1}, {'c'});
     cluster.run_for(milliseconds(50));
 
     auto name = [&](MsgId id) { return id == a ? 'a' : id == b ? 'b' : 'c'; };

@@ -43,14 +43,14 @@ int main() {
         Poster(Topology t, std::string who) : topo(std::move(t)),
                                               who(std::move(who)) {}
         void on_start(Context& c) override { ctx = &c; }
-        void on_message(Context&, ProcessId, const Bytes&) override {}
+        void on_message(Context&, ProcessId, const BufferSlice&) override {}
         void on_timer(Context&, TimerId) override {}
         void post(int i) {
             const std::string text = who + "#" + std::to_string(i);
             const AppMessage m = make_app_message(
                 make_msg_id(ctx->self(), static_cast<std::uint32_t>(i)), {0, 1},
                 Bytes(text.begin(), text.end()));
-            const Bytes wire = encode_multicast_request(m);
+            const Buffer wire = encode_multicast_request(m);
             ctx->send(topo.initial_leader(0), wire);
             ctx->send(topo.initial_leader(1), wire);
         }

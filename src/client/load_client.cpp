@@ -28,12 +28,12 @@ void LoadClient::issue(Context& ctx) {
     acked_.clear();
     issued_at_ = ctx.now();
     coordinator_->note_multicast(id, ctx.now(), current_msg_.dests.size());
-    const Bytes wire = encode_multicast_request(current_msg_);
+    const Buffer wire = encode_multicast_request(current_msg_);
     for (const GroupId g : current_msg_.dests)
         ctx.send(topo_.initial_leader(g), wire);
 }
 
-void LoadClient::on_message(Context& ctx, ProcessId, const Bytes& bytes) {
+void LoadClient::on_message(Context& ctx, ProcessId, const BufferSlice& bytes) {
     const codec::EnvelopeView env(bytes);
     if (env.module != codec::Module::client ||
         env.type != static_cast<std::uint8_t>(ClientMsgType::deliver_ack))
@@ -51,7 +51,7 @@ void LoadClient::on_timer(Context& ctx, TimerId id) {
     if (ctx.now() - issued_at_ < pattern_.retry) return;
     // Stuck (lost message or leader change): re-broadcast to every member
     // of the unacked groups.
-    const Bytes wire = encode_multicast_request(current_msg_);
+    const Buffer wire = encode_multicast_request(current_msg_);
     for (const GroupId g : current_msg_.dests) {
         if (acked_.count(g)) continue;
         for (const ProcessId p : topo_.members(g)) ctx.send(p, wire);

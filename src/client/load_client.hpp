@@ -26,7 +26,8 @@ public:
           pattern_(pattern) {}
 
     void on_start(Context& ctx) override;
-    void on_message(Context& ctx, ProcessId from, const Bytes& bytes) override;
+    void on_message(Context& ctx, ProcessId from,
+                    const BufferSlice& bytes) override;
     void on_timer(Context& ctx, TimerId id) override;
 
     std::uint32_t issued() const { return seq_; }

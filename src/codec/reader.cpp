@@ -56,9 +56,30 @@ bool Reader::boolean() {
 Bytes Reader::bytes() {
     const std::uint64_t n = varint();
     need(n);
+    buffer_stats::note_copy(n);
     Bytes out(p_, p_ + n);
     p_ += n;
     return out;
+}
+
+BufferSlice Reader::take_slice(std::size_t n) {
+    need(n);
+    BufferSlice out;
+    if (backing_.data() != nullptr) {
+        // Aliasing view into the backing buffer — zero-copy.
+        out = BufferSlice(backing_,
+                          static_cast<std::size_t>(p_ - backing_.data()), n);
+    } else {
+        out = Buffer::copy_of(p_, n);
+    }
+    p_ += n;
+    return out;
+}
+
+BufferSlice Reader::bytes_slice() {
+    const std::uint64_t n = varint();
+    need(n);
+    return take_slice(static_cast<std::size_t>(n));
 }
 
 std::string Reader::str() {

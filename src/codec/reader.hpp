@@ -2,6 +2,11 @@
 // problem in the input (truncation, overlong varint, invalid boolean,
 // oversized collection) raises DecodeError; decoders never read past the
 // end of the buffer.
+//
+// A Reader constructed from a BufferSlice parses in place and retains the
+// backing storage, so aliasing reads (bytes_slice, take_slice) return
+// zero-copy views that stay valid after the Reader is gone. Readers over
+// raw pointers/Bytes still work; their aliasing reads fall back to copies.
 #ifndef WBAM_CODEC_READER_HPP
 #define WBAM_CODEC_READER_HPP
 
@@ -22,6 +27,9 @@ class Reader {
 public:
     Reader(const std::uint8_t* data, std::size_t n) : p_(data), end_(data + n) {}
     explicit Reader(const Bytes& b) : Reader(b.data(), b.size()) {}
+    // Parses in place over the slice; retains its storage for aliasing reads.
+    explicit Reader(const BufferSlice& s)
+        : p_(s.data()), end_(s.data() + s.size()), backing_(s.buffer()) {}
 
     std::uint8_t u8();
     std::uint16_t u16();
@@ -33,6 +41,13 @@ public:
 
     Bytes bytes();
     std::string str();
+
+    // Length-prefixed byte string as a view. Zero-copy when the Reader is
+    // backed by a BufferSlice (the view aliases the original buffer);
+    // otherwise a counted copy into a fresh buffer.
+    BufferSlice bytes_slice();
+    // Raw aliasing read of the next `n` bytes (no length prefix).
+    BufferSlice take_slice(std::size_t n);
 
     // Declared length of a collection; validated against at least one byte
     // per element remaining, so hostile inputs cannot force huge allocations.
@@ -48,6 +63,7 @@ private:
 
     const std::uint8_t* p_;
     const std::uint8_t* end_;
+    Buffer backing_;  // empty unless constructed from a BufferSlice
 };
 
 }  // namespace wbam::codec

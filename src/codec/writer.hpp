@@ -1,5 +1,11 @@
 // Append-only binary encoder. Fixed-width integers are little-endian;
 // unsigned varints use LEB128; signed integers use zigzag varints.
+//
+// reserve/patch: a caller that does not know a fixed-width field's value
+// up front (a batch count, a length header) reserves its bytes, keeps
+// appending, and patches the value in afterwards — one encoding pass, no
+// re-serialisation. take_buffer() freezes the result into an immutable
+// shared Buffer for fan-out without further copies.
 #ifndef WBAM_CODEC_WRITER_HPP
 #define WBAM_CODEC_WRITER_HPP
 
@@ -13,6 +19,9 @@ namespace wbam::codec {
 
 class Writer {
 public:
+    // Position of a reserved fixed-width field, to be patched later.
+    using Mark = std::size_t;
+
     Writer() = default;
 
     void u8(std::uint8_t v) { buf_.push_back(v); }
@@ -27,10 +36,21 @@ public:
     void raw(const std::uint8_t* data, std::size_t n);
     // Length-prefixed byte string.
     void bytes(const Bytes& b);
+    void bytes(const BufferSlice& s);
     void str(std::string_view s);
+
+    // Reserve fixed-width fields now, patch their values once known.
+    Mark reserve_u8();
+    Mark reserve_u16();
+    Mark reserve_u32();
+    void patch_u8(Mark at, std::uint8_t v);
+    void patch_u16(Mark at, std::uint16_t v);
+    void patch_u32(Mark at, std::uint32_t v);
 
     std::size_t size() const { return buf_.size(); }
     Bytes take() && { return std::move(buf_); }
+    // Freezes the encoded image into a shared immutable buffer (no copy).
+    Buffer take_buffer() && { return Buffer(std::move(buf_)); }
     const Bytes& buffer() const { return buf_; }
 
 private:

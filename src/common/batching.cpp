@@ -1,0 +1,56 @@
+#include "common/batching.hpp"
+
+#include "codec/wire.hpp"
+
+namespace wbam {
+
+namespace {
+// Per-entry framing overhead bound: varint length (<=5 for u32 sizes).
+constexpr std::size_t entry_overhead = 5;
+// Frame header: module + type + varint(invalid_msg = 0) + u32 count.
+constexpr std::size_t frame_overhead = 7;
+}  // namespace
+
+BatchingContext::PerDest& BatchingContext::dest(ProcessId to) {
+    for (auto& d : dests_)
+        if (d.to == to) return d;
+    PerDest d;
+    d.to = to;
+    dests_.push_back(std::move(d));
+    return dests_.back();
+}
+
+void BatchingContext::send(ProcessId to, BufferSlice bytes) {
+    PerDest& d = dest(to);
+    if (max_batch_bytes_ != 0 && !d.pending.empty() &&
+        frame_overhead + d.pending_bytes + bytes.size() + entry_overhead >
+            max_batch_bytes_)
+        emit(d);
+    d.pending_bytes += bytes.size() + entry_overhead;
+    d.pending.push_back(std::move(bytes));
+}
+
+void BatchingContext::emit(PerDest& d) {
+    if (d.pending.empty()) return;
+    if (d.pending.size() == 1) {
+        // No framing overhead for a lone message.
+        inner_.send(d.to, std::move(d.pending.front()));
+    } else {
+        inner_.send(d.to, codec::encode_batch_frame(d.pending));
+    }
+    d.pending.clear();
+    d.pending_bytes = 0;
+}
+
+void BatchingContext::flush() {
+    for (auto& d : dests_) emit(d);
+    dests_.clear();
+}
+
+std::size_t BatchingContext::pending_messages() const {
+    std::size_t n = 0;
+    for (const auto& d : dests_) n += d.pending.size();
+    return n;
+}
+
+}  // namespace wbam

@@ -2,6 +2,11 @@
 // client, workload driver) implements Process and is driven by a runtime
 // (discrete-event simulator or the threaded real-time runtime) through
 // Context. Handlers run single-threaded per process in both runtimes.
+//
+// The wire path is zero-copy: senders hand the runtime a BufferSlice view
+// of an immutable ref-counted Buffer; runtimes retain the slice (mailboxes
+// and in-flight events hold slices, not byte vectors) and hand the same
+// storage to every recipient of a fan-out.
 #ifndef WBAM_COMMON_PROCESS_HPP
 #define WBAM_COMMON_PROCESS_HPP
 
@@ -25,18 +30,20 @@ public:
     virtual ProcessId self() const = 0;
     virtual TimePoint now() const = 0;
 
-    // Asynchronous, reliable, FIFO point-to-point send. Self-sends are
-    // delivered with zero network delay (but still asynchronously, never
-    // re-entrantly).
-    virtual void send(ProcessId to, Bytes bytes) = 0;
+    // Asynchronous, reliable, FIFO point-to-point send. The runtime shares
+    // the slice's storage; the caller must not assume when it is released.
+    // Self-sends are delivered with zero network delay (but still
+    // asynchronously, never re-entrantly).
+    virtual void send(ProcessId to, BufferSlice bytes) = 0;
 
-    // Fan-out send of one buffer to several recipients; runtimes may share
-    // the underlying buffer (the simulator does).
-    virtual void send_many(const std::vector<ProcessId>& to, Bytes bytes) {
-        for (const ProcessId p : to) {
-            Bytes copy = bytes;
-            send(p, std::move(copy));
-        }
+    // Fan-out send of one buffer to several recipients; every recipient
+    // shares the underlying storage. The default retains the slice once per
+    // extra recipient (refcount bumps only) and moves it into the final
+    // send instead of making a redundant extra retain.
+    virtual void send_many(const std::vector<ProcessId>& to, BufferSlice bytes) {
+        if (to.empty()) return;
+        for (std::size_t i = 0; i + 1 < to.size(); ++i) send(to[i], bytes);
+        send(to.back(), std::move(bytes));
     }
 
     // One-shot timer; fires on_timer(id) after `delay` unless cancelled.
@@ -57,7 +64,10 @@ public:
     virtual ~Process() = default;
 
     virtual void on_start(Context& ctx) = 0;
-    virtual void on_message(Context& ctx, ProcessId from, const Bytes& bytes) = 0;
+    // `bytes` aliases the sender's frozen buffer; decode in place. Slices
+    // the handler keeps (or subslices it cuts) stay valid indefinitely.
+    virtual void on_message(Context& ctx, ProcessId from,
+                            const BufferSlice& bytes) = 0;
     virtual void on_timer(Context& ctx, TimerId id) = 0;
 };
 

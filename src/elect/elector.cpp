@@ -29,7 +29,7 @@ void Elector::start(Context& ctx) {
 }
 
 void Elector::broadcast_heartbeat(Context& ctx) {
-    const Bytes wire = codec::encode_envelope(codec::Module::elect,
+    const Buffer wire = codec::encode_envelope(codec::Module::elect,
                                               heartbeat_type, invalid_msg);
     for (const ProcessId p : members_)
         if (p != ctx.self()) ctx.send(p, wire);

@@ -1,6 +1,7 @@
 #include "fastcast/fastcast.hpp"
 
 #include "common/assert.hpp"
+#include "common/batching.hpp"
 #include "common/log.hpp"
 
 namespace wbam::fastcast {
@@ -43,7 +44,19 @@ void FastCastReplica::on_start(Context& ctx) {
 }
 
 void FastCastReplica::on_message(Context& ctx, ProcessId from,
-                                 const Bytes& bytes) {
+                       const BufferSlice& bytes) {
+    if (!cfg_.batching_enabled) {
+        dispatch_message(ctx, from, bytes);
+        return;
+    }
+    // Coalesce same-destination sends (the paxos phase-2 fan-out in
+    // particular) into batch frames flushed at handler exit.
+    BatchingContext batched(ctx, cfg_.batch_max_bytes);
+    dispatch_message(batched, from, bytes);
+}
+
+void FastCastReplica::dispatch_message(Context& ctx, ProcessId from,
+                                 const BufferSlice& bytes) {
     codec::EnvelopeView env(bytes);
     if (elector_.handle_message(ctx, from, env)) return;
     if (paxos_.handle_message(ctx, from, env)) return;
@@ -89,7 +102,7 @@ void FastCastReplica::start_speculation(Context& ctx, const AppMessage& m) {
 
 void FastCastReplica::send_spec_propose(Context& ctx, const AppMessage& m,
                                         Timestamp lts, bool broadcast) {
-    const Bytes wire = codec::encode_envelope(
+    const Buffer wire = codec::encode_envelope(
         proto, static_cast<std::uint8_t>(MsgType::spec_propose), m.id,
         SpecProposeMsg{m, g0_, lts});
     for (const GroupId g : m.dests) {
@@ -177,7 +190,7 @@ void FastCastReplica::apply_propose(Context& ctx, const ProposeCmd& cmd) {
 
 void FastCastReplica::send_confirm(Context& ctx, const Entry& e,
                                    bool broadcast) {
-    const Bytes wire = codec::encode_envelope(
+    const Buffer wire = codec::encode_envelope(
         proto, static_cast<std::uint8_t>(MsgType::confirm), e.msg.id,
         ConfirmMsg{e.msg.id, g0_, e.lts});
     for (const GroupId g : e.msg.dests) {
@@ -276,7 +289,7 @@ void FastCastReplica::try_deliver(Context& ctx) {
     if (floor > bottom_ts && floor == max_delivered_gts_) {
         // Release follower deliveries up to the new floor, off the critical
         // path (they already hold the committed entries via the RSM).
-        const Bytes wire = codec::encode_envelope(
+        const Buffer wire = codec::encode_envelope(
             proto, static_cast<std::uint8_t>(MsgType::deliver_floor),
             invalid_msg, DeliverFloorMsg{floor});
         for (const ProcessId p : topo_.members(g0_))
@@ -302,6 +315,15 @@ void FastCastReplica::deliver_upto(Context& ctx, Timestamp floor) {
 }
 
 void FastCastReplica::on_timer(Context& ctx, TimerId id) {
+    if (!cfg_.batching_enabled) {
+        dispatch_timer(ctx, id);
+        return;
+    }
+    BatchingContext batched(ctx, cfg_.batch_max_bytes);
+    dispatch_timer(batched, id);
+}
+
+void FastCastReplica::dispatch_timer(Context& ctx, TimerId id) {
     if (elector_.handle_timer(ctx, id)) return;
     if (id != tick_timer_) return;
     tick_timer_ = ctx.set_timer(cfg_.retry_interval);
@@ -333,7 +355,7 @@ void FastCastReplica::on_timer(Context& ctx, TimerId id) {
     // Periodically re-announce the delivery floor so lagging followers
     // catch up even during quiet periods.
     if (max_delivered_gts_ > bottom_ts) {
-        const Bytes wire = codec::encode_envelope(
+        const Buffer wire = codec::encode_envelope(
             proto, static_cast<std::uint8_t>(MsgType::deliver_floor),
             invalid_msg, DeliverFloorMsg{max_delivered_gts_});
         for (const ProcessId p : topo_.members(g0_))

@@ -133,8 +133,14 @@ public:
                     ReplicaConfig cfg = {});
 
     void on_start(Context& ctx) override;
-    void on_message(Context& ctx, ProcessId from, const Bytes& bytes) override;
+    void on_message(Context& ctx, ProcessId from,
+                    const BufferSlice& bytes) override;
     void on_timer(Context& ctx, TimerId id) override;
+
+    // Handler bodies, wrapped in a BatchingContext when enabled.
+    void dispatch_message(Context& ctx, ProcessId from,
+                          const BufferSlice& bytes);
+    void dispatch_timer(Context& ctx, TimerId id);
 
     bool is_leader() const { return paxos_.is_leader(); }
     std::uint64_t clock() const { return clock_; }

@@ -1,6 +1,7 @@
 #include "ftskeen/ftskeen.hpp"
 
 #include "common/assert.hpp"
+#include "common/batching.hpp"
 #include "common/log.hpp"
 
 namespace wbam::ftskeen {
@@ -43,7 +44,19 @@ void FtSkeenReplica::on_start(Context& ctx) {
 }
 
 void FtSkeenReplica::on_message(Context& ctx, ProcessId from,
-                                const Bytes& bytes) {
+                      const BufferSlice& bytes) {
+    if (!cfg_.batching_enabled) {
+        dispatch_message(ctx, from, bytes);
+        return;
+    }
+    // Coalesce same-destination sends (the paxos phase-2 fan-out in
+    // particular) into batch frames flushed at handler exit.
+    BatchingContext batched(ctx, cfg_.batch_max_bytes);
+    dispatch_message(batched, from, bytes);
+}
+
+void FtSkeenReplica::dispatch_message(Context& ctx, ProcessId from,
+                                const BufferSlice& bytes) {
     codec::EnvelopeView env(bytes);
     if (elector_.handle_message(ctx, from, env)) return;
     if (paxos_.handle_message(ctx, from, env)) return;
@@ -79,7 +92,7 @@ void FtSkeenReplica::handle_multicast(Context& ctx, const AppMessage& m) {
 
 void FtSkeenReplica::send_propose_ts(Context& ctx, const Entry& e) {
     propose_ts_sent_[e.msg.id] = ctx.now();
-    const Bytes wire = codec::encode_envelope(
+    const Buffer wire = codec::encode_envelope(
         proto, static_cast<std::uint8_t>(MsgType::propose_ts), e.msg.id,
         ProposeTsMsg{e.msg, g0_, e.lts});
     for (const GroupId g : e.msg.dests) {
@@ -189,6 +202,15 @@ void FtSkeenReplica::try_deliver(Context& ctx) {
 }
 
 void FtSkeenReplica::on_timer(Context& ctx, TimerId id) {
+    if (!cfg_.batching_enabled) {
+        dispatch_timer(ctx, id);
+        return;
+    }
+    BatchingContext batched(ctx, cfg_.batch_max_bytes);
+    dispatch_timer(batched, id);
+}
+
+void FtSkeenReplica::dispatch_timer(Context& ctx, TimerId id) {
     if (elector_.handle_timer(ctx, id)) return;
     if (id != tick_timer_) return;
     tick_timer_ = ctx.set_timer(cfg_.retry_interval);
@@ -204,7 +226,7 @@ void FtSkeenReplica::on_timer(Context& ctx, TimerId id) {
             // Broadcast to whole remote groups: the leader guess may be
             // stale after remote leader changes.
             propose_ts_sent_[mid] = ctx.now();
-            const Bytes wire = codec::encode_envelope(
+            const Buffer wire = codec::encode_envelope(
                 proto, static_cast<std::uint8_t>(MsgType::propose_ts), mid,
                 ProposeTsMsg{e.msg, g0_, e.lts});
             for (const GroupId g : e.msg.dests)

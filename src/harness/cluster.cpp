@@ -33,11 +33,11 @@ void ScriptedClient::multicast(const AppMessage& m) {
     pending.msg = m;
     pending.last_send = ctx_->now();
     // First attempt goes to the initial-leader guess of each group.
-    const Bytes wire = encode_multicast_request(m);
+    const Buffer wire = encode_multicast_request(m);
     for (const GroupId g : m.dests) ctx_->send(topo_.initial_leader(g), wire);
 }
 
-void ScriptedClient::on_message(Context&, ProcessId, const Bytes& bytes) {
+void ScriptedClient::on_message(Context&, ProcessId, const BufferSlice& bytes) {
     const codec::EnvelopeView env(bytes);
     if (env.module != codec::Module::client ||
         env.type != static_cast<std::uint8_t>(ClientMsgType::deliver_ack))
@@ -58,7 +58,7 @@ void ScriptedClient::on_timer(Context& ctx, TimerId id) {
         pending.last_send = ctx.now();
         // The leader guess may be stale (leader changed or message lost):
         // fall back to broadcasting to every member of unacked groups.
-        const Bytes wire = encode_multicast_request(pending.msg);
+        const Buffer wire = encode_multicast_request(pending.msg);
         for (const GroupId g : pending.msg.dests) {
             if (pending.acked.count(g)) continue;
             for (const ProcessId p : topo_.members(g)) ctx.send(p, wire);

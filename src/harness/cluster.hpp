@@ -38,7 +38,8 @@ public:
     ScriptedClient(const Topology& topo, DeliveryLog* log, Duration retry);
 
     void on_start(Context& ctx) override;
-    void on_message(Context& ctx, ProcessId from, const Bytes& bytes) override;
+    void on_message(Context& ctx, ProcessId from,
+                    const BufferSlice& bytes) override;
     void on_timer(Context& ctx, TimerId id) override;
 
     // Must be called from inside a simulator event.

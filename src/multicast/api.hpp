@@ -38,14 +38,15 @@ struct DeliverAckMsg {
 };
 
 // MULTICAST(m) as sent by clients, and re-sent by replicas during message
-// recovery (retry(m), §IV).
-inline Bytes encode_multicast_request(const AppMessage& m) {
+// recovery (retry(m), §IV). Returns a frozen shared buffer: send it to any
+// number of recipients without re-encoding or copying.
+inline Buffer encode_multicast_request(const AppMessage& m) {
     return codec::encode_envelope(
         codec::Module::client, static_cast<std::uint8_t>(ClientMsgType::multicast),
         m.id, m);
 }
 
-inline Bytes encode_deliver_ack(GroupId group, MsgId id) {
+inline Buffer encode_deliver_ack(GroupId group, MsgId id) {
     return codec::encode_envelope(
         codec::Module::client,
         static_cast<std::uint8_t>(ClientMsgType::deliver_ack), id,
@@ -63,6 +64,12 @@ struct ReplicaConfig {
     // Garbage collection of delivered messages (wbcast only).
     bool gc_enabled = true;
     Duration gc_interval = milliseconds(250);
+    // Leader-side send batching (BatchingContext): coalesce same-destination
+    // sends made within one handler into a single batch frame, flushed at
+    // handler exit. Off by default; adopted by the wbcast ACCEPT/DELIVER
+    // fan-out and the paxos phase-2 path of the black-box baselines.
+    bool batching_enabled = false;
+    std::uint32_t batch_max_bytes = 16 * 1024;
     // --- implementation-cost model (benchmarks only; zero in tests) --------
     // Charged at a Paxos leader per consensus command it drives through the
     // engine: the black-box baselines pay it twice per message (once per

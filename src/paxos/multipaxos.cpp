@@ -55,7 +55,7 @@ void MultiPaxos::maybe_lead(Context& ctx) {
     phase1_started_ = ctx.now();
     p1b_acks_.clear();
     log::info("paxos p", self_, " phase1 at ", to_string(my_ballot_));
-    const Bytes wire = codec::encode_envelope(
+    const Buffer wire = codec::encode_envelope(
         mod, type_of(MsgType::p1a), invalid_msg,
         P1aMsg{my_ballot_, applied_upto_ + 1});
     for (const ProcessId p : members_) ctx.send(p, wire);
@@ -224,7 +224,7 @@ void MultiPaxos::on_tick(Context& ctx) {
     for (auto& [slot, inflight] : inflight_) {
         if (ctx.now() - inflight.last_sent < cfg_.retry_interval) continue;
         inflight.last_sent = ctx.now();
-        const Bytes wire = codec::encode_envelope(
+        const Buffer wire = codec::encode_envelope(
             mod, type_of(MsgType::p2a), inflight.cmd.about,
             P2aMsg{my_ballot_, slot, inflight.cmd});
         for (const ProcessId p : members_) ctx.send(p, wire);

@@ -66,7 +66,6 @@ private:
         TimePoint last_sent = 0;
     };
 
-    void broadcast(Context& ctx, MsgType type, MsgId about, const Bytes& wire);
     void propose_at(Context& ctx, std::uint64_t slot, Command cmd);
     void mark_chosen(Context& ctx, std::uint64_t slot, Command cmd,
                      bool announce);

@@ -4,7 +4,7 @@
 #include <chrono>
 #include <unordered_set>
 
-#include "codec/reader.hpp"
+#include "codec/wire.hpp"
 #include "common/assert.hpp"
 
 namespace wbam::runtime {
@@ -35,7 +35,7 @@ struct ThreadedWorld::HostContext final : Context {
 
     ProcessId self() const override { return host->id; }
     TimePoint now() const override { return world->now(); }
-    void send(ProcessId to, Bytes bytes) override {
+    void send(ProcessId to, BufferSlice bytes) override {
         world->enqueue_wire(host->id, to, std::move(bytes));
     }
     TimerId set_timer(Duration delay) override {
@@ -119,7 +119,8 @@ void ThreadedWorld::shutdown() {
     threads_.clear();
 }
 
-void ThreadedWorld::enqueue_wire(ProcessId from, ProcessId to, Bytes bytes) {
+void ThreadedWorld::enqueue_wire(ProcessId from, ProcessId to,
+                                 BufferSlice bytes) {
     const std::lock_guard<std::mutex> guard(net_mutex_);
     Duration delay = 0;
     if (from != to) delay = delays_->sample(from, to, bytes.size(), net_rng_);
@@ -192,11 +193,12 @@ void ThreadedWorld::host_loop(Host& host) {
                 host.proc->on_start(*host.ctx);
                 break;
             case Mail::Kind::message:
-                try {
-                    host.proc->on_message(*host.ctx, mail.from, mail.bytes);
-                } catch (const codec::DecodeError&) {
-                    // Malformed input is dropped (see sim::World).
-                }
+                // Batch frames unwrap into their enclosed envelopes
+                // (zero-copy subslices); everything else arrives verbatim.
+                codec::deliver_unwrapped(
+                    mail.bytes, [&](const BufferSlice& msg) {
+                        deliver(host, mail.from, msg);
+                    });
                 break;
             case Mail::Kind::timer:
                 host.proc->on_timer(*host.ctx, mail.timer);
@@ -204,6 +206,15 @@ void ThreadedWorld::host_loop(Host& host) {
             case Mail::Kind::stop:
                 return;
         }
+    }
+}
+
+void ThreadedWorld::deliver(Host& host, ProcessId from,
+                            const BufferSlice& bytes) {
+    try {
+        host.proc->on_message(*host.ctx, from, bytes);
+    } catch (const codec::DecodeError&) {
+        // Malformed input is dropped (see sim::World).
     }
 }
 

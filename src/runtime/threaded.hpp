@@ -45,11 +45,13 @@ public:
     TimePoint now() const;
 
 private:
+    // Mailboxes hold slices of the sender's frozen buffer: a fan-out posts
+    // the same storage to every recipient, and the handler decodes in place.
     struct Mail {
         enum class Kind : std::uint8_t { start, message, timer, stop };
         Kind kind = Kind::message;
         ProcessId from = invalid_process;
-        Bytes bytes;
+        BufferSlice bytes;
         TimerId timer = invalid_timer;
     };
 
@@ -58,7 +60,8 @@ private:
 
     void dispatcher_loop();
     void host_loop(Host& host);
-    void enqueue_wire(ProcessId from, ProcessId to, Bytes bytes);
+    void deliver(Host& host, ProcessId from, const BufferSlice& bytes);
+    void enqueue_wire(ProcessId from, ProcessId to, BufferSlice bytes);
     void post(ProcessId to, Mail mail);
 
     struct Flight {
@@ -66,7 +69,7 @@ private:
         std::uint64_t seq = 0;
         ProcessId from = invalid_process;
         ProcessId to = invalid_process;
-        Bytes bytes;
+        BufferSlice bytes;
         TimerId timer = invalid_timer;  // set for timer flights
         bool operator>(const Flight& o) const {
             return due != o.due ? due > o.due : seq > o.seq;

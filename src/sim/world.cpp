@@ -16,10 +16,11 @@ struct World::Host final {
 
         ProcessId self() const override { return id; }
         TimePoint now() const override { return world->now(); }
-        void send(ProcessId to, Bytes bytes) override {
+        void send(ProcessId to, BufferSlice bytes) override {
             world->send_from(id, to, std::move(bytes));
         }
-        void send_many(const std::vector<ProcessId>& to, Bytes bytes) override {
+        void send_many(const std::vector<ProcessId>& to,
+                       BufferSlice bytes) override {
             world->send_many_from(id, to, std::move(bytes));
         }
         TimerId set_timer(Duration delay) override {
@@ -162,15 +163,17 @@ void World::execute(Event& ev) {
             Host& h = host(ev.pid);
             if (h.crashed) return;
             if (cpu_.is_zero()) {
-                dispatch_message(h, ev.from, *ev.payload);
+                dispatch_message(h, ev.from, ev.payload);
                 return;
             }
             // An idle process pays the wakeup cost; a busy one drains its
-            // backlog without it (event-loop batching).
+            // backlog without it (event-loop batching). The cost covers the
+            // true wire size: a batch frame is one message worth of wakeup
+            // and per-message cost, plus its full byte count.
             const bool idle = h.busy_until <= now_;
             const TimePoint begin = std::max(now_, h.busy_until);
             const TimePoint done =
-                begin + cpu_.cost(ev.payload->size()) + (idle ? cpu_.wakeup : 0);
+                begin + cpu_.cost(ev.payload.size()) + (idle ? cpu_.wakeup : 0);
             h.busy_total += done - begin;
             h.busy_until = done;
             push(Event{.at = done, .kind = Kind::msg_exec, .pid = ev.pid,
@@ -180,7 +183,7 @@ void World::execute(Event& ev) {
         case Kind::msg_exec: {
             Host& h = host(ev.pid);
             if (h.crashed) return;
-            dispatch_message(h, ev.from, *ev.payload);
+            dispatch_message(h, ev.from, ev.payload);
             return;
         }
         case Kind::timer_fire: {
@@ -208,7 +211,7 @@ void World::execute(Event& ev) {
     }
 }
 
-void World::dispatch_message(Host& h, ProcessId from, const Bytes& bytes) {
+void World::dispatch_one(Host& h, ProcessId from, const BufferSlice& bytes) {
     try {
         h.proc->on_message(h.ctx, from, bytes);
     } catch (const codec::DecodeError& err) {
@@ -219,14 +222,25 @@ void World::dispatch_message(Host& h, ProcessId from, const Bytes& bytes) {
     }
 }
 
+void World::dispatch_message(Host& h, ProcessId from, const BufferSlice& bytes) {
+    codec::deliver_unwrapped(bytes, [&](const BufferSlice& msg) {
+        // A handler may crash this process mid-batch; later entries of the
+        // same frame are then dropped like any other in-flight message.
+        if (h.crashed) return;
+        dispatch_one(h, from, msg);
+    });
+}
+
 // --- network --------------------------------------------------------------
 
-void World::record_send(ProcessId from, ProcessId to, const Bytes& bytes) {
+void World::record_one(ProcessId from, ProcessId to, const BufferSlice& bytes,
+                       std::uint32_t frame_overhead) {
     SendRecord rec;
     rec.at = now_;
     rec.from = from;
     rec.to = to;
     rec.size = static_cast<std::uint32_t>(bytes.size());
+    rec.frame_overhead = frame_overhead;
     try {
         const codec::EnvelopeView env(bytes);
         rec.module = static_cast<std::uint8_t>(env.module);
@@ -242,31 +256,53 @@ void World::record_send(ProcessId from, ProcessId to, const Bytes& bytes) {
     }
 }
 
-void World::send_from(ProcessId from, ProcessId to, Bytes bytes) {
-    WBAM_ASSERT(to >= 0 && static_cast<std::size_t>(to) < hosts_.size());
-    if (tracing_ || send_hook_) record_send(from, to, bytes);
-    auto payload = std::make_shared<const Bytes>(std::move(bytes));
-    const std::uint64_t key = link_key(from, to);
-    if (blocked_links_.count(link_key(std::min(from, to), std::max(from, to)))) {
-        held_[key].push_back(std::move(payload));
+void World::record_send(ProcessId from, ProcessId to, const BufferSlice& bytes) {
+    if (!codec::is_batch_frame(bytes)) {
+        record_one(from, to, bytes, 0);
         return;
     }
-    schedule_arrival(from, to, std::move(payload));
+    // Expand batch frames so checkers observe individual protocol messages
+    // with true byte accounting: the framing overhead is attributed to the
+    // first enclosed record.
+    const auto subs = codec::parse_batch(bytes);
+    if (!subs) {
+        record_one(from, to, bytes, 0);  // not a well-formed frame
+        return;
+    }
+    std::uint64_t inner = 0;
+    for (const BufferSlice& sub : *subs) inner += sub.size();
+    bool first = true;
+    for (const BufferSlice& sub : *subs) {
+        record_one(from, to, sub,
+                   first ? static_cast<std::uint32_t>(bytes.size() - inner) : 0);
+        first = false;
+    }
+}
+
+void World::send_from(ProcessId from, ProcessId to, BufferSlice bytes) {
+    WBAM_ASSERT(to >= 0 && static_cast<std::size_t>(to) < hosts_.size());
+    if (tracing_ || send_hook_) record_send(from, to, bytes);
+    const std::uint64_t key = link_key(from, to);
+    if (blocked_links_.count(link_key(std::min(from, to), std::max(from, to)))) {
+        held_[key].push_back(std::move(bytes));
+        return;
+    }
+    schedule_arrival(from, to, std::move(bytes));
 }
 
 void World::send_many_from(ProcessId from, const std::vector<ProcessId>& to,
-                           Bytes bytes) {
-    // One shared buffer for the whole fan-out.
-    auto payload = std::make_shared<const Bytes>(std::move(bytes));
+                           BufferSlice bytes) {
+    // Every recipient shares the slice's storage: the fan-out costs one
+    // refcount bump per recipient, zero byte copies.
     for (const ProcessId t : to) {
         WBAM_ASSERT(t >= 0 && static_cast<std::size_t>(t) < hosts_.size());
-        if (tracing_ || send_hook_) record_send(from, t, *payload);
+        if (tracing_ || send_hook_) record_send(from, t, bytes);
         if (blocked_links_.count(
                 link_key(std::min(from, t), std::max(from, t)))) {
-            held_[link_key(from, t)].push_back(payload);
+            held_[link_key(from, t)].push_back(bytes);
             continue;
         }
-        schedule_arrival(from, t, payload);
+        schedule_arrival(from, t, bytes);
     }
 }
 
@@ -276,7 +312,7 @@ void World::schedule_arrival(ProcessId from, ProcessId to, Payload payload) {
         const auto it = link_overrides_.find(link_key(from, to));
         delay = it != link_overrides_.end()
                     ? it->second
-                    : delays_->sample(from, to, payload->size(), net_rng_);
+                    : delays_->sample(from, to, payload.size(), net_rng_);
     }
     WBAM_ASSERT(delay >= 0);
     const std::uint64_t key = link_key(from, to);
@@ -336,7 +372,7 @@ void World::block_link(ProcessId a, ProcessId b) {
 void World::unblock_link(ProcessId a, ProcessId b) {
     blocked_links_.erase(link_key(std::min(a, b), std::max(a, b)));
     // Release held messages in FIFO order with fresh delays.
-    for (const auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
         const auto it = held_.find(link_key(from, to));
         if (it == held_.end()) continue;
         std::vector<Payload> msgs = std::move(it->second);
@@ -368,7 +404,7 @@ void World::enable_send_trace(bool on, bool keep_bodies) {
 }
 
 void World::set_send_hook(
-    std::function<void(const SendRecord&, const Bytes&)> hook) {
+    std::function<void(const SendRecord&, const BufferSlice&)> hook) {
     send_hook_ = std::move(hook);
 }
 

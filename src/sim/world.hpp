@@ -38,7 +38,11 @@ struct CpuModel {
 };
 
 // One recorded send, with the envelope header pre-parsed (module 0xff if
-// the payload was not a valid envelope).
+// the payload was not a valid envelope). Batch frames are expanded: each
+// enclosed envelope gets its own record with its true size, plus
+// `frame_overhead` accounting its share of the frame header, so checkers
+// and cost accounting see individual protocol messages even when the wire
+// carries coalesced frames.
 struct SendRecord {
     TimePoint at = 0;
     ProcessId from = invalid_process;
@@ -47,6 +51,7 @@ struct SendRecord {
     std::uint8_t type = 0;
     MsgId about = invalid_msg;
     std::uint32_t size = 0;
+    std::uint32_t frame_overhead = 0;  // batch framing bytes attributed here
 };
 
 class World {
@@ -97,13 +102,17 @@ public:
     // keep_bodies). Off by default: tracing large runs is expensive.
     void enable_send_trace(bool on, bool keep_bodies = false);
     const std::vector<SendRecord>& send_trace() const { return trace_; }
-    const std::vector<Bytes>& send_trace_bodies() const { return trace_bodies_; }
-    void set_send_hook(std::function<void(const SendRecord&, const Bytes&)> hook);
+    const std::vector<BufferSlice>& send_trace_bodies() const {
+        return trace_bodies_;
+    }
+    void set_send_hook(
+        std::function<void(const SendRecord&, const BufferSlice&)> hook);
 
-    // Used by HostContext; not part of the public surface.
-    void send_from(ProcessId from, ProcessId to, Bytes bytes);
+    // Used by HostContext; not part of the public surface. Fan-outs share
+    // the slice's storage across all recipients.
+    void send_from(ProcessId from, ProcessId to, BufferSlice bytes);
     void send_many_from(ProcessId from, const std::vector<ProcessId>& to,
-                        Bytes bytes);
+                        BufferSlice bytes);
     TimerId set_timer_for(ProcessId pid, Duration delay);
     void cancel_timer_for(ProcessId pid, TimerId id);
     Rng& rng_of(ProcessId pid);
@@ -120,7 +129,7 @@ private:
         custom,
     };
 
-    using Payload = std::shared_ptr<const Bytes>;
+    using Payload = BufferSlice;
 
     struct Event {
         TimePoint at = 0;
@@ -143,9 +152,12 @@ private:
     void push(Event ev);
     Event pop();
     void execute(Event& ev);
-    void record_send(ProcessId from, ProcessId to, const Bytes& bytes);
+    void record_send(ProcessId from, ProcessId to, const BufferSlice& bytes);
+    void record_one(ProcessId from, ProcessId to, const BufferSlice& bytes,
+                    std::uint32_t frame_overhead);
     void schedule_arrival(ProcessId from, ProcessId to, Payload payload);
-    void dispatch_message(Host& host, ProcessId from, const Bytes& bytes);
+    void dispatch_message(Host& host, ProcessId from, const BufferSlice& bytes);
+    void dispatch_one(Host& host, ProcessId from, const BufferSlice& bytes);
     Host& host(ProcessId id);
     const Host& host(ProcessId id) const;
 
@@ -170,8 +182,8 @@ private:
     bool tracing_ = false;
     bool trace_keep_bodies_ = false;
     std::vector<SendRecord> trace_;
-    std::vector<Bytes> trace_bodies_;
-    std::function<void(const SendRecord&, const Bytes&)> send_hook_;
+    std::vector<BufferSlice> trace_bodies_;
+    std::function<void(const SendRecord&, const BufferSlice&)> send_hook_;
 };
 
 }  // namespace wbam::sim

@@ -16,7 +16,7 @@ void SkeenReplica::on_start(Context& ctx) {
     retry_timer_ = ctx.set_timer(cfg_.retry_interval);
 }
 
-void SkeenReplica::on_message(Context& ctx, ProcessId, const Bytes& bytes) {
+void SkeenReplica::on_message(Context& ctx, ProcessId, const BufferSlice& bytes) {
     const codec::EnvelopeView env(bytes);
     switch (env.module) {
         case codec::Module::client: {
@@ -38,7 +38,7 @@ void SkeenReplica::on_message(Context& ctx, ProcessId, const Bytes& bytes) {
 }
 
 void SkeenReplica::send_propose(Context& ctx, const Entry& e) {
-    const Bytes wire = codec::encode_envelope(
+    const Buffer wire = codec::encode_envelope(
         codec::Module::proto, static_cast<std::uint8_t>(MsgType::propose),
         e.msg.id, ProposeMsg{e.msg, g0_, e.lts});
     for (const GroupId g : e.msg.dests) ctx.send(topo_.member(g, 0), wire);
@@ -109,7 +109,7 @@ void SkeenReplica::on_timer(Context& ctx, TimerId id) {
         if (e.phase != Phase::proposed) continue;
         if (ctx.now() - e.last_activity < cfg_.retry_interval) continue;
         e.last_activity = ctx.now();
-        const Bytes wire = encode_multicast_request(e.msg);
+        const Buffer wire = encode_multicast_request(e.msg);
         for (const GroupId g : e.msg.dests) ctx.send(topo_.member(g, 0), wire);
     }
 }

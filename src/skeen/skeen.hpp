@@ -43,7 +43,8 @@ public:
                  ReplicaConfig cfg = {});
 
     void on_start(Context& ctx) override;
-    void on_message(Context& ctx, ProcessId from, const Bytes& bytes) override;
+    void on_message(Context& ctx, ProcessId from,
+                    const BufferSlice& bytes) override;
     void on_timer(Context& ctx, TimerId id) override;
 
     // Introspection for tests.

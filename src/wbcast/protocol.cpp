@@ -1,6 +1,7 @@
 #include "wbcast/protocol.hpp"
 
 #include "common/assert.hpp"
+#include "common/batching.hpp"
 #include "common/log.hpp"
 
 namespace wbam::wbcast {
@@ -36,7 +37,20 @@ void WbcastReplica::on_start(Context& ctx) {
 }
 
 void WbcastReplica::on_message(Context& ctx, ProcessId from,
-                               const Bytes& bytes) {
+                               const BufferSlice& bytes) {
+    if (!cfg_.batching_enabled) {
+        dispatch_message(ctx, from, bytes);
+        return;
+    }
+    // Same-destination sends made while handling this message (the leader's
+    // ACCEPT/DELIVER fan-out in particular) coalesce into batch frames,
+    // flushed when the decorator goes out of scope at handler exit.
+    BatchingContext batched(ctx, cfg_.batch_max_bytes);
+    dispatch_message(batched, from, bytes);
+}
+
+void WbcastReplica::dispatch_message(Context& ctx, ProcessId from,
+                                     const BufferSlice& bytes) {
     codec::EnvelopeView env(bytes);
     if (elector_.handle_message(ctx, from, env)) return;
     if (env.module == codec::Module::client) {
@@ -286,7 +300,7 @@ void WbcastReplica::recover(Context& ctx) {
     recovery_ = Recovery{.b = b};
     last_recover_attempt_ = ctx.now();
     log::info("wbcast p", pid_, " starts recovery at ", to_string(b));
-    const Bytes wire = codec::encode_envelope(proto, type_of(MsgType::newleader),
+    const Buffer wire = codec::encode_envelope(proto, type_of(MsgType::newleader),
                                               invalid_msg, NewLeaderMsg{b});
     for (const ProcessId p : topo_.members(g0_)) ctx.send(p, wire);
 }
@@ -400,7 +414,7 @@ void WbcastReplica::handle_newleader_ack(Context& ctx, ProcessId from,
     recovery_->state_sent = true;
 
     // Line 56: bring a quorum of followers in sync before resuming.
-    const Bytes wire = codec::encode_envelope(
+    const Buffer wire = codec::encode_envelope(
         proto, type_of(MsgType::new_state), invalid_msg,
         NewStateMsg{recovery_->b, clock_, snapshot_entries()});
     for (const ProcessId p : topo_.members(g0_))
@@ -447,7 +461,7 @@ void WbcastReplica::handle_newstate_ack(Context& ctx, ProcessId from,
     for (auto& [id, e] : entries_) {
         if (e.phase != Phase::accepted) continue;
         e.last_activity = ctx.now();
-        const Bytes wire = encode_multicast_request(e.msg);
+        const Buffer wire = encode_multicast_request(e.msg);
         for (const GroupId g : e.msg.dests) ctx.send(leader_guess(g), wire);
     }
 }
@@ -471,7 +485,7 @@ void WbcastReplica::retry_stuck(Context& ctx) {
         // that never saw it start processing it.
         e.last_activity = ctx.now();
         e.retries += 1;
-        const Bytes wire = encode_multicast_request(e.msg);
+        const Buffer wire = encode_multicast_request(e.msg);
         for (const GroupId g : e.msg.dests) {
             if (e.retries <= 2) {
                 ctx.send(leader_guess(g), wire);
@@ -516,7 +530,7 @@ void WbcastReplica::run_gc(Context& ctx) {
         any = true;
     }
     if (!any) return;
-    const Bytes wire = codec::encode_envelope(proto, type_of(MsgType::gc_prune),
+    const Buffer wire = codec::encode_envelope(proto, type_of(MsgType::gc_prune),
                                               invalid_msg, GcPruneMsg{floor});
     for (const ProcessId p : topo_.members(g0_))
         if (p != pid_) ctx.send(p, wire);
@@ -535,6 +549,15 @@ void WbcastReplica::compact(Entry& e) {
 }
 
 void WbcastReplica::on_timer(Context& ctx, TimerId id) {
+    if (!cfg_.batching_enabled) {
+        dispatch_timer(ctx, id);
+        return;
+    }
+    BatchingContext batched(ctx, cfg_.batch_max_bytes);
+    dispatch_timer(batched, id);
+}
+
+void WbcastReplica::dispatch_timer(Context& ctx, TimerId id) {
     if (elector_.handle_timer(ctx, id)) return;
     if (id == retry_timer_) {
         retry_timer_ = ctx.set_timer(cfg_.retry_interval);

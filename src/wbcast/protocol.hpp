@@ -41,7 +41,8 @@ public:
                   ReplicaConfig cfg = {});
 
     void on_start(Context& ctx) override;
-    void on_message(Context& ctx, ProcessId from, const Bytes& bytes) override;
+    void on_message(Context& ctx, ProcessId from,
+                    const BufferSlice& bytes) override;
     void on_timer(Context& ctx, TimerId id) override;
 
     // --- introspection for tests and benches -------------------------------
@@ -78,6 +79,11 @@ private:
         std::set<ProcessId> state_acks;
         bool state_sent = false;
     };
+
+    // -- handler bodies (wrapped in a BatchingContext when enabled)
+    void dispatch_message(Context& ctx, ProcessId from,
+                          const BufferSlice& bytes);
+    void dispatch_timer(Context& ctx, TimerId id);
 
     // -- normal operation
     void handle_multicast(Context& ctx, const AppMessage& m);

@@ -235,7 +235,7 @@ TEST(EnvelopeTest, RoundTrip) {
             return b;
         }
     };
-    const Bytes wire = encode_envelope(Module::proto, 7, make_msg_id(3, 4),
+    const Buffer wire = encode_envelope(Module::proto, 7, make_msg_id(3, 4),
                                        Body{.x = 99});
     EnvelopeView env(wire);
     EXPECT_EQ(env.module, Module::proto);
@@ -246,7 +246,7 @@ TEST(EnvelopeTest, RoundTrip) {
 }
 
 TEST(EnvelopeTest, BodylessEnvelope) {
-    const Bytes wire = encode_envelope(Module::elect, 1, invalid_msg);
+    const Buffer wire = encode_envelope(Module::elect, 1, invalid_msg);
     EnvelopeView env(wire);
     EXPECT_EQ(env.module, Module::elect);
     EXPECT_EQ(env.about, invalid_msg);
@@ -256,6 +256,105 @@ TEST(EnvelopeTest, BodylessEnvelope) {
 TEST(EnvelopeTest, UnknownModuleRejected) {
     const Bytes wire{0x37, 0, 0};
     EXPECT_THROW(EnvelopeView{wire}, DecodeError);
+}
+
+TEST(WriterTest, ReserveThenPatch) {
+    Writer w;
+    w.u8(0xaa);
+    const Writer::Mark m8 = w.reserve_u8();
+    const Writer::Mark m16 = w.reserve_u16();
+    const Writer::Mark m32 = w.reserve_u32();
+    w.str("tail");
+    w.patch_u8(m8, 0x42);
+    w.patch_u16(m16, 0xbeef);
+    w.patch_u32(m32, 0xcafebabe);
+    Reader r(w.buffer());
+    EXPECT_EQ(r.u8(), 0xaa);
+    EXPECT_EQ(r.u8(), 0x42);
+    EXPECT_EQ(r.u16(), 0xbeef);
+    EXPECT_EQ(r.u32(), 0xcafebabe);
+    EXPECT_EQ(r.str(), "tail");
+    EXPECT_TRUE(r.done());
+}
+
+TEST(BufferTest, FreezeSharesWithoutCopy) {
+    Bytes raw{1, 2, 3, 4, 5};
+    const std::uint8_t* p = raw.data();
+    const Buffer buf(std::move(raw));  // move: storage pointer is preserved
+    EXPECT_EQ(buf.data(), p);
+    const BufferSlice a = buf;
+    const BufferSlice b = a.subslice(1, 3);
+    EXPECT_TRUE(same_storage(a, b));
+    EXPECT_EQ(b.size(), 3u);
+    EXPECT_EQ(b.data(), p + 1);
+    EXPECT_EQ(b, (Bytes{2, 3, 4}));
+}
+
+TEST(BufferTest, SliceOutlivesBufferHandle) {
+    BufferSlice s;
+    {
+        Buffer buf(Bytes{9, 8, 7});
+        s = buf.slice(1, 2);
+    }
+    EXPECT_EQ(s, (Bytes{8, 7}));
+}
+
+// Slice-aliasing round trip: a length-prefixed field read through a backed
+// Reader aliases the original buffer instead of copying.
+TEST(SliceAliasingTest, BytesSliceAliasesBackingBuffer) {
+    Writer w;
+    w.u32(7);
+    w.bytes(Bytes{10, 20, 30, 40});
+    w.u8(0xff);
+    const Buffer frozen = std::move(w).take_buffer();
+
+    const std::uint64_t copied_before = wbam::buffer_stats::bytes_copied();
+    Reader r{BufferSlice(frozen)};
+    EXPECT_EQ(r.u32(), 7u);
+    const BufferSlice payload = r.bytes_slice();
+    EXPECT_EQ(r.u8(), 0xff);
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(wbam::buffer_stats::bytes_copied(), copied_before);  // zero-copy
+
+    EXPECT_EQ(payload, (Bytes{10, 20, 30, 40}));
+    EXPECT_TRUE(same_storage(payload, BufferSlice(frozen)));
+    // The view points into the frozen image (length prefix is 1 byte here).
+    EXPECT_EQ(payload.data(), frozen.data() + 5);
+}
+
+TEST(SliceAliasingTest, UnbackedReaderFallsBackToCopy) {
+    Writer w;
+    w.bytes(Bytes{1, 2, 3});
+    Reader r(w.buffer());  // raw-pointer Reader: no backing buffer
+    const BufferSlice out = r.bytes_slice();
+    EXPECT_EQ(out, (Bytes{1, 2, 3}));
+    EXPECT_NE(out.data(), w.buffer().data() + 1);  // owned copy, not a view
+}
+
+TEST(SliceAliasingTest, EnvelopeBodySlicesAliasTheWire) {
+    struct Body {
+        Bytes blob;
+        void encode(Writer& w) const { w.bytes(blob); }
+        static Body decode(Reader& r) { return Body{r.bytes()}; }
+    };
+    const Buffer wire = encode_envelope(Module::app, 3, make_msg_id(1, 1),
+                                        Body{Bytes(64, 0xee)});
+    EnvelopeView env{BufferSlice(wire)};
+    const BufferSlice blob = env.body.bytes_slice();
+    EXPECT_EQ(blob.size(), 64u);
+    EXPECT_TRUE(same_storage(blob, BufferSlice(wire)));
+    env.body.expect_done();
+}
+
+TEST(SliceAliasingTest, TruncatedSliceRejected) {
+    Writer w;
+    w.bytes(Bytes(16, 1));
+    const Buffer frozen = std::move(w).take_buffer();
+    // Every strict prefix must throw, never alias out of bounds.
+    for (std::size_t cut = 0; cut < frozen.size(); ++cut) {
+        Reader r{BufferSlice(frozen).subslice(0, cut)};
+        EXPECT_THROW(r.bytes_slice(), DecodeError) << "cut at " << cut;
+    }
 }
 
 // Property: random primitive sequences round-trip exactly.

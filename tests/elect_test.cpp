@@ -25,7 +25,7 @@ public:
     }
 
     void on_start(Context& c) override { elector->start(c); }
-    void on_message(Context& c, ProcessId from, const Bytes& bytes) override {
+    void on_message(Context& c, ProcessId from, const BufferSlice& bytes) override {
         codec::EnvelopeView env(bytes);
         elector->handle_message(c, from, env);
     }

@@ -37,7 +37,7 @@ public:
         paxos->start(c);
         tick = c.set_timer(milliseconds(50));
     }
-    void on_message(Context& c, ProcessId from, const Bytes& bytes) override {
+    void on_message(Context& c, ProcessId from, const BufferSlice& bytes) override {
         codec::EnvelopeView env(bytes);
         paxos->handle_message(c, from, env);
     }

@@ -17,7 +17,7 @@ namespace {
 class Echo final : public Process {
 public:
     void on_start(Context& c) override { ctx = &c; }
-    void on_message(Context& c, ProcessId, const Bytes& b) override {
+    void on_message(Context& c, ProcessId, const BufferSlice& b) override {
         const std::lock_guard<std::mutex> guard(mutex);
         received.push_back(b);
         (void)c;
@@ -26,7 +26,7 @@ public:
 
     Context* ctx = nullptr;
     std::mutex mutex;
-    std::vector<Bytes> received;
+    std::vector<BufferSlice> received;
     std::atomic<int> fired{0};
 };
 
@@ -65,7 +65,7 @@ TEST(ThreadedRuntimeTest, TimersFireAndCancel) {
     EXPECT_EQ(pa->fired.load(), 1);
 }
 
-TEST(ThreadedRuntimeTest, WbcastClusterDeliversInTotalOrder) {
+void run_wbcast_total_order(bool batching) {
     const Topology topo(2, 3, 1);  // one client slot for the injector
     ThreadedWorld w(topo, std::make_unique<sim::JitterDelay>(microseconds(200),
                                                              microseconds(800)));
@@ -80,6 +80,7 @@ TEST(ThreadedRuntimeTest, WbcastClusterDeliversInTotalOrder) {
     cfg.heartbeat_interval = milliseconds(50);
     cfg.suspect_timeout = milliseconds(400);
     cfg.retry_interval = milliseconds(200);
+    cfg.batching_enabled = batching;
     std::vector<wbcast::WbcastReplica*> replicas;
     for (ProcessId p = 0; p < topo.num_replicas(); ++p) {
         auto r = std::make_unique<wbcast::WbcastReplica>(topo, p, sink, cfg);
@@ -91,14 +92,14 @@ TEST(ThreadedRuntimeTest, WbcastClusterDeliversInTotalOrder) {
     public:
         explicit Injector(Topology t) : topo(std::move(t)) {}
         void on_start(Context& c) override { ctx = &c; }
-        void on_message(Context&, ProcessId, const Bytes&) override {}
+        void on_message(Context&, ProcessId, const BufferSlice&) override {}
         void on_timer(Context&, TimerId) override {}
         void fire(int n) {
             for (int i = 0; i < n; ++i) {
                 const AppMessage m = make_app_message(
                     make_msg_id(ctx->self(), static_cast<std::uint32_t>(i)),
                     {0, 1}, Bytes{static_cast<std::uint8_t>(i)});
-                const Bytes wire = encode_multicast_request(m);
+                const Buffer wire = encode_multicast_request(m);
                 ctx->send(topo.initial_leader(0), wire);
                 ctx->send(topo.initial_leader(1), wire);
             }
@@ -127,6 +128,14 @@ TEST(ThreadedRuntimeTest, WbcastClusterDeliversInTotalOrder) {
     const auto& reference = delivered[0];
     for (ProcessId p = 1; p < topo.num_replicas(); ++p)
         EXPECT_EQ(delivered[p], reference) << "replica " << p;
+}
+
+TEST(ThreadedRuntimeTest, WbcastClusterDeliversInTotalOrder) {
+    run_wbcast_total_order(/*batching=*/false);
+}
+
+TEST(ThreadedRuntimeTest, BatchedWbcastClusterDeliversInTotalOrder) {
+    run_wbcast_total_order(/*batching=*/true);
 }
 
 }  // namespace

@@ -17,7 +17,7 @@ namespace {
 struct Recorded {
     TimePoint at;
     ProcessId from;
-    Bytes bytes;
+    BufferSlice bytes;
 };
 
 // Inert process that records everything it receives.
@@ -28,7 +28,7 @@ public:
     Context* ctx = nullptr;
 
     void on_start(Context& c) override { ctx = &c; }
-    void on_message(Context& c, ProcessId from, const Bytes& b) override {
+    void on_message(Context& c, ProcessId from, const BufferSlice& b) override {
         received.push_back({c.now(), from, b});
     }
     void on_timer(Context& c, TimerId id) override {
@@ -268,7 +268,7 @@ TEST(SimTest, DeterministicAcrossRuns) {
         std::vector<std::tuple<ProcessId, TimePoint, Bytes>> all;
         for (ProcessId p = 0; p < 4; ++p)
             for (const auto& r : w.probes[static_cast<std::size_t>(p)]->received)
-                all.emplace_back(p, r.at, r.bytes);
+                all.emplace_back(p, r.at, r.bytes.to_bytes());
         return all;
     };
     EXPECT_EQ(run(7), run(7));

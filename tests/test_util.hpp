@@ -47,7 +47,7 @@ public:
     void attach(sim::World& world, Topology topo) {
         topo_ = std::move(topo);
         world.set_send_hook([this](const sim::SendRecord& rec,
-                                   const Bytes& bytes) { inspect(rec, bytes); });
+                                   const BufferSlice& bytes) { inspect(rec, bytes); });
     }
 
     bool ok() const { return violations_.empty(); }
@@ -60,7 +60,7 @@ public:
     }
 
 private:
-    void inspect(const sim::SendRecord& rec, const Bytes& bytes) {
+    void inspect(const sim::SendRecord& rec, const BufferSlice& bytes) {
         if (rec.module != static_cast<std::uint8_t>(codec::Module::proto))
             return;
         try {

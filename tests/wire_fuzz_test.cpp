@@ -84,6 +84,95 @@ TEST(WireRoundTripTest, TruncationsRejected) {
     }
 }
 
+// Slice fuzzing: random (including truncated and overlapping) subslices of
+// valid wire images fed through a backed codec::Reader must either decode
+// or throw DecodeError — never crash, read out of bounds, or return views
+// outside the slice they were cut from.
+class SliceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SliceFuzz, RandomSubslicesNeverEscapeBounds) {
+    Rng rng(GetParam() * 104729);
+    std::size_t benchmark_sink = 0;
+    const Bytes wire_bytes =
+        codec::encode_to_bytes(wbcast::AcceptMsg{sample_msg(), 2, Ballot{3, 7},
+                                                 Timestamp{11, 2}});
+    const Buffer frozen{Bytes(wire_bytes)};
+    const BufferSlice whole(frozen);
+    for (int trial = 0; trial < 500; ++trial) {
+        // Overlapping random windows over the same storage.
+        const auto off = static_cast<std::size_t>(
+            rng.next_below(frozen.size() + 1));
+        const auto len = static_cast<std::size_t>(
+            rng.next_below(frozen.size() + 8));  // may exceed; must clamp
+        const BufferSlice s = whole.subslice(off, len);
+        ASSERT_LE(s.size(), frozen.size() - off);
+        codec::Reader r(s);
+        try {
+            const auto out = wbcast::AcceptMsg::decode(r);
+            benchmark_sink += out.msg.dests.size();  // keep the decode alive
+            // The whole window decodes exactly when it is the full image.
+            if (off == 0 && s.size() == frozen.size()) {
+                EXPECT_EQ(out.msg.id, sample_msg().id);
+                EXPECT_TRUE(r.done());
+            }
+        } catch (const codec::DecodeError&) {
+            // expected for truncated/offset windows
+        }
+    }
+    (void)benchmark_sink;
+}
+
+TEST_P(SliceFuzz, AliasingReadsStayInsideTheirSlice) {
+    Rng rng(GetParam() * 7907);
+    for (int trial = 0; trial < 200; ++trial) {
+        Bytes junk(rng.next_below(64) + 8);
+        for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+        const Buffer frozen(std::move(junk));
+        const auto off =
+            static_cast<std::size_t>(rng.next_below(frozen.size()));
+        const BufferSlice window = BufferSlice(frozen).subslice(
+            off, static_cast<std::size_t>(rng.next_below(frozen.size())));
+        codec::Reader r(window);
+        try {
+            while (!r.done()) {
+                const BufferSlice view = r.bytes_slice();
+                // Aliased views must point inside the window they came from.
+                EXPECT_GE(view.data(), window.data());
+                EXPECT_LE(view.data() + view.size(),
+                          window.data() + window.size());
+                EXPECT_TRUE(same_storage(view, window));
+            }
+        } catch (const codec::DecodeError&) {
+            // expected on malformed input
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SliceFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+// Garbage that happens to start with the batch tag must neither crash the
+// frame parser nor get half-dispatched: parse_batch is all-or-nothing.
+class BatchFrameFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchFrameFuzz, GarbageFramesParseOrRejectAtomically) {
+    Rng rng(GetParam() * 2357);
+    for (int trial = 0; trial < 300; ++trial) {
+        Bytes junk(rng.next_below(48) + 1);
+        junk[0] = static_cast<std::uint8_t>(codec::Module::batch);
+        for (std::size_t i = 1; i < junk.size(); ++i)
+            junk[i] = static_cast<std::uint8_t>(rng.next_u64());
+        const BufferSlice frame{std::move(junk)};
+        const auto subs = codec::parse_batch(frame);
+        if (!subs) continue;
+        for (const BufferSlice& sub : *subs) {
+            EXPECT_GE(sub.data(), frame.data());
+            EXPECT_LE(sub.data() + sub.size(), frame.data() + frame.size());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchFrameFuzz, ::testing::Values(1, 2, 3));
+
 // A replica bombarded with random garbage bytes must neither crash nor
 // corrupt an ongoing run. (Decode failures surface as DecodeError from
 // on_message; the harness treats the message as dropped.)
