@@ -168,6 +168,94 @@ void BM_AcceptFanoutShared(benchmark::State& state) {
 }
 BENCHMARK(BM_AcceptFanoutShared)->Arg(20)->Arg(1024)->Arg(4096);
 
+// --- decode-side delivery comparison -----------------------------------------
+//
+// PR 1 removed the send-side copies; the decode side still copied once per
+// recipient while AppMessage::payload was owned Bytes. With payload as a
+// BufferSlice, every recipient's delivered payload is a zero-copy view of
+// the one shared wire buffer. The owned-style path below re-enacts the old
+// behaviour (detach the payload into owned bytes at decode) for the
+// trajectory comparison in BENCH_micro.json.
+
+// Decode an ACCEPT at every recipient and keep the delivered payload the
+// way the seed did: as owned bytes (one copy per recipient).
+std::vector<Bytes> deliver_owned_style(const std::vector<BufferSlice>& inboxes) {
+    std::vector<Bytes> delivered;
+    delivered.reserve(inboxes.size());
+    for (const BufferSlice& wire : inboxes) {
+        codec::EnvelopeView env(wire);
+        const auto decoded = wbcast::AcceptMsg::decode(env.body);
+        delivered.push_back(decoded.msg.payload.to_bytes());
+    }
+    return delivered;
+}
+
+// Slice delivery: the payload handed to the sink aliases the wire buffer.
+std::vector<BufferSlice> deliver_slice_style(
+    const std::vector<BufferSlice>& inboxes) {
+    std::vector<BufferSlice> delivered;
+    delivered.reserve(inboxes.size());
+    for (const BufferSlice& wire : inboxes) {
+        codec::EnvelopeView env(wire);
+        const auto decoded = wbcast::AcceptMsg::decode(env.body);
+        delivered.push_back(decoded.msg.payload);
+    }
+    return delivered;
+}
+
+void BM_DeliverFanoutOwnedPayload(benchmark::State& state) {
+    const auto a = fanout_accept(static_cast<std::size_t>(state.range(0)));
+    CollectContext ctx;
+    fanout_shared(a, ctx);
+    for (auto _ : state) {
+        auto delivered = deliver_owned_style(ctx.inboxes);
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * fanout_recipients);
+}
+BENCHMARK(BM_DeliverFanoutOwnedPayload)->Arg(20)->Arg(1024)->Arg(4096);
+
+void BM_DeliverFanoutSlicePayload(benchmark::State& state) {
+    const auto a = fanout_accept(static_cast<std::size_t>(state.range(0)));
+    CollectContext ctx;
+    fanout_shared(a, ctx);
+    for (auto _ : state) {
+        auto delivered = deliver_slice_style(ctx.inboxes);
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * fanout_recipients);
+}
+BENCHMARK(BM_DeliverFanoutSlicePayload)->Arg(20)->Arg(1024)->Arg(4096);
+
+struct DeliveryCopyStats {
+    std::size_t payload = 0;
+    std::uint64_t owned_bytes_copied = 0;  // seed-style decode-side detach
+    std::uint64_t slice_bytes_copied = 0;  // zero-copy views (expect 0)
+    bool slices_share_wire = false;        // all recipients alias one buffer
+};
+
+DeliveryCopyStats measure_delivery_copies(std::size_t payload_size) {
+    DeliveryCopyStats out;
+    out.payload = payload_size;
+    const auto a = fanout_accept(payload_size);
+    CollectContext ctx;
+    fanout_shared(a, ctx);
+
+    std::uint64_t before = buffer_stats::bytes_copied();
+    const auto owned = deliver_owned_style(ctx.inboxes);
+    out.owned_bytes_copied = buffer_stats::bytes_copied() - before;
+
+    before = buffer_stats::bytes_copied();
+    const auto slices = deliver_slice_style(ctx.inboxes);
+    out.slice_bytes_copied = buffer_stats::bytes_copied() - before;
+
+    out.slices_share_wire = !slices.empty();
+    for (const BufferSlice& s : slices)
+        out.slices_share_wire &= same_storage(s, slices.front());
+    benchmark::DoNotOptimize(owned);
+    return out;
+}
+
 // One fan-out, decoded at every recipient: byte-copy accounting per path,
 // reported in BENCH_micro.json.
 struct FanoutCopyStats {
@@ -217,26 +305,61 @@ void write_bench_json() {
                  fanout_recipients);
     std::fprintf(f, "    \"payload_sizes\": [\n");
     const std::size_t sizes[] = {20, 1024, 4096};
+    // A fully zero-copy shared path divides by zero; the factor is emitted
+    // as null then (docs/BENCHMARKS.md documents the schema).
+    auto print_factor = [f](std::uint64_t num, std::uint64_t den) {
+        if (den == 0)
+            std::fprintf(f, "\"copy_reduction_factor\": null");
+        else
+            std::fprintf(f, "\"copy_reduction_factor\": %.2f",
+                         static_cast<double>(num) / static_cast<double>(den));
+    };
     bool first = true;
     for (const std::size_t payload : sizes) {
         const FanoutCopyStats s = measure_fanout_copies(payload);
-        const double ratio =
-            s.shared_bytes_copied == 0
-                ? 0.0
-                : static_cast<double>(s.seed_bytes_copied) /
-                      static_cast<double>(s.shared_bytes_copied);
         std::fprintf(f, "%s", first ? "" : ",\n");
         first = false;
         std::fprintf(f,
                      "      {\"payload_bytes\": %zu, \"wire_bytes\": %llu, "
                      "\"seed_bytes_copied\": %llu, "
-                     "\"shared_bytes_copied\": %llu, "
-                     "\"copy_reduction_factor\": %.2f}",
+                     "\"shared_bytes_copied\": %llu, ",
                      payload,
                      static_cast<unsigned long long>(s.wire_size),
                      static_cast<unsigned long long>(s.seed_bytes_copied),
-                     static_cast<unsigned long long>(s.shared_bytes_copied),
-                     ratio);
+                     static_cast<unsigned long long>(s.shared_bytes_copied));
+        print_factor(s.seed_bytes_copied, s.shared_bytes_copied);
+        std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n    ]\n  },\n");
+    // Decode-side delivery: bytes copied to hand every recipient its
+    // payload, owned-Bytes style (the pre-slice decode path, one copy per
+    // recipient) vs BufferSlice views of the shared wire buffer.
+    std::fprintf(f, "  \"delivery\": {\n");
+    std::fprintf(f, "    \"scenario\": \"decode one shared ACCEPT fan-out at every recipient and keep the payload\",\n");
+    std::fprintf(f, "    \"recipients\": %d,\n", fanout_recipients);
+    std::fprintf(f, "    \"payload_sizes\": [\n");
+    first = true;
+    for (const std::size_t payload : sizes) {
+        const DeliveryCopyStats s = measure_delivery_copies(payload);
+        std::fprintf(f, "%s", first ? "" : ",\n");
+        first = false;
+        std::fprintf(f,
+                     "      {\"payload_bytes\": %zu, "
+                     "\"owned_decode_bytes_copied\": %llu, "
+                     "\"slice_decode_bytes_copied\": %llu, "
+                     "\"bytes_copied_per_recipient_owned\": %llu, "
+                     "\"bytes_copied_per_recipient_slice\": %llu, "
+                     "\"all_recipients_share_wire_buffer\": %s, ",
+                     payload,
+                     static_cast<unsigned long long>(s.owned_bytes_copied),
+                     static_cast<unsigned long long>(s.slice_bytes_copied),
+                     static_cast<unsigned long long>(s.owned_bytes_copied /
+                                                     fanout_recipients),
+                     static_cast<unsigned long long>(s.slice_bytes_copied /
+                                                     fanout_recipients),
+                     s.slices_share_wire ? "true" : "false");
+        print_factor(s.owned_bytes_copied, s.slice_bytes_copied);
+        std::fprintf(f, "}");
     }
     std::fprintf(f, "\n    ]\n  }\n}\n");
     std::fclose(f);

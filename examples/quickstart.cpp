@@ -26,10 +26,11 @@ int main() {
 
     // Two clients multicast concurrently to both groups — these conflict
     // and must be delivered in the same order everywhere.
-    const MsgId a = cluster.multicast_at(0, 0, {0, 1}, {'a'});
-    const MsgId b = cluster.multicast_at(microseconds(50), 1, {0, 1}, {'b'});
+    const MsgId a = cluster.multicast_at(0, 0, {0, 1}, Bytes{'a'});
+    const MsgId b = cluster.multicast_at(microseconds(50), 1, {0, 1},
+                                         Bytes{'b'});
     // A single-group message ordered only within group 1.
-    (void)cluster.multicast_at(microseconds(100), 0, {1}, {'c'});
+    (void)cluster.multicast_at(microseconds(100), 0, {1}, Bytes{'c'});
     cluster.run_for(milliseconds(50));
 
     auto name = [&](MsgId id) { return id == a ? 'a' : id == b ? 'b' : 'c'; };

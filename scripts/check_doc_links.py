@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Docs link check: fail on dead relative links in the repo's Markdown.
+
+Scans every tracked *.md file (skipping .git/ and build trees) for inline
+Markdown links and validates that relative targets exist on disk. External
+schemes (http/https/mailto) and pure in-page anchors are ignored; a
+`path#anchor` link is checked for the path part only.
+
+Usage: python3 scripts/check_doc_links.py [repo-root]
+Exit status: 0 when all links resolve, 1 otherwise (listing each dead
+link), so CI can gate on it. Stdlib only.
+"""
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) — target up to the first ')' or
+# whitespace (titles like [t](url "title") keep only the url part).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?[^)]*\)")
+SKIP_DIRS = {".git", "build", "Testing", "node_modules"}
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def strip_code(text):
+    """Blank out fenced code blocks and inline code spans (C++ lambdas like
+    [this](const T& x) would otherwise read as Markdown links), preserving
+    newlines so reported line numbers stay correct."""
+    out = []
+    in_fence = False
+    for line in text.split("\n"):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        if in_fence:
+            out.append("")
+        else:
+            out.append(re.sub(r"`[^`]*`", "", line))
+    return "\n".join(out)
+
+
+def dead_links(md_path, root):
+    with open(md_path, encoding="utf-8") as f:
+        text = strip_code(f.read())
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        base = root if path.startswith("/") else os.path.dirname(md_path)
+        resolved = os.path.normpath(os.path.join(base, path.lstrip("/")))
+        if not os.path.exists(resolved):
+            line = text.count("\n", 0, match.start()) + 1
+            yield "%s:%d: dead link -> %s" % (
+                os.path.relpath(md_path, root), line, target)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    failures = []
+    checked = 0
+    for md in markdown_files(root):
+        checked += 1
+        failures.extend(dead_links(md, root))
+    for failure in failures:
+        print(failure)
+    print("checked %d markdown file(s): %s" %
+          (checked, "%d dead link(s)" % len(failures) if failures else "OK"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

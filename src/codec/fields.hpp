@@ -72,6 +72,12 @@ inline void read_field(Reader& r, Ballot& b) {
 inline void write_field(Writer& w, const Bytes& b) { w.bytes(b); }
 inline void read_field(Reader& r, Bytes& b) { b = r.bytes(); }
 
+// Slice fields decode as zero-copy views of the wire when the Reader is
+// backed by a BufferSlice (delivered payloads alias the sender's frozen
+// buffer); unbacked Readers fall back to a counted copy.
+inline void write_field(Writer& w, const BufferSlice& s) { w.bytes(s); }
+inline void read_field(Reader& r, BufferSlice& s) { s = r.bytes_slice(); }
+
 inline void write_field(Writer& w, const std::string& s) { w.str(s); }
 inline void read_field(Reader& r, std::string& s) { s = r.str(); }
 

@@ -4,21 +4,19 @@
 // (invalid_msg when the message is not specific to one), which lets the
 // genuineness checker audit traffic without protocol-specific parsing.
 //
-// Wire-path ownership rules
-// -------------------------
-// * encode_envelope freezes one immutable Buffer per logical message. The
-//   sender fans the SAME buffer out to every recipient (Context::send_many
-//   or repeated send calls) — runtimes retain slices, never byte copies.
-// * A handler's inbound BufferSlice aliases the sender's frozen buffer.
-//   EnvelopeView/Reader parse it in place; subslices a handler keeps
-//   (Reader::bytes_slice/take_slice) share ownership of the whole
-//   allocation and stay valid indefinitely. Copy out (Reader::bytes,
-//   BufferSlice::to_bytes) only when mutable/owned bytes are required.
+// Wire-path ownership in brief (the full lifetime story — encode → send →
+// retain → decode → deliver → compact — and the decode-side aliasing
+// rules live in docs/ARCHITECTURE.md):
+// * encode_envelope freezes one immutable Buffer per logical message; the
+//   sender fans the SAME buffer out to every recipient.
+// * A handler's inbound BufferSlice aliases the sender's frozen buffer;
+//   EnvelopeView/Reader parse in place, and kept subslices (including
+//   decoded AppMessage payloads) share the whole allocation. Long-lived
+//   state detaches via BufferSlice::compact()/to_bytes().
 // * Module::batch frames concatenate whole envelopes:
 //     [batch:u8][0:u8][0 varint][count:u32][count × (len varint, envelope)]
-//   BatchingContext builds them with Writer's reserve/patch API; runtimes
-//   unwrap them at the receiver, dispatching each sub-envelope as its own
-//   zero-copy subslice of the frame. Batches never nest.
+//   Runtimes unwrap them at the receiver, dispatching each sub-envelope
+//   as its own zero-copy subslice of the frame. Batches never nest.
 #ifndef WBAM_CODEC_WIRE_HPP
 #define WBAM_CODEC_WIRE_HPP
 

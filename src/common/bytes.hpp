@@ -4,14 +4,23 @@
 // `Buffer` freezes a Bytes into an immutable, ref-counted allocation, and
 // `BufferSlice` is a cheap view (buffer + offset + length) of one. The
 // whole wire path — Context::send/send_many, runtime mailboxes, the
-// simulator's in-flight events, codec::Reader — passes slices, so a leader
-// encodes a fan-out message once and every recipient (and every retry of a
-// held partition message) shares the same allocation.
+// simulator's in-flight events, codec::Reader, and delivered payloads
+// (AppMessage::payload) — passes slices, so a leader encodes a fan-out
+// message once and every recipient (and every retry of a held partition
+// message) shares the same allocation down to the delivery upcall.
+//
+// Retention rule: a slice shares ownership of its WHOLE backing
+// allocation, so state that outlives the handler pins the full wire image
+// (or batch frame) it was cut from. Transient protocol state accepts this
+// (one shared allocation per fan-out, reclaimed on GC/compaction);
+// long-lived application state detaches deliberately via compact().
+// The full lifetime story lives in docs/ARCHITECTURE.md.
 //
 // Copy accounting: every place that genuinely duplicates payload bytes
-// (freezing an lvalue Bytes, Reader::bytes(), BufferSlice::to_bytes())
-// reports to buffer_stats. bench_micro uses these counters to demonstrate
-// the fan-out copy reduction over the seed's copy-per-recipient path.
+// (freezing an lvalue Bytes, Reader::bytes(), BufferSlice::to_bytes(),
+// a detaching compact()) reports to buffer_stats. bench_micro uses these
+// counters to demonstrate the fan-out copy reduction over the seed's
+// copy-per-recipient path.
 #ifndef WBAM_COMMON_BYTES_HPP
 #define WBAM_COMMON_BYTES_HPP
 
@@ -124,6 +133,9 @@ public:
     const std::uint8_t* data() const { return buffer_.data() + offset_; }
     std::size_t size() const { return length_; }
     bool empty() const { return length_ == 0; }
+    std::uint8_t operator[](std::size_t i) const { return data()[i]; }
+    const std::uint8_t* begin() const { return data(); }
+    const std::uint8_t* end() const { return data() + length_; }
 
     // Aliasing sub-view, clamped to this slice's bounds.
     BufferSlice subslice(std::size_t offset, std::size_t length) const {
@@ -136,6 +148,22 @@ public:
     Bytes to_bytes() const {
         buffer_stats::note_copy(length_);
         return Bytes(data(), data() + length_);
+    }
+
+    // True when this view spans its whole backing allocation — retaining it
+    // pins no bytes beyond its own content.
+    bool is_compact() const {
+        return offset_ == 0 && length_ == buffer_.size();
+    }
+
+    // Returns a slice whose backing storage holds exactly these bytes.
+    // Already-compact views are returned as-is (refcount bump); a strict
+    // sub-view is copied (counted) into a fresh buffer, deliberately
+    // detaching long-lived state from the larger wire allocation it would
+    // otherwise pin (see the retention rule at the top of this header).
+    BufferSlice compact() const {
+        if (is_compact()) return *this;
+        return BufferSlice(Buffer::copy_of(data(), length_));
     }
 
     const Buffer& buffer() const { return buffer_; }

@@ -170,6 +170,8 @@ void FastCastReplica::apply(Context& ctx, const paxos::Command& cmd) {
 void FastCastReplica::apply_propose(Context& ctx, const ProposeCmd& cmd) {
     Entry& e = entries_[cmd.msg.id];
     if (e.phase != Phase::start) return;  // a competing proposal won
+    // The payload aliases the chosen-log command (compacted by MultiPaxos),
+    // not a wire image, so retaining it here pins only the command bytes.
     e.msg = cmd.msg;
     e.lts = cmd.lts;
     e.phase = Phase::proposed;

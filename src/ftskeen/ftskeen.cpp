@@ -152,6 +152,8 @@ void FtSkeenReplica::apply(Context& ctx, const paxos::Command& cmd) {
 void FtSkeenReplica::apply_propose(Context& ctx, const ProposeCmd& cmd) {
     Entry& e = entries_[cmd.msg.id];
     if (e.phase != Phase::start) return;  // duplicate proposal
+    // The payload aliases the chosen-log command (compacted by MultiPaxos),
+    // not a wire image, so retaining it here pins only the command bytes.
     e.msg = cmd.msg;
     clock_ += 1;  // the local timestamp is assigned deterministically here
     e.lts = Timestamp{clock_, g0_};

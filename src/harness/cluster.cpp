@@ -112,7 +112,7 @@ ScriptedClient& Cluster::client(int idx) {
 }
 
 MsgId Cluster::multicast_at(TimePoint t, int client_idx,
-                            std::vector<GroupId> dests, Bytes payload) {
+                            std::vector<GroupId> dests, BufferSlice payload) {
     const ProcessId pid = topo_.client(client_idx);
     const MsgId id = make_msg_id(pid, next_seq_[pid]++);
     AppMessage m = make_app_message(id, std::move(dests), std::move(payload));

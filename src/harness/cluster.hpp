@@ -97,7 +97,7 @@ public:
     // Schedules multicast(m) from client `idx` at absolute time t and
     // returns the message id.
     MsgId multicast_at(TimePoint t, int client_idx, std::vector<GroupId> dests,
-                       Bytes payload = {});
+                       BufferSlice payload = {});
 
     void run_for(Duration d) { world_->run_for(d); }
     void run_until(TimePoint t) { world_->run_until(t); }

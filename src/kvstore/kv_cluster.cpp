@@ -44,8 +44,20 @@ MsgId KvCluster::transfer_at(TimePoint t, int client,
                   {shard_of(from_key, groups_), shard_of(to_key, groups_)});
 }
 
+MsgId KvCluster::put_blob_at(TimePoint t, int client, const std::string& key,
+                             BufferSlice blob) {
+    return submit(t, client,
+                  KvOp{OpKind::put_blob, key, "", 0, std::move(blob)},
+                  {shard_of(key, groups_)});
+}
+
 std::int64_t KvCluster::read(ProcessId replica, const std::string& key) const {
     return states_.at(replica)->get(key);
+}
+
+BufferSlice KvCluster::read_blob(ProcessId replica,
+                                 const std::string& key) const {
+    return states_.at(replica)->get_blob(key);
 }
 
 const ShardState& KvCluster::state_of(ProcessId replica) const {

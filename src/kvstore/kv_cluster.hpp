@@ -24,6 +24,10 @@ public:
                  std::int64_t amount);
     MsgId transfer_at(TimePoint t, int client, const std::string& from_key,
                       const std::string& to_key, std::int64_t amount);
+    // Store opaque bytes under a key. The blob travels zero-copy through
+    // decode; replicas detach it from the wire buffer when applying.
+    MsgId put_blob_at(TimePoint t, int client, const std::string& key,
+                      BufferSlice blob);
 
     void run_for(Duration d) { cluster_->run_for(d); }
     harness::Cluster& cluster() { return *cluster_; }
@@ -31,6 +35,7 @@ public:
 
     // State of a key at a specific replica.
     std::int64_t read(ProcessId replica, const std::string& key) const;
+    BufferSlice read_blob(ProcessId replica, const std::string& key) const;
     // All replicas of every shard hold identical state (same hash).
     bool replicas_agree() const;
     // Sum over one replica of each shard (replica_index selects which).

@@ -13,29 +13,36 @@
 
 namespace wbam::kv {
 
-enum class OpKind : std::uint8_t { put = 0, add = 1, transfer = 2 };
+enum class OpKind : std::uint8_t { put = 0, add = 1, transfer = 2,
+                                   put_blob = 3 };
 
 struct KvOp {
     OpKind kind = OpKind::put;
-    std::string key;        // put/add: target; transfer: debit side
+    std::string key;        // put/add/put_blob: target; transfer: debit side
     std::string to_key;     // transfer only: credit side
     std::int64_t value = 0; // put: new value; add/transfer: amount
+    // put_blob only: opaque value bytes. Decoding from a backed Reader
+    // yields a zero-copy view of the wire; ShardState::apply detaches with
+    // compact() before storing (values outlive the wire buffer).
+    BufferSlice blob;
 
     void encode(codec::Writer& w) const {
         w.u8(static_cast<std::uint8_t>(kind));
         codec::write_field(w, key);
         codec::write_field(w, to_key);
         codec::write_field(w, value);
+        codec::write_field(w, blob);
     }
     static KvOp decode(codec::Reader& r) {
         KvOp op;
         const std::uint8_t k = r.u8();
-        if (k > static_cast<std::uint8_t>(OpKind::transfer))
+        if (k > static_cast<std::uint8_t>(OpKind::put_blob))
             throw codec::DecodeError("unknown kv op");
         op.kind = static_cast<OpKind>(k);
         codec::read_field(r, op.key);
         codec::read_field(r, op.to_key);
         codec::read_field(r, op.value);
+        codec::read_field(r, op.blob);
         return op;
     }
     friend bool operator==(const KvOp&, const KvOp&) = default;

@@ -43,6 +43,17 @@ void ShardState::apply(const KvOp& op) {
                 mix(4);
             }
             break;
+        case OpKind::put_blob:
+            if (shard_of(op.key, num_groups_) == shard_) {
+                // The delivered blob aliases the wire buffer; stored values
+                // outlive it, so detach deliberately (one counted copy into
+                // storage that owns exactly the value bytes).
+                blobs_[op.key] = op.blob.compact();
+                mix(5);
+                mix(op.blob.size());
+                for (const std::uint8_t b : op.blob) mix(b);
+            }
+            break;
     }
     for (const char c : op.key) mix(static_cast<std::uint8_t>(c));
     mix(static_cast<std::uint64_t>(op.value));
@@ -51,6 +62,11 @@ void ShardState::apply(const KvOp& op) {
 std::int64_t ShardState::get(const std::string& key) const {
     const auto it = data_.find(key);
     return it == data_.end() ? 0 : it->second;
+}
+
+BufferSlice ShardState::get_blob(const std::string& key) const {
+    const auto it = blobs_.find(key);
+    return it == blobs_.end() ? BufferSlice{} : it->second;
 }
 
 std::int64_t ShardState::total() const {

@@ -22,9 +22,13 @@ public:
     void apply(const KvOp& op);
 
     std::int64_t get(const std::string& key) const;
+    // Blob value for a key (empty slice when absent). Stored values are
+    // compacted at apply time, so they never pin a wire buffer.
+    BufferSlice get_blob(const std::string& key) const;
     // Sum of all values held by this shard.
     std::int64_t total() const;
     std::size_t size() const { return data_.size(); }
+    std::size_t blob_count() const { return blobs_.size(); }
     std::uint64_t applied_count() const { return applied_; }
 
     // Order-sensitive hash over the applied history: two replicas have the
@@ -37,6 +41,9 @@ private:
     GroupId shard_;
     int num_groups_;
     std::map<std::string, std::int64_t> data_;
+    // Long-lived application state: every stored slice is compact (owns
+    // exactly its bytes), detached from the delivering wire buffer.
+    std::map<std::string, BufferSlice> blobs_;
     std::uint64_t applied_ = 0;
     std::uint64_t hash_ = 0xcbf29ce484222325ULL;
 };

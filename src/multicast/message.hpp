@@ -1,6 +1,13 @@
 // The application-level multicast message: a unique id, the set of
 // destination groups, and an opaque payload. This is what clients hand to
 // a protocol and what delivery upcalls produce.
+//
+// The payload is a BufferSlice: decoding an AppMessage from a backed
+// Reader yields a zero-copy view of the wire buffer, shared by every
+// fan-out recipient. Equality is content equality (slices may alias
+// different storage). Consumers that keep the payload beyond the delivery
+// upcall detach deliberately with payload.compact() / to_bytes() — see
+// docs/ARCHITECTURE.md for the lifetime rules.
 #ifndef WBAM_MULTICAST_MESSAGE_HPP
 #define WBAM_MULTICAST_MESSAGE_HPP
 
@@ -15,7 +22,7 @@ namespace wbam {
 struct AppMessage {
     MsgId id = invalid_msg;
     std::vector<GroupId> dests;  // sorted, unique
-    Bytes payload;
+    BufferSlice payload;  // zero-copy view of the wire after decode
 
     bool addressed_to(GroupId g) const {
         return std::binary_search(dests.begin(), dests.end(), g);
@@ -42,8 +49,10 @@ struct AppMessage {
 };
 
 // Builds a well-formed AppMessage (sorts and dedups the destinations).
+// Accepts anything convertible to BufferSlice: an rvalue Bytes freezes
+// without a copy, an lvalue Bytes duplicates (counted).
 inline AppMessage make_app_message(MsgId id, std::vector<GroupId> dests,
-                                   Bytes payload = {}) {
+                                   BufferSlice payload = {}) {
     std::sort(dests.begin(), dests.end());
     dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
     return AppMessage{id, std::move(dests), std::move(payload)};

@@ -22,9 +22,15 @@ enum class MsgType : std::uint8_t {
 // A replicated command. `about` names the application message the command
 // concerns (for genuineness auditing); `data` is the host protocol's
 // serialized command. An empty `data` is a no-op (gap filler).
+//
+// `data` is a BufferSlice: decoded commands alias the paxos wire message
+// they arrived in, and nested decodes (e.g. an AppMessage inside a
+// ProposeCmd) alias it transitively — the delivered payload of the
+// black-box baselines is a view of the consensus wire buffer. Equality is
+// content equality, which is what the chosen-once agreement check needs.
 struct Command {
     MsgId about = invalid_msg;
-    Bytes data;
+    BufferSlice data;
 
     bool is_noop() const { return data.empty(); }
 

@@ -155,7 +155,10 @@ void MultiPaxos::handle_p2a(Context& ctx, ProcessId from, const P2aMsg& m) {
         leading_ = false;
         phase1_pending_ = false;
     }
-    accepted_[m.slot] = {m.ballot, m.cmd};
+    // A retried P2a for an already-chosen slot is acked but not stored:
+    // the acceptor entry would never be consulted (handle_p1a skips chosen
+    // slots) and would re-pin the wire image mark_chosen released.
+    if (!chosen_.count(m.slot)) accepted_[m.slot] = {m.ballot, m.cmd};
     ctx.send(from,
              codec::encode_envelope(mod, type_of(MsgType::p2b), m.cmd.about,
                                     P2bMsg{m.ballot, m.slot}));
@@ -178,12 +181,25 @@ void MultiPaxos::handle_chosen(Context& ctx, const ChosenMsg& m) {
 
 void MultiPaxos::mark_chosen(Context& ctx, std::uint64_t slot, Command cmd,
                              bool announce) {
-    const auto [it, inserted] = chosen_.try_emplace(slot, std::move(cmd));
-    if (!inserted) {
+    // The acceptor entry for a chosen slot is never consulted again
+    // (handle_p1a skips chosen slots): release its share of the wire.
+    // Unconditional, so a duplicate CHOSEN also releases anything a racing
+    // P2a retry slipped back in.
+    accepted_.erase(slot);
+    const auto existing = chosen_.find(slot);
+    if (existing != chosen_.end()) {
         // Paxos guarantees agreement: a slot can only be chosen once.
-        WBAM_ASSERT_MSG(it->second == cmd, "two values chosen for one slot");
+        WBAM_ASSERT_MSG(existing->second == cmd, "two values chosen for one slot");
         return;
     }
+    // chosen_ is long-lived (kept for p1b catch-up of lagging members), so
+    // the command detaches from the wire image it was decoded out of —
+    // without this, every slot would pin a full P2a envelope or batch
+    // frame. Leader-submitted commands are already compact (no copy);
+    // commands learned from CHOSEN/P1B wire messages copy once here, only
+    // when actually inserted.
+    cmd.data = cmd.data.compact();
+    const auto it = chosen_.emplace(slot, std::move(cmd)).first;
     if (announce) {
         std::vector<ProcessId> others;
         others.reserve(members_.size() - 1);

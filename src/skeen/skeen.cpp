@@ -96,6 +96,10 @@ void SkeenReplica::try_deliver(Context& ctx) {
         log::debug("skeen p", ctx.self(), " delivers msg ", id, " gts ",
                    to_string(gts));
         sink_(ctx, g0_, e.msg);
+        // Delivered entries are never re-sent (processes are reliable in
+        // Skeen's model): drop the payload so the retained entry stops
+        // pinning the wire envelope it was decoded from.
+        e.msg.payload = BufferSlice{};
         committed_by_gts_.erase(committed_by_gts_.begin());
     }
 }

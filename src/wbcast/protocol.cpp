@@ -132,7 +132,10 @@ void WbcastReplica::handle_accept(Context& ctx, ProcessId, const AcceptMsg& a) {
     if (e.msg.id == invalid_msg) {
         e.msg = a.msg;
     } else if (e.msg.payload.empty() && !a.msg.payload.empty()) {
-        e.msg.payload = a.msg.payload;  // fill in after compaction races
+        // Fill in after compaction races. Compacted entries are skipped by
+        // every later GC pass, so the refill must own exactly its payload
+        // bytes — aliasing the ACCEPT envelope here would pin it forever.
+        e.msg.payload = a.msg.payload.compact();
     }
     remote_leader_hint_[a.from_group] = a.ballot.leader();
 
@@ -387,8 +390,10 @@ void WbcastReplica::handle_newleader_ack(Context& ctx, ProcessId from,
                 it->second.deliver_sent = true;
                 ++compacted_count_;
             }
+            // compact(): a compacted entry is never re-dropped by GC, so it
+            // must not alias the whole recovery-ack frame.
             if (it->second.msg.payload.empty() && !es.msg.payload.empty())
-                it->second.msg.payload = es.msg.payload;
+                it->second.msg.payload = es.msg.payload.compact();
         }
     }
     // Rule 2 (lines 51-53): accepted at a maximal-cballot member stays
@@ -539,9 +544,9 @@ void WbcastReplica::run_gc(Context& ctx) {
 void WbcastReplica::compact(Entry& e) {
     // A message delivered by every member of the group can drop its payload
     // and vote bookkeeping; the ordering facts (lts/gts/phase) stay, so
-    // recovery and late retries remain correct.
-    e.msg.payload.clear();
-    e.msg.payload.shrink_to_fit();
+    // recovery and late retries remain correct. Dropping the slice also
+    // releases this entry's share of the wire buffer it aliased.
+    e.msg.payload = BufferSlice{};
     e.accepts.clear();
     e.acks.clear();
     e.compacted = true;

@@ -140,6 +140,56 @@ TEST(KvClusterTest, WorksOverEveryProtocol) {
     }
 }
 
+TEST(ShardTest, BlobApplyDetachesFromWireBuffer) {
+    const int k = 1;  // single shard owns everything
+    ShardState s(0, k);
+    const Bytes content{10, 20, 30};
+
+    // Encode a put_blob op into a frozen wire image and decode it through a
+    // backed Reader, as a replica's delivery sink does.
+    codec::Writer w;
+    KvOp{OpKind::put_blob, "photo", "", 0, BufferSlice{Bytes(content)}}
+        .encode(w);
+    const Buffer wire = std::move(w).take_buffer();
+    codec::Reader r{BufferSlice(wire)};
+    const KvOp decoded = KvOp::decode(r);
+    // The decoded blob is a zero-copy view of the wire…
+    ASSERT_TRUE(same_storage(decoded.blob, BufferSlice(wire)));
+
+    s.apply(decoded);
+    // …but the stored value detached deliberately: compact storage of its
+    // own, sharing nothing with the wire buffer.
+    const BufferSlice stored = s.get_blob("photo");
+    EXPECT_EQ(stored, content);
+    EXPECT_TRUE(stored.is_compact());
+    EXPECT_FALSE(same_storage(stored, BufferSlice(wire)));
+    EXPECT_EQ(s.blob_count(), 1u);
+    EXPECT_EQ(s.get_blob("absent").size(), 0u);
+}
+
+TEST(KvClusterTest, BlobValuesSurviveOriginatingBufferRelease) {
+    KvCluster kv(kv_config(ProtocolKind::wbcast, 2, 1));
+    const Bytes content(512, 0x3c);
+    kv.put_blob_at(0, 0, "blob-key", BufferSlice{Bytes(content)});
+    kv.put_at(microseconds(100), 0, "plain", 7);
+    // Run long enough that delivery, acks, and wbcast GC compaction have
+    // all happened: every wire buffer that carried the blob would have been
+    // released if anything still pinned one, the use_count below would show it.
+    kv.run_for(milliseconds(500));
+    EXPECT_TRUE(kv.cluster().check().ok()) << kv.cluster().check().summary();
+    EXPECT_TRUE(kv.replicas_agree());
+
+    const GroupId g = shard_of("blob-key", 2);
+    for (const ProcessId p : kv.topo().members(g)) {
+        const BufferSlice stored = kv.read_blob(p, "blob-key");
+        EXPECT_EQ(stored, content) << "replica " << p;
+        EXPECT_TRUE(stored.is_compact()) << "replica " << p;
+        // Exactly two handles: the shard map's and the one just returned —
+        // no wire buffer, protocol entry, or runtime mailbox shares it.
+        EXPECT_EQ(stored.buffer().use_count(), 2) << "replica " << p;
+    }
+}
+
 TEST(KvClusterTest, SurvivesLeaderCrash) {
     ClusterConfig cfg = kv_config(ProtocolKind::wbcast, 3, 2, 21);
     cfg.replica.heartbeat_interval = milliseconds(5);

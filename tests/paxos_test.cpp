@@ -107,6 +107,25 @@ TEST(PaxosTest, AllMembersApplySameSequence) {
     }
 }
 
+TEST(PaxosTest, ChosenCommandsDetachFromWireBuffers) {
+    // The chosen log is long-lived: commands must enter it compacted, so a
+    // slot never pins the P2a/CHOSEN wire image it was decoded from. The
+    // apply callback sees the stored log entries on every member.
+    PaxosWorld w(3, 7, milliseconds(1));
+    w.world.at(0, [&] {
+        for (std::uint8_t i = 0; i < 10; ++i)
+            w.hosts[0]->paxos->submit(*w.hosts[0]->ctx, cmd_of(i));
+    });
+    w.world.run_for(milliseconds(100));
+    for (int h = 0; h < 3; ++h) {
+        ASSERT_EQ(w.hosts[h]->applied.size(), 10u) << "host " << h;
+        for (const auto& a : w.hosts[h]->applied)
+            EXPECT_TRUE(a.cmd.data.is_compact())
+                << "host " << h << " slot " << a.slot
+                << " pins a wire buffer";
+    }
+}
+
 TEST(PaxosTest, PipelinedSubmissionsKeepSlotOrder) {
     PaxosWorld w(3);
     w.world.at(0, [&] {
