@@ -10,6 +10,7 @@
 // across PRs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -213,7 +214,7 @@ void BM_DeliverFanoutOwnedPayload(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations() * fanout_recipients);
 }
-BENCHMARK(BM_DeliverFanoutOwnedPayload)->Arg(20)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_DeliverFanoutOwnedPayload)->Arg(20)->Arg(1024)->Arg(4096)->Arg(65536);
 
 void BM_DeliverFanoutSlicePayload(benchmark::State& state) {
     const auto a = fanout_accept(static_cast<std::size_t>(state.range(0)));
@@ -225,7 +226,7 @@ void BM_DeliverFanoutSlicePayload(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations() * fanout_recipients);
 }
-BENCHMARK(BM_DeliverFanoutSlicePayload)->Arg(20)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_DeliverFanoutSlicePayload)->Arg(20)->Arg(1024)->Arg(4096)->Arg(65536);
 
 struct DeliveryCopyStats {
     std::size_t payload = 0;
@@ -288,6 +289,68 @@ FanoutCopyStats measure_fanout_copies(std::size_t payload_size) {
     };
     out.seed_bytes_copied = run(fanout_seed_style);
     out.shared_bytes_copied = run(fanout_shared);
+    return out;
+}
+
+// --- payload-size sweep -------------------------------------------------------
+//
+// ROADMAP item: with zero-copy delivery the Fig. 7/8 throughput ceiling —
+// the leader's serial encode + fan-out + every recipient's decode — should
+// be insensitive to payload size, because no stage copies payload bytes
+// anymore. The sweep measures one full message round (encode once, 9
+// recipients decode and keep the payload) at growing payload sizes on both
+// delivery styles: bytes copied (deterministic, via buffer_stats) and
+// wall-clock per message (illustrative). The owned-payload column re-enacts
+// the seed's decode-side copy and grows linearly; the slice column stays
+// flat at zero copies.
+
+struct SweepPoint {
+    std::size_t payload = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t owned_bytes_copied = 0;
+    std::uint64_t slice_bytes_copied = 0;
+    double owned_ns_per_msg = 0;
+    double slice_ns_per_msg = 0;
+};
+
+template <typename Fn>
+double time_ns_per_call(Fn&& fn) {
+    constexpr int iters = 400;
+    fn();  // warm-up (first call faults in the fan-out buffers)
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                   .count()) /
+           iters;
+}
+
+SweepPoint measure_sweep_point(std::size_t payload) {
+    SweepPoint out;
+    out.payload = payload;
+    const auto a = fanout_accept(payload);
+    CollectContext ctx;
+    fanout_shared(a, ctx);
+    out.wire_bytes = ctx.inboxes.empty() ? 0 : ctx.inboxes.front().size();
+
+    std::uint64_t before = buffer_stats::bytes_copied();
+    auto owned = deliver_owned_style(ctx.inboxes);
+    out.owned_bytes_copied = buffer_stats::bytes_copied() - before;
+    before = buffer_stats::bytes_copied();
+    auto slices = deliver_slice_style(ctx.inboxes);
+    out.slice_bytes_copied = buffer_stats::bytes_copied() - before;
+    benchmark::DoNotOptimize(owned);
+    benchmark::DoNotOptimize(slices);
+
+    out.owned_ns_per_msg = time_ns_per_call([&] {
+        auto d = deliver_owned_style(ctx.inboxes);
+        benchmark::DoNotOptimize(d);
+    });
+    out.slice_ns_per_msg = time_ns_per_call([&] {
+        auto d = deliver_slice_style(ctx.inboxes);
+        benchmark::DoNotOptimize(d);
+    });
     return out;
 }
 
@@ -358,6 +421,37 @@ void write_bench_json() {
                      static_cast<unsigned long long>(s.slice_bytes_copied /
                                                      fanout_recipients),
                      s.slices_share_wire ? "true" : "false");
+        print_factor(s.owned_bytes_copied, s.slice_bytes_copied);
+        std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n    ]\n  },\n");
+    // Payload-size sweep: the throughput-ceiling work per message (encode
+    // once + 9 recipients decode and keep the payload) across payload
+    // sizes. slice_bytes_copied stays 0 at every size — the ceiling is
+    // payload-size-insensitive with zero-copy delivery (docs/BENCHMARKS.md
+    // has the interpretation; ns numbers are wall-clock, machine-noisy).
+    std::fprintf(f, "  \"sweep\": {\n");
+    std::fprintf(f, "    \"scenario\": \"full delivery round at growing payload sizes: encode one ACCEPT, fan out to %d recipients, decode + keep payload at each\",\n",
+                 fanout_recipients);
+    std::fprintf(f, "    \"recipients\": %d,\n", fanout_recipients);
+    std::fprintf(f, "    \"payload_sizes\": [\n");
+    const std::size_t sweep_sizes[] = {16, 256, 4096, 65536};
+    first = true;
+    for (const std::size_t payload : sweep_sizes) {
+        const SweepPoint s = measure_sweep_point(payload);
+        std::fprintf(f, "%s", first ? "" : ",\n");
+        first = false;
+        std::fprintf(f,
+                     "      {\"payload_bytes\": %zu, \"wire_bytes\": %llu, "
+                     "\"owned_decode_bytes_copied\": %llu, "
+                     "\"slice_decode_bytes_copied\": %llu, "
+                     "\"owned_ns_per_fanout\": %.0f, "
+                     "\"slice_ns_per_fanout\": %.0f, ",
+                     payload,
+                     static_cast<unsigned long long>(s.wire_bytes),
+                     static_cast<unsigned long long>(s.owned_bytes_copied),
+                     static_cast<unsigned long long>(s.slice_bytes_copied),
+                     s.owned_ns_per_msg, s.slice_ns_per_msg);
         print_factor(s.owned_bytes_copied, s.slice_bytes_copied);
         std::fprintf(f, "}");
     }

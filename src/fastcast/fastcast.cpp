@@ -1,8 +1,11 @@
 #include "fastcast/fastcast.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "common/batching.hpp"
 #include "common/log.hpp"
+#include "paxos/snapshot.hpp"
 
 namespace wbam::fastcast {
 
@@ -26,7 +29,9 @@ FastCastReplica::FastCastReplica(const Topology& topo, ProcessId pid,
                  apply(ctx, cmd);
              },
              paxos::PaxosConfig{.retry_interval = cfg.retry_interval,
-                                .cmd_cost = cfg.consensus_cmd_cost}),
+                                .cmd_cost = cfg.consensus_cmd_cost,
+                                .gc_enabled = cfg.paxos_gc_enabled,
+                                .gc_interval = cfg.paxos_gc_interval}),
       elector_(topo.members_leader_first(topo.group_of(pid)),
                elect::ElectorConfig{cfg.election_enabled,
                                     cfg.heartbeat_interval,
@@ -35,12 +40,25 @@ FastCastReplica::FastCastReplica(const Topology& topo, ProcessId pid,
                    if (trusted == ctx.self()) paxos_.maybe_lead(ctx);
                }) {
     WBAM_ASSERT(g0_ != invalid_group);
+    paxos_.set_state_handlers(
+        [this](const BufferSlice& mark) -> Bytes {
+            const Timestamp strip = paxos::decode_catchup_mark(mark);
+            // Empty = cannot serve: the requester would have to replay
+            // entries we hold only as payload stubs. It retries against
+            // another peer (MultiPaxos skips the reply).
+            if (!can_serve_snapshot(strip)) return {};
+            return state_snapshot(strip);
+        },
+        [this](Context& ctx, const BufferSlice& s) { install_state(ctx, s); },
+        [this] { return paxos::encode_catchup_mark(max_delivered_gts_); });
 }
 
 void FastCastReplica::on_start(Context& ctx) {
     paxos_.start(ctx);
     elector_.start(ctx);
     tick_timer_ = ctx.set_timer(cfg_.retry_interval);
+    if (cfg_.paxos_gc_enabled)
+        paxos_gc_timer_ = ctx.set_timer(cfg_.paxos_gc_interval);
 }
 
 void FastCastReplica::on_message(Context& ctx, ProcessId from,
@@ -299,6 +317,78 @@ void FastCastReplica::try_deliver(Context& ctx) {
     }
 }
 
+// --- consensus-log retention: state transfer --------------------------------
+
+Bytes FastCastReplica::state_snapshot(Timestamp strip_upto) const {
+    return paxos::encode_rsm_snapshot(
+        clock_, entries_, [&](codec::Writer& w, const Entry& e) {
+            const bool delivered = e.phase == Phase::committed &&
+                                   committed_by_gts_.count(e.gts) == 0;
+            StateEntry se{e.msg,   static_cast<std::uint8_t>(e.phase),
+                          e.lts,   e.gts,
+                          e.commit_vec, delivered,
+                          e.payload_stripped};
+            // The receiver delivered everything at-or-below strip_upto (its
+            // watermark skips the replay), so the payload bytes are dead
+            // weight there: keep only the ordering facts.
+            if (delivered && e.gts <= strip_upto && !se.stripped) {
+                se.msg.payload = BufferSlice{};
+                se.stripped = true;
+            }
+            se.encode(w);
+        });
+}
+
+bool FastCastReplica::can_serve_snapshot(Timestamp strip_upto) const {
+    for (const auto& [id, e] : entries_)
+        if (e.payload_stripped && e.gts > strip_upto) return false;
+    return true;
+}
+
+void FastCastReplica::install_state(Context& ctx, const BufferSlice& state) {
+    entries_.clear();
+    pending_by_lts_.clear();
+    committed_by_gts_.clear();
+    tentative_.clear();
+    spec_lts_.clear();
+    confirmed_.clear();
+    commit_submitted_.clear();
+    last_driven_.clear();
+    // Messages the snapshotting member had already delivered: replayed
+    // below in gts order, deduplicated by the delivery watermark (stripped
+    // stubs are never replayed — the responder only strips what we
+    // reported as already delivered).
+    std::map<Timestamp, MsgId> replay;
+    const std::size_t n = paxos::decode_rsm_snapshot(
+        state, clock_, [&](codec::Reader& r) {
+            const StateEntry se = StateEntry::decode(r);
+            Entry& e = entries_[se.msg.id];
+            e.msg = se.msg;
+            // entries_ is long-lived: detach from the snapshot wire image.
+            e.msg.payload = e.msg.payload.compact();
+            e.phase = static_cast<Phase>(se.phase);
+            e.lts = se.lts;
+            e.gts = se.gts;
+            e.commit_vec = se.commit_vec;
+            e.payload_stripped = se.stripped;
+            if (e.phase == Phase::proposed) {
+                pending_by_lts_.emplace(e.lts, se.msg.id);
+            } else if (e.phase == Phase::committed) {
+                if (se.delivered) {
+                    if (!se.stripped) replay.emplace(e.gts, se.msg.id);
+                } else {
+                    committed_by_gts_.emplace(e.gts, se.msg.id);
+                }
+            }
+        });
+    for (const auto& [gts, id] : replay) {
+        if (gts <= max_delivered_gts_) continue;  // delivered before the gap
+        max_delivered_gts_ = gts;
+        sink_(ctx, g0_, entries_.at(id).msg);
+    }
+    log::info("fastcast p", pid_, " installed state snapshot (", n, " entries)");
+}
+
 void FastCastReplica::handle_deliver_floor(Context& ctx,
                                            const DeliverFloorMsg& m) {
     if (paxos_.is_leader()) return;  // leaders deliver through try_deliver
@@ -327,6 +417,11 @@ void FastCastReplica::on_timer(Context& ctx, TimerId id) {
 
 void FastCastReplica::dispatch_timer(Context& ctx, TimerId id) {
     if (elector_.handle_timer(ctx, id)) return;
+    if (id == paxos_gc_timer_) {
+        paxos_gc_timer_ = ctx.set_timer(cfg_.paxos_gc_interval);
+        paxos_.on_gc_tick(ctx);
+        return;
+    }
     if (id != tick_timer_) return;
     tick_timer_ = ctx.set_timer(cfg_.retry_interval);
     paxos_.on_tick(ctx);

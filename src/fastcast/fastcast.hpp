@@ -145,6 +145,26 @@ public:
     bool is_leader() const { return paxos_.is_leader(); }
     std::uint64_t clock() const { return clock_; }
     Timestamp max_delivered_gts() const { return max_delivered_gts_; }
+    // Consensus-log retention introspection for tests and benches.
+    const paxos::MultiPaxos& paxos() const { return paxos_; }
+
+    // Deterministic serialization of the replicated state (entries sorted
+    // by message id), as shipped by the paxos catch-up path. Payloads of
+    // entries already delivered at-or-below `strip_upto` are omitted — the
+    // receiver delivered them, only the ordering facts still matter — so a
+    // catch-up transfer stays proportional to the receiver's gap, not the
+    // run length. Stripped entries are marked as such (a member that
+    // healed from a stripped snapshot holds stubs, never invisibly empty
+    // payloads). The no-arg form strips by this member's own watermark:
+    // two quiesced members produce byte-identical snapshots (mid-flight,
+    // follower delivered flags lag the leader's by one DELIVER_FLOOR).
+    Bytes state_snapshot(Timestamp strip_upto) const;
+    Bytes state_snapshot() const { return state_snapshot(max_delivered_gts_); }
+    // False when this member holds only payload stubs for entries a
+    // requester with watermark `strip_upto` would still have to replay —
+    // serving it would deliver empty payloads. Such a member declines to
+    // serve and the requester falls back to another peer.
+    bool can_serve_snapshot(Timestamp strip_upto) const;
 
 private:
     enum class Phase : std::uint8_t { start, proposed, committed };
@@ -155,9 +175,49 @@ private:
         Timestamp lts;
         Timestamp gts;
         LtsVector commit_vec;
+        // True when this entry arrived through a payload-stripped snapshot:
+        // the payload is a stub (the message was delivered before the
+        // member's gap), distinguishable from a legitimately empty payload.
+        bool payload_stripped = false;
+    };
+
+    // One entry of the state snapshot. `delivered` records whether the
+    // snapshotting member had emitted the message; the installer replays
+    // exactly those through its own sink (deduplicated by the delivery
+    // watermark). `stripped` marks entries shipped without their payload.
+    struct StateEntry {
+        AppMessage msg;
+        std::uint8_t phase = 0;
+        Timestamp lts;
+        Timestamp gts;
+        LtsVector commit_vec;
+        bool delivered = false;
+        bool stripped = false;
+
+        void encode(codec::Writer& w) const {
+            codec::write_field(w, msg);
+            codec::write_field(w, phase);
+            codec::write_field(w, lts);
+            codec::write_field(w, gts);
+            codec::write_field(w, commit_vec);
+            codec::write_field(w, delivered);
+            codec::write_field(w, stripped);
+        }
+        static StateEntry decode(codec::Reader& r) {
+            StateEntry e;
+            codec::read_field(r, e.msg);
+            codec::read_field(r, e.phase);
+            codec::read_field(r, e.lts);
+            codec::read_field(r, e.gts);
+            codec::read_field(r, e.commit_vec);
+            codec::read_field(r, e.delivered);
+            codec::read_field(r, e.stripped);
+            return e;
+        }
     };
 
     void handle_multicast(Context& ctx, const AppMessage& m);
+    void install_state(Context& ctx, const BufferSlice& state);
     void handle_spec_propose(Context& ctx, ProcessId from, const SpecProposeMsg& m);
     void handle_confirm(Context& ctx, const ConfirmMsg& m);
     void handle_deliver_floor(Context& ctx, const DeliverFloorMsg& m);
@@ -198,6 +258,7 @@ private:
     std::unordered_map<MsgId, TimePoint> last_driven_;
 
     TimerId tick_timer_ = invalid_timer;
+    TimerId paxos_gc_timer_ = invalid_timer;
 };
 
 }  // namespace wbam::fastcast

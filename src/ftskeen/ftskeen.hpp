@@ -94,6 +94,26 @@ public:
     std::size_t undelivered_count() const {
         return pending_by_lts_.size() + committed_by_gts_.size();
     }
+    Timestamp max_delivered_gts() const { return max_delivered_gts_; }
+    // Consensus-log retention introspection for tests and benches.
+    const paxos::MultiPaxos& paxos() const { return paxos_; }
+
+    // Deterministic serialization of the replicated state (entries sorted
+    // by message id), as shipped by the paxos catch-up path. Payloads of
+    // entries already delivered at-or-below `strip_upto` are omitted — the
+    // receiver delivered them, only the ordering facts still matter — so a
+    // catch-up transfer stays proportional to the receiver's gap, not the
+    // run length. Stripped entries are marked as such (a member that
+    // healed from a stripped snapshot holds stubs, never invisibly empty
+    // payloads). The no-arg form strips by this member's own watermark:
+    // two quiesced members produce byte-identical snapshots.
+    Bytes state_snapshot(Timestamp strip_upto) const;
+    Bytes state_snapshot() const { return state_snapshot(max_delivered_gts_); }
+    // False when this member holds only payload stubs for entries a
+    // requester with watermark `strip_upto` would still have to replay —
+    // serving it would deliver empty payloads. Such a member declines to
+    // serve and the requester falls back to another peer.
+    bool can_serve_snapshot(Timestamp strip_upto) const;
 
 private:
     enum class Phase : std::uint8_t { start, proposed, committed };
@@ -103,10 +123,48 @@ private:
         Phase phase = Phase::start;
         Timestamp lts;
         Timestamp gts;
+        // True when this entry arrived through a payload-stripped snapshot:
+        // the payload is a stub (the message was delivered before the
+        // member's gap), distinguishable from a legitimately empty payload.
+        bool payload_stripped = false;
+    };
+
+    // One entry of the state snapshot. `delivered` records whether the
+    // deterministic try_deliver had already emitted the message at the
+    // snapshotting member; the installer replays exactly those through its
+    // own sink (deduplicated by the delivery watermark). `stripped` marks
+    // entries shipped without their payload (see state_snapshot).
+    struct StateEntry {
+        AppMessage msg;
+        std::uint8_t phase = 0;
+        Timestamp lts;
+        Timestamp gts;
+        bool delivered = false;
+        bool stripped = false;
+
+        void encode(codec::Writer& w) const {
+            codec::write_field(w, msg);
+            codec::write_field(w, phase);
+            codec::write_field(w, lts);
+            codec::write_field(w, gts);
+            codec::write_field(w, delivered);
+            codec::write_field(w, stripped);
+        }
+        static StateEntry decode(codec::Reader& r) {
+            StateEntry e;
+            codec::read_field(r, e.msg);
+            codec::read_field(r, e.phase);
+            codec::read_field(r, e.lts);
+            codec::read_field(r, e.gts);
+            codec::read_field(r, e.delivered);
+            codec::read_field(r, e.stripped);
+            return e;
+        }
     };
 
     void handle_multicast(Context& ctx, const AppMessage& m);
     void handle_propose_ts(Context& ctx, ProcessId from, const ProposeTsMsg& p);
+    void install_state(Context& ctx, const BufferSlice& state);
     void apply(Context& ctx, const paxos::Command& cmd);
     void apply_propose(Context& ctx, const ProposeCmd& cmd);
     void apply_commit(Context& ctx, const CommitCmd& cmd);
@@ -123,11 +181,16 @@ private:
     paxos::MultiPaxos paxos_;
     elect::Elector elector_;
 
-    // --- replicated state (only mutated in apply) --------------------------
+    // --- replicated state (only mutated in apply or install_state) ---------
     std::uint64_t clock_ = 0;
     std::unordered_map<MsgId, Entry> entries_;
     std::map<Timestamp, MsgId> pending_by_lts_;
     std::map<Timestamp, MsgId> committed_by_gts_;
+
+    // --- per-replica delivery cursor ---------------------------------------
+    // Deliveries happen in strictly increasing gts order at each member;
+    // the watermark deduplicates the snapshot-install replay.
+    Timestamp max_delivered_gts_;
 
     // --- leader-volatile state ---------------------------------------------
     // Local timestamps collected from destination groups (incl. our own).
@@ -141,6 +204,7 @@ private:
     std::unordered_map<MsgId, TimePoint> propose_ts_sent_;
 
     TimerId tick_timer_ = invalid_timer;
+    TimerId paxos_gc_timer_ = invalid_timer;
 };
 
 }  // namespace wbam::ftskeen

@@ -64,6 +64,13 @@ struct ReplicaConfig {
     // Garbage collection of delivered messages (wbcast only).
     bool gc_enabled = true;
     Duration gc_interval = milliseconds(250);
+    // Consensus-log retention in the black-box baselines (ftskeen and
+    // fastcast): members exchange applied progress, the group prunes the
+    // Paxos chosen log below the group-wide applied floor, and members
+    // that fell behind the floor catch up via state snapshot. Mirrors the
+    // wbcast GC knobs above.
+    bool paxos_gc_enabled = true;
+    Duration paxos_gc_interval = milliseconds(250);
     // Leader-side send batching (BatchingContext): coalesce same-destination
     // sends made within one handler into a single batch frame, flushed at
     // handler exit. Off by default; adopted by the wbcast ACCEPT/DELIVER

@@ -17,6 +17,10 @@ enum class MsgType : std::uint8_t {
     p2b = 3,
     chosen = 4,
     nack = 5,
+    gc_status = 6,         // member -> leader: apply progress
+    gc_prune = 7,          // leader -> group: group-wide applied floor
+    catchup_request = 8,   // lagging member -> up-to-date peer
+    catchup_snapshot = 9,  // peer -> lagging member: state and/or log suffix
 };
 
 // A replicated command. `about` names the application message the command
@@ -102,17 +106,23 @@ struct P1bMsg {
     Ballot ballot;
     std::vector<AcceptedEntry> accepted;  // accepted but possibly unchosen
     std::vector<ChosenEntry> known_chosen;
+    // Slots at-or-below this were pruned from this acceptor's chosen log
+    // (GC floor protocol): the candidate cannot learn them slot-by-slot and
+    // must not fill them with no-ops — it catches up via snapshot instead.
+    std::uint64_t pruned_upto = 0;
 
     void encode(codec::Writer& w) const {
         codec::write_field(w, ballot);
         codec::write_field(w, accepted);
         codec::write_field(w, known_chosen);
+        codec::write_field(w, pruned_upto);
     }
     static P1bMsg decode(codec::Reader& r) {
         P1bMsg m;
         codec::read_field(r, m.ballot);
         codec::read_field(r, m.accepted);
         codec::read_field(r, m.known_chosen);
+        codec::read_field(r, m.pruned_upto);
         return m;
     }
 };
@@ -175,6 +185,87 @@ struct NackMsg {
     static NackMsg decode(codec::Reader& r) {
         NackMsg m;
         codec::read_field(r, m.promised);
+        return m;
+    }
+};
+
+// --- log retention (GC floor protocol, mirrors wbcast Gc*Msg) ---------------
+
+// Member -> leader: how far this member has applied the log. The leader
+// folds these into a group-wide floor; slots at-or-below the floor were
+// applied by a quorum and can be erased from every chosen log.
+struct GcStatusMsg {
+    std::uint64_t applied_upto = 0;
+
+    void encode(codec::Writer& w) const { codec::write_field(w, applied_upto); }
+    static GcStatusMsg decode(codec::Reader& r) {
+        GcStatusMsg m;
+        codec::read_field(r, m.applied_upto);
+        return m;
+    }
+};
+
+// Leader -> group. `applied_upto` is the leader's own progress: a member
+// that fell behind it (lost CHOSEN traffic, healed partition) learns here
+// that a peer has state to offer and requests catch-up.
+struct GcPruneMsg {
+    std::uint64_t floor = 0;
+    std::uint64_t applied_upto = 0;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, floor);
+        codec::write_field(w, applied_upto);
+    }
+    static GcPruneMsg decode(codec::Reader& r) {
+        GcPruneMsg m;
+        codec::read_field(r, m.floor);
+        codec::read_field(r, m.applied_upto);
+        return m;
+    }
+};
+
+// Lagging member -> up-to-date peer: "I have applied up to `applied_upto`;
+// send me what I am missing." `mark` is opaque host metadata (MarkFn) the
+// responder's SnapshotFn uses to avoid shipping state the requester
+// already holds — ftskeen/fastcast encode their delivery watermark so the
+// snapshot strips payloads the requester has already delivered.
+struct CatchupRequestMsg {
+    std::uint64_t applied_upto = 0;
+    BufferSlice mark;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, applied_upto);
+        codec::write_field(w, mark);
+    }
+    static CatchupRequestMsg decode(codec::Reader& r) {
+        CatchupRequestMsg m;
+        codec::read_field(r, m.applied_upto);
+        codec::read_field(r, m.mark);
+        return m;
+    }
+};
+
+// Catch-up payload. When the requester's gap is still covered by the
+// responder's retained chosen log, `entries` alone carries the missing
+// slots. When the requester fell below the responder's pruned floor,
+// `snap_upto`/`state` ship the host applier's replicated state as of slot
+// `snap_upto` (opaque to the consensus layer; see MultiPaxos::SnapshotFn)
+// and `entries` carries the retained suffix beyond it.
+struct CatchupSnapshotMsg {
+    std::uint64_t snap_upto = 0;  // 0: no applier snapshot, entries only
+    BufferSlice state;
+    std::vector<ChosenEntry> entries;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, snap_upto);
+        codec::write_field(w, state);
+        codec::write_field(w, entries);
+    }
+    static CatchupSnapshotMsg decode(codec::Reader& r) {
+        CatchupSnapshotMsg m;
+        codec::read_field(r, m.snap_upto);
+        codec::read_field(r, m.state);
+        codec::read_field(r, m.entries);
         return m;
     }
 };

@@ -18,6 +18,13 @@ MultiPaxos::MultiPaxos(std::vector<ProcessId> members, int quorum, ApplyFn apply
     WBAM_ASSERT(quorum_ >= 1 && quorum_ <= members_.size());
 }
 
+void MultiPaxos::set_state_handlers(SnapshotFn snapshot, InstallFn install,
+                                    MarkFn mark) {
+    snapshot_ = std::move(snapshot);
+    install_ = std::move(install);
+    mark_ = std::move(mark);
+}
+
 void MultiPaxos::start(Context& ctx) {
     self_ = ctx.self();
     promised_ = Ballot{1, members_.front()};
@@ -71,6 +78,18 @@ bool MultiPaxos::handle_message(Context& ctx, ProcessId from,
         case MsgType::p2b: handle_p2b(ctx, from, P2bMsg::decode(env.body)); break;
         case MsgType::chosen: handle_chosen(ctx, ChosenMsg::decode(env.body)); break;
         case MsgType::nack: handle_nack(NackMsg::decode(env.body)); break;
+        case MsgType::gc_status:
+            handle_gc_status(ctx, from, GcStatusMsg::decode(env.body));
+            break;
+        case MsgType::gc_prune:
+            handle_gc_prune(ctx, from, GcPruneMsg::decode(env.body));
+            break;
+        case MsgType::catchup_request:
+            handle_catchup_request(ctx, from, CatchupRequestMsg::decode(env.body));
+            break;
+        case MsgType::catchup_snapshot:
+            handle_catchup_snapshot(ctx, CatchupSnapshotMsg::decode(env.body));
+            break;
     }
     return true;
 }
@@ -86,7 +105,7 @@ void MultiPaxos::handle_p1a(Context& ctx, ProcessId from, const P1aMsg& m) {
         leading_ = false;
         phase1_pending_ = false;
     }
-    P1bMsg reply{m.ballot, {}, {}};
+    P1bMsg reply{m.ballot, {}, {}, pruned_upto_};
     for (const auto& [slot, entry] : accepted_) {
         if (slot < m.low_slot) continue;
         if (chosen_.count(slot)) continue;
@@ -114,7 +133,21 @@ void MultiPaxos::finish_phase1(Context& ctx) {
     // Adopt the highest-ballot accepted value for every open slot.
     std::map<std::uint64_t, std::pair<Ballot, Command>> adopt;
     std::uint64_t max_slot = applied_upto_;
+    // Slots at-or-below `base` were pruned by some quorum member: they were
+    // chosen and applied group-wide, so re-proposing there (in particular
+    // the no-op gap filler) could choose a second value for a settled slot.
+    // The quorum-intersection argument covers everything above base: any
+    // prune floor was backed by a quorum of applied reports, which
+    // intersects our phase-1 quorum in a member that either still retains
+    // the chosen entry (it arrives in known_chosen) or reports its pruned
+    // floor here.
+    std::uint64_t base = pruned_upto_;
+    ProcessId snap_peer = invalid_process;
     for (const auto& [p, ack] : p1b_acks_) {
+        if (ack.pruned_upto > base) {
+            base = ack.pruned_upto;
+            snap_peer = p;
+        }
         for (const AcceptedEntry& e : ack.accepted) {
             max_slot = std::max(max_slot, e.slot);
             auto [it, inserted] = adopt.try_emplace(
@@ -124,16 +157,25 @@ void MultiPaxos::finish_phase1(Context& ctx) {
         }
     }
     if (!chosen_.empty()) max_slot = std::max(max_slot, chosen_.rbegin()->first);
+    max_slot = std::max(max_slot, base);
     phase1_pending_ = false;
     leading_ = true;
     p1b_acks_.clear();
     next_slot_ = max_slot + 1;
     // Re-propose adopted values at their original slots and fill gaps with
-    // no-ops so the log applies without holes.
-    for (std::uint64_t slot = applied_upto_ + 1; slot <= max_slot; ++slot) {
+    // no-ops so the log applies without holes. Slots at-or-below base are
+    // settled; if we have not applied them ourselves we fetch a snapshot.
+    for (std::uint64_t slot = std::max(applied_upto_, base) + 1;
+         slot <= max_slot; ++slot) {
         if (chosen_.count(slot)) continue;
         const auto it = adopt.find(slot);
         propose_at(ctx, slot, it != adopt.end() ? it->second.second : Command{});
+    }
+    if (base > applied_upto_ && snap_peer != invalid_process) {
+        // Remember the floor so on_gc_tick keeps retrying if this request
+        // (or its reply) is lost; applies stall until the snapshot lands.
+        gc_floor_ = std::max(gc_floor_, base);
+        request_catchup(ctx, snap_peer);
     }
     // Drain commands queued while phase 1 was running.
     while (!queue_.empty()) {
@@ -181,6 +223,13 @@ void MultiPaxos::handle_chosen(Context& ctx, const ChosenMsg& m) {
 
 void MultiPaxos::mark_chosen(Context& ctx, std::uint64_t slot, Command cmd,
                              bool announce) {
+    // A slot at-or-below the pruned floor was applied group-wide and erased
+    // from the log; a late CHOSEN/P1B copy must not re-enter (nothing would
+    // ever erase it again).
+    if (slot <= pruned_upto_) {
+        accepted_.erase(slot);
+        return;
+    }
     // The acceptor entry for a chosen slot is never consulted again
     // (handle_p1a skips chosen slots): release its share of the wire.
     // Unconditional, so a duplicate CHOSEN also releases anything a racing
@@ -225,6 +274,161 @@ void MultiPaxos::handle_nack(const NackMsg& m) {
         leading_ = false;
         phase1_pending_ = false;
     }
+}
+
+// --- log retention & floor-based catch-up -----------------------------------
+
+void MultiPaxos::prune_chosen(std::uint64_t floor) {
+    // Never prune past our own apply point: entries in (applied_upto_,
+    // floor] are choices we still have to apply in slot order.
+    const std::uint64_t upto = std::min(floor, applied_upto_);
+    if (upto <= pruned_upto_) return;
+    chosen_.erase(chosen_.begin(), chosen_.upper_bound(upto));
+    accepted_.erase(accepted_.begin(), accepted_.upper_bound(upto));
+    inflight_.erase(inflight_.begin(), inflight_.upper_bound(upto));
+    pruned_upto_ = upto;
+}
+
+void MultiPaxos::on_gc_tick(Context& ctx) {
+    if (!cfg_.gc_enabled) return;
+    if (gc_floor_ > applied_upto_) {
+        // Still behind a floor we have learned about (healed member, or a
+        // new leader whose phase 1 revealed a pruned prefix): keep asking
+        // until healed — the earlier request or its reply may have been
+        // lost, or the asked peer declined (it may itself hold only a
+        // stripped snapshot). Ask the peer with the deepest *fresh* report
+        // (a stale report may name a dead ex-leader) AND the leader hint,
+        // so one unresponsive or unservable peer cannot starve us.
+        const ProcessId hint = leading_ ? invalid_process : promised_.leader();
+        ProcessId deepest = invalid_process;
+        std::uint64_t best = 0;
+        for (const auto& [p, rep] : gc_reports_) {
+            if (p == self_ || rep.applied <= best) continue;
+            if (ctx.now() - rep.at > 3 * cfg_.gc_interval) continue;
+            best = rep.applied;
+            deepest = p;
+        }
+        request_catchup(ctx, deepest);
+        if (hint != deepest) request_catchup(ctx, hint);
+    }
+    if (!leading_) {
+        // Report progress to the leader. A member that has applied nothing
+        // stays silent: idle clusters then produce zero GC traffic, and
+        // the quorum floor deliberately advances without it — a freshly
+        // (re)started member is treated as lagging and catches up via
+        // snapshot rather than pinning retention at slot 0.
+        if (applied_upto_ == 0) return;
+        const ProcessId leader = promised_.leader();
+        if (leader == invalid_process || leader == self_) return;
+        ctx.send(leader,
+                 codec::encode_envelope(mod, type_of(MsgType::gc_status),
+                                        invalid_msg,
+                                        GcStatusMsg{applied_upto_}));
+        return;
+    }
+    // Leader: fold in our own progress and compute the floor over fresh
+    // reports. Requiring only a quorum (not every member) keeps retention
+    // bounded while a member is down — that member catches up via snapshot
+    // when it returns. Staleness keeps a silent member from pinning the
+    // floor through its last report forever.
+    gc_reports_[self_] = GcReport{applied_upto_, ctx.now()};
+    const Duration fresh_window = 3 * cfg_.gc_interval;
+    std::size_t fresh = 0;
+    std::uint64_t floor = 0;
+    bool first = true;
+    for (const auto& [p, rep] : gc_reports_) {
+        if (ctx.now() - rep.at > fresh_window) continue;
+        ++fresh;
+        floor = first ? rep.applied : std::min(floor, rep.applied);
+        first = false;
+    }
+    if (fresh < quorum_) return;
+    gc_floor_ = std::max(gc_floor_, floor);
+    if (gc_floor_ == 0) return;  // nothing applied anywhere yet
+    prune_chosen(gc_floor_);
+    // Announce every round, not only on change: a member that healed after
+    // missing earlier announcements learns here that it is behind the
+    // floor (or merely behind our apply point) and requests catch-up.
+    const Buffer wire = codec::encode_envelope(
+        mod, type_of(MsgType::gc_prune), invalid_msg,
+        GcPruneMsg{gc_floor_, applied_upto_});
+    for (const ProcessId p : members_)
+        if (p != self_) ctx.send(p, wire);
+}
+
+void MultiPaxos::handle_gc_status(Context& ctx, ProcessId from,
+                                  const GcStatusMsg& m) {
+    auto& rep = gc_reports_[from];
+    rep.applied = std::max(rep.applied, m.applied_upto);
+    rep.at = ctx.now();
+}
+
+void MultiPaxos::handle_gc_prune(Context& ctx, ProcessId from,
+                                 const GcPruneMsg& m) {
+    gc_floor_ = std::max(gc_floor_, m.floor);
+    prune_chosen(gc_floor_);
+    // Behind the announcing leader (healed partition, lost CHOSEN traffic):
+    // ask it for the missing suffix — or, below the floor, its state.
+    if (m.applied_upto > applied_upto_) request_catchup(ctx, from);
+}
+
+void MultiPaxos::request_catchup(Context& ctx, ProcessId peer) {
+    if (peer == invalid_process || peer == self_) return;
+    const auto it = catchup_requested_.find(peer);
+    if (it != catchup_requested_.end() &&
+        ctx.now() - it->second < cfg_.retry_interval)
+        return;
+    catchup_requested_[peer] = ctx.now();
+    ctx.send(peer,
+             codec::encode_envelope(
+                 mod, type_of(MsgType::catchup_request), invalid_msg,
+                 CatchupRequestMsg{applied_upto_, mark_ ? mark_() : Bytes{}}));
+}
+
+void MultiPaxos::handle_catchup_request(Context& ctx, ProcessId from,
+                                        const CatchupRequestMsg& m) {
+    CatchupSnapshotMsg reply;
+    std::uint64_t suffix_from = m.applied_upto;
+    if (m.applied_upto < pruned_upto_) {
+        // The requester's gap reaches below our retained log: ship the
+        // applier state as of our apply point, plus everything retained
+        // beyond it. Without state handlers — or when the host declines
+        // (empty snapshot: it holds only stripped stubs the requester
+        // would need) — we cannot help; a peer with a deeper log has to
+        // answer instead.
+        if (!snapshot_) return;
+        Bytes state = snapshot_(m.mark);
+        if (state.empty()) return;
+        reply.snap_upto = applied_upto_;
+        reply.state = std::move(state);
+        suffix_from = applied_upto_;
+    }
+    for (auto it = chosen_.upper_bound(suffix_from); it != chosen_.end(); ++it)
+        reply.entries.push_back(ChosenEntry{it->first, it->second});
+    if (reply.snap_upto == 0 && reply.entries.empty()) return;  // nothing to offer
+    log::info("paxos p", self_, " serves catchup to p", from, " (snap ",
+              reply.snap_upto, ", ", reply.entries.size(), " entries)");
+    ctx.send(from, codec::encode_envelope(mod, type_of(MsgType::catchup_snapshot),
+                                          invalid_msg, reply));
+}
+
+void MultiPaxos::handle_catchup_snapshot(Context& ctx,
+                                         const CatchupSnapshotMsg& m) {
+    if (m.snap_upto > applied_upto_) {
+        WBAM_ASSERT_MSG(install_, "paxos snapshot received without InstallFn");
+        install_(ctx, m.state);
+        applied_upto_ = m.snap_upto;
+        // Everything at-or-below the snapshot point is superseded by it.
+        chosen_.erase(chosen_.begin(), chosen_.upper_bound(m.snap_upto));
+        accepted_.erase(accepted_.begin(), accepted_.upper_bound(m.snap_upto));
+        inflight_.erase(inflight_.begin(), inflight_.upper_bound(m.snap_upto));
+        pruned_upto_ = std::max(pruned_upto_, m.snap_upto);
+        next_slot_ = std::max(next_slot_, applied_upto_ + 1);
+        log::info("paxos p", self_, " installed snapshot upto ", m.snap_upto);
+    }
+    // The suffix rides the normal chosen path (compaction, in-order apply).
+    for (const ChosenEntry& e : m.entries) mark_chosen(ctx, e.slot, e.cmd, false);
+    apply_ready(ctx);
 }
 
 void MultiPaxos::on_tick(Context& ctx) {

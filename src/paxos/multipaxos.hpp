@@ -23,17 +23,45 @@ struct PaxosConfig {
     // CPU work the proposer performs per command driven through the engine
     // (benchmark cost model; zero in tests).
     Duration cmd_cost = 0;
+    // Log retention (GC floor protocol): members report applied progress,
+    // the leader prunes the chosen log below the group-wide floor, and
+    // members that fell behind the floor catch up via state snapshot.
+    // Off by default for raw engine users; the host must drive on_gc_tick
+    // and provide state handlers (set_state_handlers) when enabling.
+    bool gc_enabled = false;
+    Duration gc_interval = milliseconds(250);
 };
 
 class MultiPaxos {
 public:
     // apply is invoked exactly once per slot, in slot order, on every
-    // member (no-op gap fillers are skipped).
+    // member (no-op gap fillers are skipped)... unless a member fell behind
+    // the pruned floor: it then skips the gap by installing a peer's state
+    // snapshot (InstallFn) and resumes slot-by-slot application after it.
     using ApplyFn =
         std::function<void(Context&, std::uint64_t slot, const Command&)>;
+    // Serializes the host applier's replicated state as of applied_upto()
+    // (called outside apply, so the state is slot-consistent).
+    // `requester_mark` is the opaque metadata the requesting host attached
+    // to its CatchupRequest (empty when the requester set no MarkFn): it
+    // lets the snapshot omit data the requester already holds, keeping the
+    // transfer proportional to the requester's gap rather than the run
+    // length.
+    using SnapshotFn = std::function<Bytes(const BufferSlice& requester_mark)>;
+    // Replaces the host applier's replicated state with a peer's snapshot.
+    // The host must also re-emit any externally visible effects the skipped
+    // slots had (e.g. deliveries) exactly once.
+    using InstallFn = std::function<void(Context&, const BufferSlice&)>;
+    // Produces this member's catch-up mark (see SnapshotFn).
+    using MarkFn = std::function<Bytes()>;
 
     MultiPaxos(std::vector<ProcessId> members, int quorum, ApplyFn apply,
                PaxosConfig cfg = {});
+
+    // Required when cfg.gc_enabled: without state handlers a member below
+    // the pruned floor could never rejoin.
+    void set_state_handlers(SnapshotFn snapshot, InstallFn install,
+                            MarkFn mark = {});
 
     // Bootstrap: every member starts promised to ballot (1, members[0]);
     // members[0] leads without running phase 1.
@@ -53,11 +81,21 @@ public:
     // Periodic retransmission (in-flight proposals, stalled phase 1).
     void on_tick(Context& ctx);
 
+    // Periodic retention round (no-op unless cfg.gc_enabled): followers
+    // report applied progress, the leader computes the group-wide floor
+    // over fresh reports from a quorum, prunes, and announces the floor.
+    // Hosts drive this from their own GC timer.
+    void on_gc_tick(Context& ctx);
+
     bool is_leader() const { return leading_; }
     bool establishing() const { return phase1_pending_; }
     ProcessId leader_hint() const { return promised_.leader(); }
     std::uint64_t applied_upto() const { return applied_upto_; }
     std::uint64_t chosen_count() const { return chosen_.size(); }
+    // Slots at-or-below this were erased from the chosen log.
+    std::uint64_t pruned_upto() const { return pruned_upto_; }
+    // Highest group-wide applied floor this member has learned.
+    std::uint64_t gc_floor() const { return gc_floor_; }
 
 private:
     struct InFlight {
@@ -79,19 +117,46 @@ private:
     void handle_chosen(Context& ctx, const ChosenMsg& m);
     void handle_nack(const NackMsg& m);
 
+    // -- retention & catch-up
+    void handle_gc_status(Context& ctx, ProcessId from, const GcStatusMsg& m);
+    void handle_gc_prune(Context& ctx, ProcessId from, const GcPruneMsg& m);
+    void handle_catchup_request(Context& ctx, ProcessId from,
+                                const CatchupRequestMsg& m);
+    void handle_catchup_snapshot(Context& ctx, const CatchupSnapshotMsg& m);
+    // Erases chosen/acceptor entries at-or-below min(floor, applied_upto_).
+    void prune_chosen(std::uint64_t floor);
+    void request_catchup(Context& ctx, ProcessId peer);
+
     std::vector<ProcessId> members_;
     std::size_t quorum_;
     ApplyFn apply_;
     PaxosConfig cfg_;
+    SnapshotFn snapshot_;
+    InstallFn install_;
+    MarkFn mark_;
     ProcessId self_ = invalid_process;
 
     // acceptor state
     Ballot promised_;
     std::map<std::uint64_t, std::pair<Ballot, Command>> accepted_;
 
-    // learner state
+    // learner state. chosen_ holds slots in (pruned_upto_, ...]; entries
+    // at-or-below the group-wide applied floor are erased by the GC rounds,
+    // so the log's entry count stays O(slots chosen per GC window).
     std::map<std::uint64_t, Command> chosen_;
     std::uint64_t applied_upto_ = 0;  // slots start at 1
+    std::uint64_t pruned_upto_ = 0;
+
+    // retention state
+    struct GcReport {
+        std::uint64_t applied = 0;
+        TimePoint at = 0;
+    };
+    std::map<ProcessId, GcReport> gc_reports_;  // leader-side progress view
+    std::uint64_t gc_floor_ = 0;
+    // Per-peer throttle: a request to an unresponsive peer must not mute
+    // requests to a live one.
+    std::map<ProcessId, TimePoint> catchup_requested_;
 
     // proposer state
     bool leading_ = false;

@@ -1,0 +1,66 @@
+// Shared helpers for the RSM state snapshots shipped by the MultiPaxos
+// catch-up path. ftskeen and fastcast replicate the same state shape
+// (entries keyed by message id plus timestamp indexes), so the snapshot
+// framing — clock, then entries in ascending message-id order for
+// deterministic bytes — and the catch-up mark codec live here once.
+#ifndef WBAM_PAXOS_SNAPSHOT_HPP
+#define WBAM_PAXOS_SNAPSHOT_HPP
+
+#include <algorithm>
+#include <vector>
+
+#include "codec/fields.hpp"
+#include "common/types.hpp"
+
+namespace wbam::paxos {
+
+// The catch-up mark of the RSM hosts: the requester's delivery watermark
+// (CatchupRequestMsg::mark). The responder strips payloads the requester
+// has already delivered.
+inline Bytes encode_catchup_mark(Timestamp delivered_upto) {
+    codec::Writer w;
+    codec::write_field(w, delivered_upto);
+    return std::move(w).take();
+}
+
+inline Timestamp decode_catchup_mark(const BufferSlice& mark) {
+    if (mark.empty()) return bottom_ts;  // requester holds nothing
+    codec::Reader r(mark);
+    Timestamp t;
+    codec::read_field(r, t);
+    return t;
+}
+
+// Deterministic snapshot framing: clock, then every entry in ascending
+// message-id order (unordered_map iteration order must not leak into the
+// bytes — quiesced members compare snapshots byte-for-byte).
+template <typename EntryMap, typename EncodeEntryFn>
+Bytes encode_rsm_snapshot(std::uint64_t clock, const EntryMap& entries,
+                          EncodeEntryFn&& encode_entry) {
+    std::vector<MsgId> ids;
+    ids.reserve(entries.size());
+    for (const auto& [id, e] : entries) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    codec::Writer w;
+    codec::write_field(w, clock);
+    w.varint(ids.size());
+    for (const MsgId id : ids) encode_entry(w, entries.at(id));
+    return std::move(w).take();
+}
+
+// Inverse framing: per_entry is invoked once per encoded entry with the
+// Reader positioned at it. Returns the entry count.
+template <typename PerEntryFn>
+std::size_t decode_rsm_snapshot(const BufferSlice& state, std::uint64_t& clock,
+                                PerEntryFn&& per_entry) {
+    codec::Reader r(state);
+    codec::read_field(r, clock);
+    const std::size_t n = r.length();
+    for (std::size_t i = 0; i < n; ++i) per_entry(r);
+    r.expect_done();
+    return n;
+}
+
+}  // namespace wbam::paxos
+
+#endif  // WBAM_PAXOS_SNAPSHOT_HPP

@@ -282,9 +282,11 @@ void World::record_send(ProcessId from, ProcessId to, const BufferSlice& bytes) 
 void World::send_from(ProcessId from, ProcessId to, BufferSlice bytes) {
     WBAM_ASSERT(to >= 0 && static_cast<std::size_t>(to) < hosts_.size());
     if (tracing_ || send_hook_) record_send(from, to, bytes);
-    const std::uint64_t key = link_key(from, to);
-    if (blocked_links_.count(link_key(std::min(from, to), std::max(from, to)))) {
-        held_[key].push_back(std::move(bytes));
+    const std::uint64_t undirected =
+        link_key(std::min(from, to), std::max(from, to));
+    if (severed_links_.count(undirected)) return;  // lost on the wire
+    if (blocked_links_.count(undirected)) {
+        held_[link_key(from, to)].push_back(std::move(bytes));
         return;
     }
     schedule_arrival(from, to, std::move(bytes));
@@ -297,8 +299,10 @@ void World::send_many_from(ProcessId from, const std::vector<ProcessId>& to,
     for (const ProcessId t : to) {
         WBAM_ASSERT(t >= 0 && static_cast<std::size_t>(t) < hosts_.size());
         if (tracing_ || send_hook_) record_send(from, t, bytes);
-        if (blocked_links_.count(
-                link_key(std::min(from, t), std::max(from, t)))) {
+        const std::uint64_t undirected =
+            link_key(std::min(from, t), std::max(from, t));
+        if (severed_links_.count(undirected)) continue;  // lost on the wire
+        if (blocked_links_.count(undirected)) {
             held_[link_key(from, t)].push_back(bytes);
             continue;
         }
@@ -379,6 +383,24 @@ void World::unblock_link(ProcessId a, ProcessId b) {
         held_.erase(it);
         for (auto& m : msgs) schedule_arrival(from, to, std::move(m));
     }
+}
+
+void World::sever_link(ProcessId a, ProcessId b) {
+    severed_links_.insert(link_key(std::min(a, b), std::max(a, b)));
+}
+
+void World::restore_link(ProcessId a, ProcessId b) {
+    severed_links_.erase(link_key(std::min(a, b), std::max(a, b)));
+}
+
+void World::sever_process(ProcessId p) {
+    for (int other = 0; other < topo_.num_processes(); ++other)
+        if (other != p) sever_link(p, other);
+}
+
+void World::restore_process(ProcessId p) {
+    for (int other = 0; other < topo_.num_processes(); ++other)
+        if (other != p) restore_link(p, other);
 }
 
 void World::set_link_override(ProcessId from, ProcessId to, Duration one_way) {

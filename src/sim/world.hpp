@@ -1,8 +1,9 @@
 // Deterministic discrete-event simulation of an asynchronous message-
 // passing system: reliable FIFO channels with pluggable delay models,
 // per-process serial CPU costs (queueing => throughput saturation),
-// crash-stop failures, link partitions (messages are held and re-sent on
-// heal, preserving channel reliability), and an optional wire trace used
+// crash-stop failures, link partitions (blocked links hold messages and
+// re-send them on heal, preserving channel reliability; severed links
+// drop them, modelling lossy outages), and an optional wire trace used
 // by the correctness checkers.
 #ifndef WBAM_SIM_WORLD_HPP
 #define WBAM_SIM_WORLD_HPP
@@ -88,6 +89,16 @@ public:
     // released (with fresh delays) when the link heals.
     void block_link(ProcessId a, ProcessId b);
     void unblock_link(ProcessId a, ProcessId b);
+    // Bidirectional lossy partition: messages sent while severed are
+    // DROPPED (still recorded in the send trace — they left the sender),
+    // modelling a long outage whose traffic is lost rather than delayed.
+    // This is what strands a member behind a GC floor: held-and-released
+    // block_link traffic would let it catch up slot-by-slot on heal.
+    void sever_link(ProcessId a, ProcessId b);
+    void restore_link(ProcessId a, ProcessId b);
+    // Severs/restores every link between p and the rest of the world.
+    void sever_process(ProcessId p);
+    void restore_process(ProcessId p);
     // Exact one-way delay override for a directed link (adversarial
     // schedules such as the Fig. 2 convoy scenario).
     void set_link_override(ProcessId from, ProcessId to, Duration one_way);
@@ -176,6 +187,7 @@ private:
 
     std::unordered_map<std::uint64_t, TimePoint> last_arrival_;
     std::unordered_set<std::uint64_t> blocked_links_;
+    std::unordered_set<std::uint64_t> severed_links_;
     std::unordered_map<std::uint64_t, Duration> link_overrides_;
     std::unordered_map<std::uint64_t, std::vector<Payload>> held_;
 

@@ -579,7 +579,11 @@ void WbcastReplica::dispatch_timer(Context& ctx, TimerId id) {
         gc_timer_ = ctx.set_timer(cfg_.gc_interval);
         if (status_ == Status::leader) {
             run_gc(ctx);
-        } else if (status_ == Status::follower && cballot_.leader() != pid_) {
+        } else if (status_ == Status::follower && cballot_.leader() != pid_ &&
+                   max_delivered_gts_ > bottom_ts) {
+            // A member that has delivered nothing pins the floor at ⊥
+            // either way, so the report would be a no-op: skip it and keep
+            // idle clusters free of GC traffic.
             ctx.send(cballot_.leader(),
                      codec::encode_envelope(proto, type_of(MsgType::gc_status),
                                             invalid_msg,

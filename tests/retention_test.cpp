@@ -1,0 +1,481 @@
+// Fault-injection and boundedness tests for consensus-log retention: the
+// paxos GC floor protocol (members report applied progress, the leader
+// prunes the chosen log below the group-wide floor) and the floor-aware
+// catch-up path (a member that fell behind the floor installs a peer's
+// state snapshot and resumes in the agreed order). Partitions use the
+// simulator's lossy sever_link primitive — held-and-released block_link
+// traffic would let a member catch up slot-by-slot and never exercise the
+// snapshot path. Also covers the wbcast GC idle-traffic regression.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "fastcast/fastcast.hpp"
+#include "ftskeen/ftskeen.hpp"
+#include "sim/network.hpp"
+#include "test_util.hpp"
+#include "wbcast/protocol.hpp"
+
+namespace wbam {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+using harness::ProtocolKind;
+
+constexpr Duration delta = milliseconds(1);
+constexpr Duration gc_every = milliseconds(50);
+
+ClusterConfig retention_config(ProtocolKind kind, int groups, int clients,
+                               std::uint64_t seed) {
+    ClusterConfig cfg;
+    cfg.kind = kind;
+    cfg.groups = groups;
+    cfg.group_size = 3;
+    cfg.clients = clients;
+    cfg.seed = seed;
+    cfg.delta = delta;
+    cfg.replica.heartbeat_interval = milliseconds(5);
+    cfg.replica.suspect_timeout = milliseconds(20);
+    cfg.replica.retry_interval = milliseconds(25);
+    cfg.replica.gc_interval = gc_every;
+    cfg.replica.paxos_gc_interval = gc_every;
+    cfg.client_retry = milliseconds(50);
+    cfg.trace_sends = true;
+    return cfg;
+}
+
+std::size_t count_records(const std::vector<sim::SendRecord>& trace,
+                          codec::Module module, std::uint8_t type,
+                          ProcessId to = invalid_process) {
+    std::size_t n = 0;
+    for (const sim::SendRecord& r : trace) {
+        if (r.module != static_cast<std::uint8_t>(module)) continue;
+        if (r.type != type) continue;
+        if (to != invalid_process && r.to != to) continue;
+        ++n;
+    }
+    return n;
+}
+
+std::size_t count_paxos(const std::vector<sim::SendRecord>& trace,
+                        paxos::MsgType type, ProcessId to = invalid_process) {
+    return count_records(trace, codec::Module::paxos,
+                         static_cast<std::uint8_t>(type), to);
+}
+
+// Per-protocol view of one replica's consensus engine (wbcast has none).
+const paxos::MultiPaxos* paxos_of(Cluster& c, ProtocolKind kind, ProcessId p) {
+    switch (kind) {
+        case ProtocolKind::ftskeen:
+            return &c.world().process_as<ftskeen::FtSkeenReplica>(p).paxos();
+        case ProtocolKind::fastcast:
+            return &c.world().process_as<fastcast::FastCastReplica>(p).paxos();
+        default:
+            return nullptr;
+    }
+}
+
+// --- boundedness under steady traffic ----------------------------------------
+
+// The acceptance bound: with commands arriving steadily, the retained
+// chosen log must stay within a small multiple of the slots chosen per GC
+// window (floor lag is one status round plus one prune round, ~2-3
+// intervals), never grow with the run length. The workload below chooses
+// ~4 slots per group per 50ms window over a 40-cycle soak, so 60 retained
+// entries is already > 2x the window and far below the ~240 total slots.
+TEST(RetentionTest, SteadyTrafficKeepsChosenLogBounded) {
+    Cluster c(retention_config(ProtocolKind::ftskeen, 2, 1, 3));
+    for (int i = 0; i < 60; ++i)
+        c.multicast_at(milliseconds(5) + i * microseconds(25'000), 0, {0, 1});
+    std::map<ProcessId, std::uint64_t> max_chosen;
+    std::map<ProcessId, std::uint64_t> last_applied;
+    bool monotone = true;
+    for (TimePoint t = milliseconds(100); t <= milliseconds(2000);
+         t += milliseconds(50)) {
+        c.world().at(t, [&] {
+            for (const GroupId g : c.topo().all_groups()) {
+                for (const ProcessId p : c.topo().members(g)) {
+                    const auto* px = paxos_of(c, ProtocolKind::ftskeen, p);
+                    max_chosen[p] = std::max(max_chosen[p], px->chosen_count());
+                    monotone &= px->applied_upto() >= last_applied[p];
+                    last_applied[p] = px->applied_upto();
+                }
+            }
+        });
+    }
+    c.run_for(milliseconds(2400));
+    const auto result = c.check();
+    EXPECT_TRUE(result.ok()) << result.summary();
+    EXPECT_EQ(c.log().completed_count(), 60u);
+    EXPECT_TRUE(monotone);
+    for (const auto& [p, chosen] : max_chosen)
+        EXPECT_LE(chosen, 60u) << "replica " << p
+                               << " retains an unbounded chosen log";
+    // The soak really spanned >= 10 GC cycles and really pruned: every
+    // member ends with a non-trivial floor and ~240 applied slots.
+    for (const GroupId g : c.topo().all_groups()) {
+        for (const ProcessId p : c.topo().members(g)) {
+            const auto* px = paxos_of(c, ProtocolKind::ftskeen, p);
+            EXPECT_GT(px->pruned_upto(), 0u) << "replica " << p;
+            EXPECT_GE(px->applied_upto(), 100u) << "replica " << p;
+            EXPECT_LE(px->chosen_count(),
+                      px->applied_upto() - px->pruned_upto() + 8)
+                << "replica " << p;
+        }
+    }
+}
+
+// --- partition -> prune -> heal -> snapshot catch-up -------------------------
+
+// One ftskeen member is severed (its traffic is lost, not held), the group
+// keeps serving and prunes past the severed member's apply point, the
+// member heals and must rejoin via the snapshot path — then deliver every
+// message in the agreed order (checker-validated).
+TEST(RetentionTest, SeveredFtskeenMemberCatchesUpViaSnapshot) {
+    Cluster c(retention_config(ProtocolKind::ftskeen, 2, 1, 7));
+    const ProcessId lagging = 2;  // follower of group 0
+    // The member delivers the first handful of messages before the cut, so
+    // the snapshot it later receives strips exactly those payloads (its
+    // catch-up mark) and it ends up holding stubs.
+    c.world().at(milliseconds(200), [&c] { c.world().sever_process(lagging); });
+    for (int i = 0; i < 30; ++i)
+        c.multicast_at(milliseconds(10) + i * microseconds(30'000), 0, {0, 1},
+                       Bytes{0x42, 0x43, 0x44});
+    // ~15 GC cycles pass while the member is cut off; the group's floor
+    // moves far beyond its apply point.
+    c.world().at(milliseconds(950), [&c] { c.world().restore_process(lagging); });
+    for (int i = 0; i < 5; ++i)
+        c.multicast_at(milliseconds(1100) + i * microseconds(30'000), 0, {0, 1},
+                       Bytes{0x45});
+    c.run_for(milliseconds(2600));
+
+    const auto result = c.check();
+    EXPECT_TRUE(result.ok()) << result.summary();
+    const auto genuine = c.check_genuine();
+    EXPECT_TRUE(genuine.ok()) << genuine.summary();
+    EXPECT_EQ(c.log().completed_count(), 35u);
+    // The healed member delivered everything, in the group's order (the
+    // prefix check inside check() validates the order; count it too).
+    const auto it = c.log().deliveries().find(lagging);
+    ASSERT_NE(it, c.log().deliveries().end());
+    EXPECT_EQ(it->second.size(), 35u);
+    // It got there via the snapshot path, not slot-by-slot.
+    EXPECT_GE(count_paxos(c.world().send_trace(),
+                          paxos::MsgType::catchup_snapshot, lagging), 1u);
+    const auto* lag_paxos = paxos_of(c, ProtocolKind::ftskeen, lagging);
+    EXPECT_GT(lag_paxos->pruned_upto(), 0u);
+    // The snapshot stripped the payloads the member had delivered before
+    // the cut, so it now holds stubs: it must refuse to seed a blank
+    // member (it would replay empty payloads), while an always-connected
+    // peer can — and it can still serve anyone at-or-above its own
+    // watermark.
+    auto& healed = c.world().process_as<ftskeen::FtSkeenReplica>(lagging);
+    EXPECT_FALSE(healed.can_serve_snapshot(bottom_ts));
+    EXPECT_TRUE(c.world().process_as<ftskeen::FtSkeenReplica>(0)
+                    .can_serve_snapshot(bottom_ts));
+    EXPECT_TRUE(healed.can_serve_snapshot(healed.max_delivered_gts()));
+    // Applied state is byte-identical across every member of each group.
+    for (const GroupId g : c.topo().all_groups()) {
+        const auto& members = c.topo().members(g);
+        const Bytes reference =
+            c.world().process_as<ftskeen::FtSkeenReplica>(members.front())
+                .state_snapshot();
+        for (const ProcessId p : members) {
+            EXPECT_EQ(c.world().process_as<ftskeen::FtSkeenReplica>(p)
+                          .state_snapshot(),
+                      reference)
+                << "replica " << p << " of group " << g << " diverged";
+        }
+    }
+    // And every member converged to the same apply point with a bounded log.
+    for (const ProcessId p : c.topo().members(0)) {
+        const auto* px = paxos_of(c, ProtocolKind::ftskeen, p);
+        EXPECT_EQ(px->applied_upto(),
+                  paxos_of(c, ProtocolKind::ftskeen, 0)->applied_upto());
+        EXPECT_LE(px->chosen_count(), 60u);
+    }
+}
+
+// The same scenario through fastcast (the second MultiPaxos consumer).
+TEST(RetentionTest, SeveredFastcastMemberCatchesUpViaSnapshot) {
+    Cluster c(retention_config(ProtocolKind::fastcast, 2, 1, 11));
+    const ProcessId lagging = 1;  // follower of group 0
+    c.world().at(milliseconds(2), [&c] { c.world().sever_process(lagging); });
+    for (int i = 0; i < 30; ++i)
+        c.multicast_at(milliseconds(10) + i * microseconds(30'000), 0, {0, 1});
+    c.world().at(milliseconds(950), [&c] { c.world().restore_process(lagging); });
+    for (int i = 0; i < 5; ++i)
+        c.multicast_at(milliseconds(1100) + i * microseconds(30'000), 0, {0, 1});
+    c.run_for(milliseconds(2600));
+
+    const auto result = c.check();
+    EXPECT_TRUE(result.ok()) << result.summary();
+    EXPECT_EQ(c.log().completed_count(), 35u);
+    const auto it = c.log().deliveries().find(lagging);
+    ASSERT_NE(it, c.log().deliveries().end());
+    EXPECT_EQ(it->second.size(), 35u);
+    EXPECT_GE(count_paxos(c.world().send_trace(),
+                          paxos::MsgType::catchup_snapshot, lagging), 1u);
+    for (const GroupId g : c.topo().all_groups()) {
+        const auto& members = c.topo().members(g);
+        const Bytes reference =
+            c.world().process_as<fastcast::FastCastReplica>(members.front())
+                .state_snapshot();
+        for (const ProcessId p : members) {
+            EXPECT_EQ(c.world().process_as<fastcast::FastCastReplica>(p)
+                          .state_snapshot(),
+                      reference)
+                << "replica " << p << " of group " << g << " diverged";
+        }
+    }
+    for (const ProcessId p : c.topo().members(0))
+        EXPECT_LE(paxos_of(c, ProtocolKind::fastcast, p)->chosen_count(), 60u);
+}
+
+// --- randomized soak across all retention-enabled protocols ------------------
+
+struct SoakCase {
+    ProtocolKind kind;
+    std::uint64_t seed;
+};
+
+class RetentionSoak : public ::testing::TestWithParam<SoakCase> {};
+
+// Seeded random workload; every 100ms, every replica must show (a) a
+// monotonically advancing apply point and (b) a bounded log: the paxos
+// chosen log for the black-box baselines, the uncompacted entry count for
+// wbcast. The run then has to pass the full specification checker.
+TEST_P(RetentionSoak, LogsStayBoundedWhileApplyAdvances) {
+    const auto [kind, seed] = GetParam();
+    Cluster c(retention_config(kind, 2, 2, seed));
+    Rng rng(seed * 31 + 7);
+    testutil::random_workload(c, rng, 80, milliseconds(2000), 2,
+                              milliseconds(5));
+    std::map<ProcessId, std::uint64_t> last_applied;
+    std::size_t max_retained = 0;
+    bool monotone = true;
+    for (TimePoint t = milliseconds(100); t <= milliseconds(2400);
+         t += milliseconds(100)) {
+        c.world().at(t, [&, kind = kind] {
+            for (const GroupId g : c.topo().all_groups()) {
+                for (const ProcessId p : c.topo().members(g)) {
+                    if (kind == ProtocolKind::wbcast) {
+                        auto& r = c.world().process_as<wbcast::WbcastReplica>(p);
+                        max_retained = std::max(
+                            max_retained, r.entry_count() - r.compacted_count());
+                    } else {
+                        const auto* px = paxos_of(c, kind, p);
+                        max_retained =
+                            std::max(max_retained,
+                                     static_cast<std::size_t>(px->chosen_count()));
+                        monotone &= px->applied_upto() >= last_applied[p];
+                        last_applied[p] = px->applied_upto();
+                    }
+                }
+            }
+        });
+    }
+    c.run_for(milliseconds(2800));
+    const auto result = c.check();
+    EXPECT_TRUE(result.ok()) << result.summary();
+    EXPECT_EQ(c.log().completed_count(), 80u);
+    EXPECT_TRUE(monotone);
+    // 80 messages produce >= 160 consensus commands per busy group; a log
+    // bounded by the GC window stays far below that.
+    EXPECT_LE(max_retained, 80u);
+    EXPECT_GT(max_retained, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, RetentionSoak,
+    ::testing::Values(SoakCase{ProtocolKind::wbcast, 1},
+                      SoakCase{ProtocolKind::wbcast, 2},
+                      SoakCase{ProtocolKind::ftskeen, 3},
+                      SoakCase{ProtocolKind::ftskeen, 4},
+                      SoakCase{ProtocolKind::fastcast, 5},
+                      SoakCase{ProtocolKind::fastcast, 6}));
+
+// --- idle clusters must stay silent on the GC plane --------------------------
+
+// Regression (wbcast): followers used to report max_delivered_gts == ⊥
+// every GC interval on a cluster that had never delivered anything.
+TEST(RetentionTest, IdleWbcastClusterSendsNoGcTraffic) {
+    Cluster c(retention_config(ProtocolKind::wbcast, 2, 0, 13));
+    c.run_for(milliseconds(1000));  // 20 GC intervals
+    const auto& trace = c.world().send_trace();
+    EXPECT_EQ(count_records(trace, codec::Module::proto,
+                            static_cast<std::uint8_t>(wbcast::MsgType::gc_status)),
+              0u);
+    EXPECT_EQ(count_records(trace, codec::Module::proto,
+                            static_cast<std::uint8_t>(wbcast::MsgType::gc_prune)),
+              0u);
+}
+
+// The paxos floor protocol starts out with the same property: nothing
+// applied means no status reports and no prune announcements.
+TEST(RetentionTest, IdlePaxosClusterSendsNoGcTraffic) {
+    for (const ProtocolKind kind :
+         {ProtocolKind::ftskeen, ProtocolKind::fastcast}) {
+        Cluster c(retention_config(kind, 2, 0, 17));
+        c.run_for(milliseconds(1000));
+        const auto& trace = c.world().send_trace();
+        EXPECT_EQ(count_paxos(trace, paxos::MsgType::gc_status), 0u);
+        EXPECT_EQ(count_paxos(trace, paxos::MsgType::gc_prune), 0u);
+        EXPECT_EQ(count_paxos(trace, paxos::MsgType::catchup_request), 0u);
+    }
+}
+
+// --- raw engine: prune + snapshot catch-up without a protocol on top ---------
+
+// Minimal host whose replicated state is the applied command history;
+// snapshots ship it verbatim. Exercises MultiPaxos retention in isolation.
+class GcPaxosHost final : public Process {
+public:
+    GcPaxosHost(std::vector<ProcessId> members, int quorum) {
+        paxos::PaxosConfig cfg;
+        cfg.retry_interval = milliseconds(25);
+        cfg.gc_enabled = true;
+        cfg.gc_interval = gc_every;
+        engine = std::make_unique<paxos::MultiPaxos>(
+            std::move(members), quorum,
+            [this](Context&, std::uint64_t slot, const paxos::Command& cmd) {
+                applied.emplace_back(slot, cmd.data.to_bytes());
+            },
+            cfg);
+        engine->set_state_handlers(
+            [this](const BufferSlice&) {
+                codec::Writer w;
+                codec::write_field(w, applied);
+                return std::move(w).take();
+            },
+            [this](Context&, const BufferSlice& s) {
+                codec::Reader r(s);
+                codec::read_field(r, applied);
+                r.expect_done();
+            });
+    }
+
+    void on_start(Context& c) override {
+        ctx = &c;
+        engine->start(c);
+        tick = c.set_timer(milliseconds(25));
+        gc = c.set_timer(gc_every);
+    }
+    void on_message(Context& c, ProcessId from, const BufferSlice& bytes) override {
+        codec::EnvelopeView env(bytes);
+        engine->handle_message(c, from, env);
+    }
+    void on_timer(Context& c, TimerId id) override {
+        if (id == tick) {
+            tick = c.set_timer(milliseconds(25));
+            engine->on_tick(c);
+        } else if (id == gc) {
+            gc = c.set_timer(gc_every);
+            engine->on_gc_tick(c);
+        }
+    }
+
+    std::unique_ptr<paxos::MultiPaxos> engine;
+    std::vector<std::pair<std::uint64_t, Bytes>> applied;
+    Context* ctx = nullptr;
+    TimerId tick = invalid_timer;
+    TimerId gc = invalid_timer;
+};
+
+TEST(RetentionTest, RawEngineSnapshotHealsSeveredMember) {
+    const int n = 3;
+    sim::World world(Topology(1, n, 0),
+                     std::make_unique<sim::UniformDelay>(delta), 21);
+    world.enable_send_trace(true);
+    std::vector<GcPaxosHost*> hosts;
+    std::vector<ProcessId> members;
+    for (ProcessId p = 0; p < n; ++p) members.push_back(p);
+    for (ProcessId p = 0; p < n; ++p) {
+        auto host = std::make_unique<GcPaxosHost>(members, n / 2 + 1);
+        hosts.push_back(host.get());
+        world.add_process(p, std::move(host));
+    }
+    world.start();
+    world.at(milliseconds(1), [&world] { world.sever_process(2); });
+    for (int i = 0; i < 40; ++i) {
+        world.at(milliseconds(5) + i * milliseconds(10), [&hosts, i] {
+            hosts[0]->engine->submit(
+                *hosts[0]->ctx,
+                paxos::Command{static_cast<MsgId>(i + 1),
+                               Bytes{static_cast<std::uint8_t>(i)}});
+        });
+    }
+    world.at(milliseconds(500), [&world] { world.restore_process(2); });
+    world.run_for(milliseconds(1200));
+
+    // The leader pruned while the member was cut off...
+    EXPECT_GT(hosts[0]->engine->pruned_upto(), 0u);
+    // ...and the healed member rejoined via snapshot, not slot-by-slot.
+    EXPECT_GE(count_paxos(world.send_trace(),
+                          paxos::MsgType::catchup_snapshot, 2), 1u);
+    EXPECT_GT(hosts[2]->engine->pruned_upto(), 0u);
+    // All members hold the identical applied history and a bounded log.
+    ASSERT_EQ(hosts[2]->applied.size(), hosts[0]->applied.size());
+    EXPECT_EQ(hosts[2]->applied, hosts[0]->applied);
+    EXPECT_EQ(hosts[1]->applied, hosts[0]->applied);
+    EXPECT_EQ(hosts[0]->applied.size(), 40u);
+    for (const GcPaxosHost* h : hosts)
+        EXPECT_LE(h->engine->chosen_count(), 20u);
+}
+
+// A quorum loss (no fresh reports from enough members) must stall the
+// floor, not regress it, and traffic resumed after heal prunes again.
+TEST(RetentionTest, FloorStallsWithoutQuorumOfFreshReports) {
+    const int n = 3;
+    sim::World world(Topology(1, n, 0),
+                     std::make_unique<sim::UniformDelay>(delta), 23);
+    std::vector<GcPaxosHost*> hosts;
+    std::vector<ProcessId> members{0, 1, 2};
+    for (ProcessId p = 0; p < n; ++p) {
+        auto host = std::make_unique<GcPaxosHost>(members, 2);
+        hosts.push_back(host.get());
+        world.add_process(p, std::move(host));
+    }
+    world.start();
+    for (int i = 0; i < 10; ++i) {
+        world.at(milliseconds(5) + i * milliseconds(10), [&hosts, i] {
+            hosts[0]->engine->submit(
+                *hosts[0]->ctx,
+                paxos::Command{static_cast<MsgId>(i + 1),
+                               Bytes{static_cast<std::uint8_t>(i)}});
+        });
+    }
+    world.run_for(milliseconds(300));
+    const std::uint64_t floor_before = hosts[0]->engine->gc_floor();
+    EXPECT_GT(floor_before, 0u);
+    // Cut the leader off from both followers: reports go stale, so the
+    // floor must freeze even as the leader keeps ticking.
+    world.at(world.now() + milliseconds(1), [&world] {
+        world.sever_link(0, 1);
+        world.sever_link(0, 2);
+    });
+    world.run_for(milliseconds(400));
+    EXPECT_EQ(hosts[0]->engine->gc_floor(), floor_before);
+    world.at(world.now() + milliseconds(1), [&world] {
+        world.restore_link(0, 1);
+        world.restore_link(0, 2);
+    });
+    for (int i = 0; i < 5; ++i) {
+        world.at(world.now() + milliseconds(5) + i * milliseconds(10),
+                 [&hosts, i] {
+                     hosts[0]->engine->submit(
+                         *hosts[0]->ctx,
+                         paxos::Command{static_cast<MsgId>(100 + i),
+                                        Bytes{static_cast<std::uint8_t>(i)}});
+                 });
+    }
+    world.run_for(milliseconds(400));
+    EXPECT_GT(hosts[0]->engine->gc_floor(), floor_before);
+    EXPECT_EQ(hosts[1]->applied, hosts[0]->applied);
+}
+
+}  // namespace
+}  // namespace wbam
