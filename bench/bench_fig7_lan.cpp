@@ -7,9 +7,10 @@
 // target, not absolute msgs/s.
 #include "bench_load.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace wbam;
     bench::SweepSetup setup;
+    setup.runtime = bench::runtime_from_args(argc, argv);
     setup.name = "Figure 7 (LAN, CloudLab-like)";
     // ~0.1 ms RTT: one-way 40-60 us.
     setup.make_delays = [] {

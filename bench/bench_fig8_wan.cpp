@@ -22,7 +22,7 @@ std::vector<int> region_assignment(const wbam::Topology& topo) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace wbam;
     const Duration r12 = milliseconds(60);
     const Duration r23 = milliseconds(75);
@@ -30,6 +30,7 @@ int main() {
     const Duration local = microseconds(200);  // intra-DC RTT
 
     bench::SweepSetup setup;
+    setup.runtime = bench::runtime_from_args(argc, argv);
     setup.name = "Figure 8 (WAN, 3 data centres)";
     setup.groups = 10;
     setup.group_size = 3;

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <vector>
 
@@ -14,8 +15,27 @@
 
 namespace wbam::bench {
 
+// Parses --runtime={sim,threaded,net} from the bench argv (falling back to
+// the WBAM_RUNTIME environment variable). Unknown values abort loudly:
+// silently running the wrong runtime would corrupt a figure.
+inline harness::RuntimeKind runtime_from_args(int argc, char** argv) {
+    const char* value = std::getenv("WBAM_RUNTIME");
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--runtime=", 10) == 0) value = argv[i] + 10;
+    }
+    if (value == nullptr) return harness::RuntimeKind::sim;
+    const auto kind = harness::parse_runtime_kind(value);
+    if (!kind) {
+        std::fprintf(stderr, "unknown --runtime=%s (sim|threaded|net)\n",
+                     value);
+        std::exit(2);
+    }
+    return *kind;
+}
+
 struct SweepSetup {
     const char* name = "";
+    harness::RuntimeKind runtime = harness::RuntimeKind::sim;
     std::function<std::unique_ptr<sim::DelayModel>()> make_delays;
     sim::CpuModel cpu;
     std::vector<int> client_counts;
@@ -62,11 +82,28 @@ struct SweepPoint {
 
 inline void run_sweep(const SweepSetup& setup) {
     using harness::ProtocolKind;
+    using harness::RuntimeKind;
     const ProtocolKind kinds[] = {ProtocolKind::wbcast, ProtocolKind::fastcast,
                                   ProtocolKind::ftskeen};
+    // The wall-clock runtimes spawn one OS thread (threaded) or one poll
+    // loop (net) per process: a 1400-client sweep point would be 1430
+    // threads. Cap the client axis so --runtime=threaded/net stays a
+    // sanity-scale run; the full axis is the simulator's job.
+    std::vector<int> client_counts = setup.client_counts;
+    if (setup.runtime != RuntimeKind::sim) {
+        std::vector<int> capped;
+        for (const int c : client_counts)
+            if (c <= 64) capped.push_back(c);
+        if (capped.empty()) capped.push_back(16);
+        client_counts = capped;
+        std::printf("(runtime=%s: client axis capped at 64 — wall-clock "
+                    "runtimes run one OS thread per process)\n",
+                    harness::to_string(setup.runtime));
+    }
     std::printf("=== %s: latency vs throughput, %d groups x %d replicas, "
-                "20-byte messages ===\n",
-                setup.name, setup.groups, setup.group_size);
+                "20-byte messages, runtime=%s ===\n",
+                setup.name, setup.groups, setup.group_size,
+                harness::to_string(setup.runtime));
     // protocol -> d -> points; kept for the cross-protocol summary.
     std::map<int, std::map<int, std::vector<SweepPoint>>> all;
     for (const ProtocolKind kind : kinds) {
@@ -75,8 +112,9 @@ inline void run_sweep(const SweepSetup& setup) {
                         harness::to_string(kind), d);
             std::printf("%8s %16s %14s %12s %12s\n", "clients", "msgs/s",
                         "mean ms", "p50 ms", "p99 ms");
-            for (const int clients : setup.client_counts) {
+            for (const int clients : client_counts) {
                 harness::ExperimentConfig cfg;
+                cfg.runtime = setup.runtime;
                 cfg.kind = kind;
                 cfg.groups = setup.groups;
                 cfg.group_size = setup.group_size;

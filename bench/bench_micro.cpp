@@ -13,10 +13,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "codec/wire.hpp"
+#include "harness/cluster.hpp"
+#include "harness/live_cluster.hpp"
+#include "harness/runtime.hpp"
 #include "common/process.hpp"
 #include "common/rng.hpp"
 #include "common/topology.hpp"
@@ -497,6 +501,61 @@ void BM_SimEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimEventThroughput)->Unit(benchmark::kMillisecond);
 
+// --- full delivery round trip on the selected runtime ------------------------
+//
+// One closed-loop multicast to both groups of a 2x3 wbcast cluster,
+// measured issue -> delivered by every destination group. The runtime is
+// selected with --runtime={sim,threaded,net} (satellite of the net-runtime
+// PR): sim measures the simulator's wall cost of a virtual round, threaded
+// adds real thread handoffs and injected delays, net runs the identical
+// protocol over loopback TCP sockets — the paper's deployment shape in
+// miniature.
+harness::RuntimeKind g_bench_runtime = harness::RuntimeKind::sim;
+
+void BM_WbcastDeliveryRoundTrip(benchmark::State& state) {
+    ReplicaConfig replica;
+    replica.heartbeat_interval = milliseconds(50);
+    replica.suspect_timeout = seconds(30);  // quiet failure machinery
+    replica.retry_interval = seconds(10);
+    if (g_bench_runtime == harness::RuntimeKind::sim) {
+        harness::ClusterConfig cfg;
+        cfg.kind = harness::ProtocolKind::wbcast;
+        cfg.groups = 2;
+        cfg.group_size = 3;
+        cfg.clients = 1;
+        cfg.replica = replica;
+        cfg.delta = microseconds(50);
+        harness::Cluster cluster(std::move(cfg));
+        std::size_t done = 0;
+        for (auto _ : state) {
+            cluster.multicast_at(cluster.world().now(), 0, {0, 1});
+            ++done;
+            while (cluster.log().completed_count() < done)
+                cluster.run_for(microseconds(50));
+        }
+    } else {
+        harness::LiveClusterConfig cfg;
+        cfg.runtime = g_bench_runtime;
+        cfg.kind = harness::ProtocolKind::wbcast;
+        cfg.groups = 2;
+        cfg.group_size = 3;
+        cfg.clients = 1;
+        cfg.replica = replica;
+        harness::LiveCluster cluster(std::move(cfg));
+        for (auto _ : state) {
+            cluster.multicast(0, {0, 1});
+            if (!cluster.await_completion(seconds(10))) {
+                state.SkipWithError("delivery round timed out");
+                break;
+            }
+        }
+        cluster.shutdown();
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(harness::to_string(g_bench_runtime));
+}
+BENCHMARK(BM_WbcastDeliveryRoundTrip)->Unit(benchmark::kMicrosecond);
+
 void BM_HistogramRecord(benchmark::State& state) {
     stats::Histogram h;
     Rng rng(3);
@@ -529,6 +588,27 @@ BENCHMARK(BM_RngNext);
 }  // namespace wbam
 
 int main(int argc, char** argv) {
+    // Strip --runtime=... before google-benchmark sees the argv (it rejects
+    // unknown flags); WBAM_RUNTIME is honoured as the fallback.
+    if (const char* env = std::getenv("WBAM_RUNTIME")) {
+        if (const auto kind = wbam::harness::parse_runtime_kind(env))
+            wbam::g_bench_runtime = *kind;
+    }
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--runtime=", 10) == 0) {
+            const auto kind = wbam::harness::parse_runtime_kind(argv[i] + 10);
+            if (!kind) {
+                std::fprintf(stderr, "unknown %s (sim|threaded|net)\n",
+                             argv[i]);
+                return 2;
+            }
+            wbam::g_bench_runtime = *kind;
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argc = kept;
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();

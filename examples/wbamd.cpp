@@ -1,0 +1,276 @@
+// wbamd — the atomic multicast node daemon: one OS process per ProcessId,
+// speaking the TCP runtime. A cluster is a set of wbamd processes sharing
+// one topology and address map; scripts/run_loopback_cluster.sh spins up
+// the paper's 2-group x 3-replica shape (plus one client) over loopback
+// and validates that every replica delivered the identical sequence.
+//
+//   wbamd --pid=N [--proto=wbcast] [--groups=2] [--group-size=3]
+//         [--clients=1] --base-port=P [--peers=host:port,...]
+//         [--run-ms=6000] [--msgs=25] [--payload=32] [--out=FILE] [-v]
+//
+// Replica pids run the selected protocol and, at exit, write their
+// delivery sequence (one message id per line) to --out. Client pids drive
+// a closed-ish workload addressed to every group, retrying unacked
+// messages, and exit 0 only when every multicast was acknowledged by all
+// destination groups.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/log.hpp"
+#include "harness/cluster.hpp"
+#include "net/world.hpp"
+
+using namespace wbam;
+
+namespace {
+
+struct Options {
+    ProcessId pid = invalid_process;
+    harness::ProtocolKind proto = harness::ProtocolKind::wbcast;
+    int groups = 2;
+    int group_size = 3;
+    int clients = 1;
+    int base_port = 0;
+    std::string peers;
+    int run_ms = 6000;
+    int msgs = 25;
+    int payload = 32;
+    std::string out;
+    bool verbose = false;
+};
+
+const char* flag_value(const char* arg, const char* name) {
+    const std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') return arg + n + 1;
+    return nullptr;
+}
+
+bool parse_args(int argc, char** argv, Options& o) {
+    for (int i = 1; i < argc; ++i) {
+        const char* v = nullptr;
+        if ((v = flag_value(argv[i], "--pid"))) {
+            o.pid = std::atoi(v);
+        } else if ((v = flag_value(argv[i], "--proto"))) {
+            const auto kind = harness::parse_protocol_kind(v);
+            if (!kind) {
+                std::fprintf(stderr, "unknown --proto=%s\n", v);
+                return false;
+            }
+            o.proto = *kind;
+        } else if ((v = flag_value(argv[i], "--groups"))) {
+            o.groups = std::atoi(v);
+        } else if ((v = flag_value(argv[i], "--group-size"))) {
+            o.group_size = std::atoi(v);
+        } else if ((v = flag_value(argv[i], "--clients"))) {
+            o.clients = std::atoi(v);
+        } else if ((v = flag_value(argv[i], "--base-port"))) {
+            o.base_port = std::atoi(v);
+        } else if ((v = flag_value(argv[i], "--peers"))) {
+            o.peers = v;
+        } else if ((v = flag_value(argv[i], "--run-ms"))) {
+            o.run_ms = std::atoi(v);
+        } else if ((v = flag_value(argv[i], "--msgs"))) {
+            o.msgs = std::atoi(v);
+        } else if ((v = flag_value(argv[i], "--payload"))) {
+            o.payload = std::atoi(v);
+        } else if ((v = flag_value(argv[i], "--out"))) {
+            o.out = v;
+        } else if (std::strcmp(argv[i], "-v") == 0) {
+            o.verbose = true;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return false;
+        }
+    }
+    if (o.pid == invalid_process || (o.base_port == 0 && o.peers.empty())) {
+        std::fprintf(stderr,
+                     "usage: wbamd --pid=N --base-port=P [--proto=...] "
+                     "(see header comment)\n");
+        return false;
+    }
+    return true;
+}
+
+// Client process: multicasts `msgs` messages to every group (paced by a
+// short timer), retries unacked ones, and flips `done` when everything
+// was acknowledged by all destination groups.
+class WorkloadClient final : public Process {
+public:
+    WorkloadClient(Topology topo, int msgs, int payload,
+                   std::atomic<bool>* done)
+        : topo_(std::move(topo)), msgs_(msgs),
+          payload_(static_cast<std::size_t>(payload)), done_(done) {}
+
+    void on_start(Context& ctx) override {
+        timer_ = ctx.set_timer(milliseconds(5));
+    }
+
+    void on_message(Context&, ProcessId, const BufferSlice& bytes) override {
+        const codec::EnvelopeView env(bytes);
+        if (env.module != codec::Module::client ||
+            env.type != static_cast<std::uint8_t>(ClientMsgType::deliver_ack))
+            return;
+        const auto it = pending_.find(env.about);
+        if (it == pending_.end()) return;
+        codec::Reader body = env.body;
+        it->second.acked.insert(DeliverAckMsg::decode(body).group);
+        if (it->second.acked.size() == it->second.msg.dests.size()) {
+            pending_.erase(it);
+            ++completed_;
+            if (completed_ == msgs_) done_->store(true);
+        }
+    }
+
+    void on_timer(Context& ctx, TimerId id) override {
+        if (id != timer_) return;
+        timer_ = ctx.set_timer(milliseconds(5));
+        if (issued_ < msgs_) {
+            const MsgId mid = make_msg_id(
+                ctx.self(), static_cast<std::uint32_t>(issued_++));
+            AppMessage m = make_app_message(mid, topo_.all_groups(),
+                                            Bytes(payload_, 0x77));
+            auto& p = pending_[mid];
+            p.msg = m;
+            p.sent_at = ctx.now();
+            const Buffer wire = encode_multicast_request(m);
+            for (const GroupId g : m.dests)
+                ctx.send(topo_.initial_leader(g), wire);
+            return;
+        }
+        // Retry stragglers: the leader guess may be stale or a message may
+        // have been lost across a reconnect.
+        for (auto& [mid, p] : pending_) {
+            if (ctx.now() - p.sent_at < milliseconds(300)) continue;
+            p.sent_at = ctx.now();
+            const Buffer wire = encode_multicast_request(p.msg);
+            for (const GroupId g : p.msg.dests) {
+                if (p.acked.count(g)) continue;
+                for (const ProcessId r : topo_.members(g)) ctx.send(r, wire);
+            }
+        }
+    }
+
+    int completed() const { return completed_; }
+
+private:
+    struct PendingOp {
+        AppMessage msg;
+        std::unordered_set<GroupId> acked;
+        TimePoint sent_at = 0;
+    };
+
+    Topology topo_;
+    int msgs_;
+    std::size_t payload_;
+    std::atomic<bool>* done_;
+    TimerId timer_ = invalid_timer;
+    int issued_ = 0;
+    int completed_ = 0;
+    std::unordered_map<MsgId, PendingOp> pending_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Options o;
+    if (!parse_args(argc, argv, o)) return 2;
+    if (o.verbose) log::set_level(log::Level::info);
+
+    const Topology topo(o.groups, o.group_size, o.clients);
+    if (o.pid < 0 || o.pid >= topo.num_processes()) {
+        std::fprintf(stderr, "wbamd: --pid=%d outside the %d-process topology\n",
+                     o.pid, topo.num_processes());
+        return 2;
+    }
+
+    net::ClusterMap map;
+    if (!o.peers.empty()) {
+        const auto parsed = net::parse_cluster(o.peers);
+        if (!parsed ||
+            parsed->endpoints.size() !=
+                static_cast<std::size_t>(topo.num_processes())) {
+            std::fprintf(stderr, "wbamd: malformed --peers list\n");
+            return 2;
+        }
+        map = *parsed;
+    } else {
+        map = net::loopback_cluster(topo,
+                                    static_cast<std::uint16_t>(o.base_port));
+    }
+
+    net::NetWorld world(topo, static_cast<std::uint64_t>(o.pid) + 1);
+
+    // Replica-side delivery record (the sink runs on the loop thread).
+    std::mutex deliveries_mutex;
+    std::vector<MsgId> deliveries;
+    std::atomic<bool> client_done{false};
+
+    if (topo.is_replica(o.pid)) {
+        DeliverySink sink = [&](Context& ctx, GroupId group,
+                                const AppMessage& m) {
+            {
+                const std::lock_guard<std::mutex> guard(deliveries_mutex);
+                deliveries.push_back(m.id);
+            }
+            const ProcessId origin = msg_id_client(m.id);
+            if (topo.is_client(origin))
+                ctx.send(origin, encode_deliver_ack(group, m.id));
+        };
+        ReplicaConfig replica;
+        replica.heartbeat_interval = milliseconds(50);
+        replica.suspect_timeout = seconds(30);  // loopback: no failures
+        replica.retry_interval = milliseconds(200);
+        world.add_process(o.pid,
+                          harness::make_replica(o.proto, topo, o.pid, sink,
+                                                replica),
+                          map.of(o.pid).port);
+    } else {
+        world.add_process(o.pid,
+                          std::make_unique<WorkloadClient>(topo, o.msgs,
+                                                           o.payload,
+                                                           &client_done),
+                          map.of(o.pid).port);
+    }
+    world.set_cluster(map);
+    world.start();
+
+    // Replicas serve for the full --run-ms; the client exits as soon as
+    // its workload completed (or gives up at the deadline).
+    const bool is_client = topo.is_client(o.pid);
+    const int slices = o.run_ms / 10;
+    for (int s = 0; s < slices; ++s) {
+        world.run_for(milliseconds(10));
+        if (is_client && client_done.load()) break;
+    }
+    world.shutdown();
+
+    if (is_client) {
+        const bool ok = client_done.load();
+        std::printf("wbamd client p%d: %s (%d multicasts to %d groups)\n",
+                    o.pid, ok ? "completed" : "INCOMPLETE", o.msgs, o.groups);
+        return ok ? 0 : 1;
+    }
+
+    const std::lock_guard<std::mutex> guard(deliveries_mutex);
+    std::printf("wbamd replica p%d (%s, group %d): delivered %zu\n", o.pid,
+                harness::to_string(o.proto), topo.group_of(o.pid),
+                deliveries.size());
+    if (!o.out.empty()) {
+        std::FILE* f = std::fopen(o.out.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "wbamd: cannot write %s\n", o.out.c_str());
+            return 1;
+        }
+        for (const MsgId id : deliveries)
+            std::fprintf(f, "%016llx\n", static_cast<unsigned long long>(id));
+        std::fclose(f);
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Spins up the paper's 2-group x 3-replica cluster as SEVEN separate OS
+# processes (6 wbamd replicas + 1 wbamd client) over loopback TCP, waits
+# for the client's workload to complete, and validates that every replica
+# delivered the identical totally-ordered sequence (the workload addresses
+# every message to both groups, so all six sequences must match).
+#
+#   scripts/run_loopback_cluster.sh [BUILD_DIR] [PROTO] [MSGS]
+#
+# Exit 0 on a validated run; non-zero on incomplete workload or divergent
+# delivery sequences.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+PROTO=${2:-wbcast}
+MSGS=${3:-25}
+NGROUPS=2
+GROUP_SIZE=3
+# Skeen's classic protocol assumes reliable singleton groups.
+if [[ "$PROTO" == "skeen" ]]; then GROUP_SIZE=1; fi
+REPLICAS=$((NGROUPS * GROUP_SIZE))
+RUN_MS=${WBAMD_RUN_MS:-8000}
+
+WBAMD="$BUILD_DIR/wbamd"
+if [[ ! -x "$WBAMD" ]]; then
+    echo "error: $WBAMD not built (cmake --build $BUILD_DIR --target wbamd)" >&2
+    exit 2
+fi
+
+# Randomized base port keeps parallel CI jobs and repeated runs from
+# colliding on a fixed range; stays below 32768 so it cannot collide with
+# the kernel's ephemeral port range either.
+BASE_PORT=$((20000 + (RANDOM % 12000)))
+DIR=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+echo "== wbamd loopback cluster: $PROTO, ${NGROUPS}x${GROUP_SIZE} replicas," \
+     "base port $BASE_PORT, $MSGS msgs =="
+
+for ((p = 0; p < REPLICAS; p++)); do
+    "$WBAMD" --pid="$p" --proto="$PROTO" --groups=$NGROUPS \
+        --group-size=$GROUP_SIZE --clients=1 --base-port="$BASE_PORT" \
+        --run-ms="$RUN_MS" --out="$DIR/replica_$p.txt" &
+    PIDS+=($!)
+done
+
+# The client exits as soon as every multicast is acknowledged by both
+# groups; its exit code is the workload verdict.
+CLIENT_STATUS=0
+"$WBAMD" --pid=$REPLICAS --proto="$PROTO" --groups=$NGROUPS \
+    --group-size=$GROUP_SIZE --clients=1 --base-port="$BASE_PORT" \
+    --run-ms="$RUN_MS" --msgs="$MSGS" || CLIENT_STATUS=$?
+
+# Replicas keep serving until their deadline, then dump their sequences.
+for pid in "${PIDS[@]}"; do wait "$pid" || true; done
+PIDS=()
+
+if [[ $CLIENT_STATUS -ne 0 ]]; then
+    echo "FAIL: client workload incomplete (status $CLIENT_STATUS)" >&2
+    exit 1
+fi
+
+# Every message went to both groups: all six delivery sequences must be
+# identical (atomic multicast total order), and complete.
+LINES=$(wc -l < "$DIR/replica_0.txt")
+if [[ "$LINES" -ne "$MSGS" ]]; then
+    echo "FAIL: replica 0 delivered $LINES/$MSGS" >&2
+    exit 1
+fi
+for ((p = 1; p < REPLICAS; p++)); do
+    if ! cmp -s "$DIR/replica_0.txt" "$DIR/replica_$p.txt"; then
+        echo "FAIL: replica $p's delivery sequence diverges from replica 0" >&2
+        diff "$DIR/replica_0.txt" "$DIR/replica_$p.txt" | head -10 >&2 || true
+        exit 1
+    fi
+done
+
+echo "PASS: $REPLICAS replicas delivered the identical $MSGS-message sequence"

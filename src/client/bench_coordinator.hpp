@@ -6,6 +6,7 @@
 #ifndef WBAM_CLIENT_BENCH_COORDINATOR_HPP
 #define WBAM_CLIENT_BENCH_COORDINATOR_HPP
 
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -14,6 +15,11 @@
 
 namespace wbam::client {
 
+// Thread-safe: the sink runs on replica threads and note_multicast on
+// client threads when the experiment drives a wall-clock runtime
+// (threaded/net); under the simulator the uncontended lock is noise.
+// latency()/completed_total() are snapshots for a quiesced run — read
+// them after the world has shut down.
 class BenchCoordinator {
 public:
     explicit BenchCoordinator(Topology topo) : topo_(std::move(topo)) {}
@@ -29,14 +35,28 @@ public:
     // Latency samples are recorded for operations that COMPLETE within
     // [start, end).
     void set_window(TimePoint start, TimePoint end) {
+        const std::lock_guard<std::mutex> guard(mutex_);
         window_start_ = start;
         window_end_ = end;
         completed_in_window_ = 0;
         latency_.clear();
     }
 
+    // Closes an open-ended window at `end`, preserving what it counted.
+    // Completions after this point no longer count or record samples —
+    // the wall-clock experiment runner calls it at measure_end so the
+    // shutdown drain cannot inflate a window whose duration is already
+    // fixed.
+    void close_window(TimePoint end) {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        window_end_ = end;
+    }
+
     const stats::Histogram& latency() const { return latency_; }
-    std::uint64_t completed_in_window() const { return completed_in_window_; }
+    std::uint64_t completed_in_window() const {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        return completed_in_window_;
+    }
     std::uint64_t completed_total() const { return completed_total_; }
     std::size_t outstanding() const { return pending_.size(); }
 
@@ -48,6 +68,7 @@ private:
     };
 
     Topology topo_;
+    mutable std::mutex mutex_;
     std::unordered_map<MsgId, Pending> pending_;
     stats::Histogram latency_;
     TimePoint window_start_ = 0;

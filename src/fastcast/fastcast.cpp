@@ -38,7 +38,8 @@ FastCastReplica::FastCastReplica(const Topology& topo, ProcessId pid,
                                     cfg.suspect_timeout},
                [this](Context& ctx, ProcessId trusted) {
                    if (trusted == ctx.self()) paxos_.maybe_lead(ctx);
-               }) {
+               }),
+      delivered_floor_(topo.members(topo.group_of(pid))) {
     WBAM_ASSERT(g0_ != invalid_group);
     paxos_.set_state_handlers(
         [this](const BufferSlice& mark) -> Bytes {
@@ -95,7 +96,68 @@ void FastCastReplica::dispatch_message(Context& ctx, ProcessId from,
         case MsgType::deliver_floor:
             handle_deliver_floor(ctx, DeliverFloorMsg::decode(env.body));
             return;
+        case MsgType::gc_status:
+            handle_gc_status(from, GcStatusMsg::decode(env.body));
+            return;
+        case MsgType::gc_prune:
+            handle_gc_prune(GcPruneMsg::decode(env.body));
+            return;
     }
+}
+
+// --- application-log retention (the wbcast-style delivered floor) ------------
+
+void FastCastReplica::app_gc_tick(Context& ctx) {
+    if (paxos_.is_leader()) {
+        run_app_gc(ctx);
+        return;
+    }
+    // Idle members stay silent: nothing delivered means nothing to prune.
+    if (max_delivered_gts_ == bottom_ts) return;
+    const ProcessId leader = paxos_.leader_hint();
+    if (leader == pid_ || leader == invalid_process) return;
+    ctx.send(leader, codec::encode_envelope(
+                         proto, static_cast<std::uint8_t>(MsgType::gc_status),
+                         invalid_msg, GcStatusMsg{max_delivered_gts_}));
+}
+
+void FastCastReplica::handle_gc_status(ProcessId from, const GcStatusMsg& m) {
+    if (!paxos_.is_leader()) return;  // stale: the reporter will re-aim
+    delivered_floor_.note(from, m.max_delivered_gts);
+}
+
+void FastCastReplica::run_app_gc(Context& ctx) {
+    delivered_floor_.note(pid_, max_delivered_gts_);
+    const Timestamp floor = delivered_floor_.floor();
+    if (floor == bottom_ts) return;
+    compact_below(floor);
+    // Announce every round, not only on change: a member that missed an
+    // earlier announcement (partition, snapshot heal) learns here.
+    const Buffer wire = codec::encode_envelope(
+        proto, static_cast<std::uint8_t>(MsgType::gc_prune), invalid_msg,
+        GcPruneMsg{floor});
+    for (const ProcessId p : topo_.members(g0_))
+        if (p != pid_) ctx.send(p, wire);
+}
+
+void FastCastReplica::handle_gc_prune(const GcPruneMsg& m) {
+    compact_below(std::min(m.floor, max_delivered_gts_));
+}
+
+bool FastCastReplica::compact_below(Timestamp floor) {
+    // A message delivered by every member of the group drops its payload;
+    // the ordering facts (lts/gts/phase/commit_vec) stay, so late CONFIRM
+    // retries and leader recovery remain correct (mirrors wbcast::compact).
+    bool any = false;
+    for (auto& [id, e] : entries_) {
+        if (e.phase != Phase::committed || e.compacted) continue;
+        if (e.gts > floor || committed_by_gts_.count(e.gts)) continue;
+        e.msg.payload = BufferSlice{};
+        e.compacted = true;
+        ++compacted_count_;
+        any = true;
+    }
+    return any;
 }
 
 void FastCastReplica::handle_multicast(Context& ctx, const AppMessage& m) {
@@ -320,33 +382,47 @@ void FastCastReplica::try_deliver(Context& ctx) {
 // --- consensus-log retention: state transfer --------------------------------
 
 Bytes FastCastReplica::state_snapshot(Timestamp strip_upto) const {
+    // Entries the receiver already delivered are omitted outright — it
+    // keeps its own record of them (install_state preserves the delivered
+    // past), so the snapshot's entry count is bounded by the receiver's
+    // gap plus the undelivered tail, never the run length.
+    const auto delivered_here = [&](const Entry& e) {
+        return e.phase == Phase::committed &&
+               committed_by_gts_.count(e.gts) == 0;
+    };
     return paxos::encode_rsm_snapshot(
-        clock_, entries_, [&](codec::Writer& w, const Entry& e) {
-            const bool delivered = e.phase == Phase::committed &&
-                                   committed_by_gts_.count(e.gts) == 0;
+        clock_, entries_,
+        [&](const Entry& e) {
+            return !(delivered_here(e) && e.gts <= strip_upto);
+        },
+        [&](codec::Writer& w, const Entry& e) {
             StateEntry se{e.msg,   static_cast<std::uint8_t>(e.phase),
                           e.lts,   e.gts,
-                          e.commit_vec, delivered,
-                          e.payload_stripped};
-            // The receiver delivered everything at-or-below strip_upto (its
-            // watermark skips the replay), so the payload bytes are dead
-            // weight there: keep only the ordering facts.
-            if (delivered && e.gts <= strip_upto && !se.stripped) {
-                se.msg.payload = BufferSlice{};
-                se.stripped = true;
-            }
+                          e.commit_vec, delivered_here(e),
+                          e.compacted};
             se.encode(w);
         });
 }
 
 bool FastCastReplica::can_serve_snapshot(Timestamp strip_upto) const {
     for (const auto& [id, e] : entries_)
-        if (e.payload_stripped && e.gts > strip_upto) return false;
+        if (e.compacted && e.gts > strip_upto) return false;
     return true;
 }
 
 void FastCastReplica::install_state(Context& ctx, const BufferSlice& state) {
-    entries_.clear();
+    // Keep the delivered past (the snapshot omits it); replace every
+    // undelivered entry with the responder's authoritative view.
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        const Entry& e = it->second;
+        const bool delivered = e.phase == Phase::committed &&
+                               committed_by_gts_.count(e.gts) == 0;
+        if (delivered) {
+            ++it;
+        } else {
+            it = entries_.erase(it);
+        }
+    }
     pending_by_lts_.clear();
     committed_by_gts_.clear();
     tentative_.clear();
@@ -355,13 +431,12 @@ void FastCastReplica::install_state(Context& ctx, const BufferSlice& state) {
     commit_submitted_.clear();
     last_driven_.clear();
     // Messages the snapshotting member had already delivered: replayed
-    // below in gts order, deduplicated by the delivery watermark (stripped
-    // stubs are never replayed — the responder only strips what we
-    // reported as already delivered).
+    // below in gts order, deduplicated by the delivery watermark.
     std::map<Timestamp, MsgId> replay;
     const std::size_t n = paxos::decode_rsm_snapshot(
         state, clock_, [&](codec::Reader& r) {
             const StateEntry se = StateEntry::decode(r);
+            if (entries_.count(se.msg.id)) return;  // our delivered past wins
             Entry& e = entries_[se.msg.id];
             e.msg = se.msg;
             // entries_ is long-lived: detach from the snapshot wire image.
@@ -370,7 +445,7 @@ void FastCastReplica::install_state(Context& ctx, const BufferSlice& state) {
             e.lts = se.lts;
             e.gts = se.gts;
             e.commit_vec = se.commit_vec;
-            e.payload_stripped = se.stripped;
+            e.compacted = se.stripped;
             if (e.phase == Phase::proposed) {
                 pending_by_lts_.emplace(e.lts, se.msg.id);
             } else if (e.phase == Phase::committed) {
@@ -420,6 +495,7 @@ void FastCastReplica::dispatch_timer(Context& ctx, TimerId id) {
     if (id == paxos_gc_timer_) {
         paxos_gc_timer_ = ctx.set_timer(cfg_.paxos_gc_interval);
         paxos_.on_gc_tick(ctx);
+        app_gc_tick(ctx);
         return;
     }
     if (id != tick_timer_) return;

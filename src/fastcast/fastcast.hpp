@@ -31,6 +31,7 @@
 
 #include "elect/elector.hpp"
 #include "multicast/api.hpp"
+#include "multicast/gc_floor.hpp"
 #include "paxos/multipaxos.hpp"
 
 namespace wbam::fastcast {
@@ -39,6 +40,8 @@ enum class MsgType : std::uint8_t {
     spec_propose = 0,   // leader -> dest leaders: tentative local timestamp
     confirm = 1,        // leader -> dest leaders: durable local timestamp
     deliver_floor = 2,  // leader -> own group: release deliveries up to gts
+    gc_status = 3,      // member -> leader: {max_delivered_gts} (app-log GC)
+    gc_prune = 4,       // leader -> group: {floor} (app-log GC)
 };
 
 struct SpecProposeMsg {
@@ -89,6 +92,14 @@ struct DeliverFloorMsg {
         return m;
     }
 };
+
+// Application-log retention exchange (mirrors wbcast and ftskeen): members
+// report delivery progress, the leader announces the group-wide delivered
+// floor, and entries at-or-below it drop their payloads (stubs keep the
+// ordering facts only). Wire bodies shared across protocols
+// (multicast/gc_floor.hpp), tagged with this protocol's type values.
+using ::wbam::GcPruneMsg;
+using ::wbam::GcStatusMsg;
 
 // Replicated commands.
 enum class CmdKind : std::uint8_t { propose = 0, commit = 1 };
@@ -147,23 +158,33 @@ public:
     Timestamp max_delivered_gts() const { return max_delivered_gts_; }
     // Consensus-log retention introspection for tests and benches.
     const paxos::MultiPaxos& paxos() const { return paxos_; }
+    // Application-log retention introspection: total entries (stubs
+    // included) and how many were compacted to stubs by the delivered
+    // floor.
+    std::size_t entry_count() const { return entries_.size(); }
+    std::size_t compacted_count() const { return compacted_count_; }
 
     // Deterministic serialization of the replicated state (entries sorted
-    // by message id), as shipped by the paxos catch-up path. Payloads of
-    // entries already delivered at-or-below `strip_upto` are omitted — the
-    // receiver delivered them, only the ordering facts still matter — so a
-    // catch-up transfer stays proportional to the receiver's gap, not the
-    // run length. Stripped entries are marked as such (a member that
-    // healed from a stripped snapshot holds stubs, never invisibly empty
-    // payloads). The no-arg form strips by this member's own watermark:
-    // two quiesced members produce byte-identical snapshots (mid-flight,
-    // follower delivered flags lag the leader's by one DELIVER_FLOOR).
+    // by message id), as shipped by the paxos catch-up path. Entries the
+    // receiver has already delivered (delivered here, gts at-or-below
+    // `strip_upto`) are OMITTED — the receiver keeps its own record of
+    // them — so both the transfer size and the snapshot's entry count stay
+    // proportional to the receiver's gap, not the run length. An entry
+    // shipped without its payload (possible only when serving below the
+    // compaction floor, which can_serve_snapshot refuses) is explicitly
+    // flagged, never an invisibly empty payload. The no-arg form strips by
+    // this member's own watermark: two quiesced members produce
+    // byte-identical snapshots (mid-flight, follower delivered flags lag
+    // the leader's by one DELIVER_FLOOR).
     Bytes state_snapshot(Timestamp strip_upto) const;
     Bytes state_snapshot() const { return state_snapshot(max_delivered_gts_); }
     // False when this member holds only payload stubs for entries a
     // requester with watermark `strip_upto` would still have to replay —
     // serving it would deliver empty payloads. Such a member declines to
-    // serve and the requester falls back to another peer.
+    // serve and the requester falls back to another peer. Since the
+    // delivered floor never passes any member's reported watermark, every
+    // real requester can be served; only a hypothetical blank member
+    // (below every stub) cannot.
     bool can_serve_snapshot(Timestamp strip_upto) const;
 
 private:
@@ -175,10 +196,12 @@ private:
         Timestamp lts;
         Timestamp gts;
         LtsVector commit_vec;
-        // True when this entry arrived through a payload-stripped snapshot:
-        // the payload is a stub (the message was delivered before the
-        // member's gap), distinguishable from a legitimately empty payload.
-        bool payload_stripped = false;
+        // True when the payload was dropped: the entry is a stub holding
+        // only the ordering facts. Set by the delivered-floor compaction
+        // (every group member delivered the message) or by installing a
+        // below-floor snapshot; distinguishable from a legitimately empty
+        // payload.
+        bool compacted = false;
     };
 
     // One entry of the state snapshot. `delivered` records whether the
@@ -221,6 +244,11 @@ private:
     void handle_spec_propose(Context& ctx, ProcessId from, const SpecProposeMsg& m);
     void handle_confirm(Context& ctx, const ConfirmMsg& m);
     void handle_deliver_floor(Context& ctx, const DeliverFloorMsg& m);
+    void app_gc_tick(Context& ctx);
+    void run_app_gc(Context& ctx);
+    void handle_gc_status(ProcessId from, const GcStatusMsg& m);
+    void handle_gc_prune(const GcPruneMsg& m);
+    bool compact_below(Timestamp floor);
     void start_speculation(Context& ctx, const AppMessage& m);
     void maybe_spec_commit(Context& ctx, MsgId id, const AppMessage& msg);
     void apply(Context& ctx, const paxos::Command& cmd);
@@ -248,6 +276,10 @@ private:
 
     // --- per-replica delivery cursor ----------------------------------------
     Timestamp max_delivered_gts_;
+
+    // --- application-log retention ------------------------------------------
+    DeliveredFloor delivered_floor_;  // leader-side report fold
+    std::size_t compacted_count_ = 0;
 
     // --- leader-volatile speculation state -----------------------------------
     std::uint64_t spec_clock_ = 0;

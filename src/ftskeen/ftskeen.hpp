@@ -18,12 +18,23 @@
 
 #include "elect/elector.hpp"
 #include "multicast/api.hpp"
+#include "multicast/gc_floor.hpp"
 #include "paxos/multipaxos.hpp"
 
 namespace wbam::ftskeen {
 
-// Inter-group message (codec::Module::proto).
-enum class MsgType : std::uint8_t { propose_ts = 0 };
+// Inter-group / intra-group protocol messages (codec::Module::proto).
+// gc_status/gc_prune are the application-log retention exchange, mirroring
+// wbcast: members report delivery progress to the group leader, the leader
+// computes the group-wide delivered floor and announces it, and every
+// member drops the payloads of entries at-or-below the floor — the entry
+// shrinks to a wbcast-style stub holding only the ordering facts
+// (lts/gts/phase), which late retries and recovery still need.
+enum class MsgType : std::uint8_t {
+    propose_ts = 0,
+    gc_status = 1,  // member -> leader: {max_delivered_gts}
+    gc_prune = 2,   // leader -> group: {floor}
+};
 
 struct ProposeTsMsg {
     AppMessage msg;  // full message: doubles as message recovery
@@ -43,6 +54,11 @@ struct ProposeTsMsg {
         return p;
     }
 };
+
+// Wire bodies of the GC exchange: shared across protocols
+// (multicast/gc_floor.hpp), tagged with this protocol's type values.
+using ::wbam::GcPruneMsg;
+using ::wbam::GcStatusMsg;
 
 // Replicated commands (serialized into paxos::Command::data).
 enum class CmdKind : std::uint8_t { propose = 0, commit = 1 };
@@ -97,22 +113,32 @@ public:
     Timestamp max_delivered_gts() const { return max_delivered_gts_; }
     // Consensus-log retention introspection for tests and benches.
     const paxos::MultiPaxos& paxos() const { return paxos_; }
+    // Application-log retention introspection: total entries (stubs
+    // included) and how many were compacted to stubs by the delivered
+    // floor.
+    std::size_t entry_count() const { return entries_.size(); }
+    std::size_t compacted_count() const { return compacted_count_; }
 
     // Deterministic serialization of the replicated state (entries sorted
-    // by message id), as shipped by the paxos catch-up path. Payloads of
-    // entries already delivered at-or-below `strip_upto` are omitted — the
-    // receiver delivered them, only the ordering facts still matter — so a
-    // catch-up transfer stays proportional to the receiver's gap, not the
-    // run length. Stripped entries are marked as such (a member that
-    // healed from a stripped snapshot holds stubs, never invisibly empty
-    // payloads). The no-arg form strips by this member's own watermark:
-    // two quiesced members produce byte-identical snapshots.
+    // by message id), as shipped by the paxos catch-up path. Entries the
+    // receiver has already delivered (delivered here, gts at-or-below
+    // `strip_upto`) are OMITTED — the receiver keeps its own record of
+    // them — so both the transfer size and the snapshot's entry count stay
+    // proportional to the receiver's gap, not the run length. An entry
+    // shipped without its payload (possible only when serving below the
+    // compaction floor, which can_serve_snapshot refuses) is explicitly
+    // flagged, never an invisibly empty payload. The no-arg form strips by
+    // this member's own watermark: two quiesced members produce
+    // byte-identical snapshots.
     Bytes state_snapshot(Timestamp strip_upto) const;
     Bytes state_snapshot() const { return state_snapshot(max_delivered_gts_); }
     // False when this member holds only payload stubs for entries a
     // requester with watermark `strip_upto` would still have to replay —
     // serving it would deliver empty payloads. Such a member declines to
-    // serve and the requester falls back to another peer.
+    // serve and the requester falls back to another peer. Since the
+    // delivered floor never passes any member's reported watermark, every
+    // real requester can be served; only a hypothetical blank member
+    // (below every stub) cannot.
     bool can_serve_snapshot(Timestamp strip_upto) const;
 
 private:
@@ -123,10 +149,12 @@ private:
         Phase phase = Phase::start;
         Timestamp lts;
         Timestamp gts;
-        // True when this entry arrived through a payload-stripped snapshot:
-        // the payload is a stub (the message was delivered before the
-        // member's gap), distinguishable from a legitimately empty payload.
-        bool payload_stripped = false;
+        // True when the payload was dropped: the entry is a stub holding
+        // only the ordering facts. Set by the delivered-floor compaction
+        // (every group member delivered the message) or by installing a
+        // below-floor snapshot; distinguishable from a legitimately empty
+        // payload.
+        bool compacted = false;
     };
 
     // One entry of the state snapshot. `delivered` records whether the
@@ -164,6 +192,11 @@ private:
 
     void handle_multicast(Context& ctx, const AppMessage& m);
     void handle_propose_ts(Context& ctx, ProcessId from, const ProposeTsMsg& p);
+    void app_gc_tick(Context& ctx);
+    void run_app_gc(Context& ctx);
+    void handle_gc_status(ProcessId from, const GcStatusMsg& m);
+    void handle_gc_prune(const GcPruneMsg& m);
+    bool compact_below(Timestamp floor);
     void install_state(Context& ctx, const BufferSlice& state);
     void apply(Context& ctx, const paxos::Command& cmd);
     void apply_propose(Context& ctx, const ProposeCmd& cmd);
@@ -191,6 +224,10 @@ private:
     // Deliveries happen in strictly increasing gts order at each member;
     // the watermark deduplicates the snapshot-install replay.
     Timestamp max_delivered_gts_;
+
+    // --- application-log retention ------------------------------------------
+    DeliveredFloor delivered_floor_;  // leader-side report fold
+    std::size_t compacted_count_ = 0;
 
     // --- leader-volatile state ---------------------------------------------
     // Local timestamps collected from destination groups (incl. our own).

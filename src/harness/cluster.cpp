@@ -15,11 +15,28 @@ const char* to_string(ProtocolKind kind) {
     return "?";
 }
 
+std::optional<ProtocolKind> parse_protocol_kind(std::string_view s) {
+    if (s == "skeen") return ProtocolKind::skeen;
+    if (s == "ftskeen") return ProtocolKind::ftskeen;
+    if (s == "fastcast") return ProtocolKind::fastcast;
+    if (s == "wbcast") return ProtocolKind::wbcast;
+    return std::nullopt;
+}
+
 // --- ScriptedClient ---------------------------------------------------------
 
 ScriptedClient::ScriptedClient(const Topology& topo, DeliveryLog* log,
                                Duration retry)
-    : topo_(topo), log_(log), retry_(retry) {}
+    : ScriptedClient(topo,
+                     [log](TimePoint at, ProcessId sender,
+                           const AppMessage& m) {
+                         log->note_multicast(at, sender, m);
+                     },
+                     retry) {}
+
+ScriptedClient::ScriptedClient(const Topology& topo, MulticastHook hook,
+                               Duration retry)
+    : topo_(topo), note_(std::move(hook)), retry_(retry) {}
 
 void ScriptedClient::on_start(Context& ctx) {
     ctx_ = &ctx;
@@ -28,7 +45,7 @@ void ScriptedClient::on_start(Context& ctx) {
 
 void ScriptedClient::multicast(const AppMessage& m) {
     WBAM_ASSERT_MSG(ctx_ != nullptr, "multicast before start");
-    log_->note_multicast(ctx_->now(), ctx_->self(), m);
+    if (note_) note_(ctx_->now(), ctx_->self(), m);
     auto& pending = pending_[m.id];
     pending.msg = m;
     pending.last_send = ctx_->now();

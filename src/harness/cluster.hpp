@@ -7,7 +7,9 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -22,6 +24,9 @@ namespace wbam::harness {
 enum class ProtocolKind { skeen, ftskeen, fastcast, wbcast };
 
 const char* to_string(ProtocolKind kind);
+// Parses "skeen" / "ftskeen" / "fastcast" / "wbcast" (the CLI spelling of
+// the --proto / --protocol knobs).
+std::optional<ProtocolKind> parse_protocol_kind(std::string_view s);
 
 // Builds one replica process of the given protocol. Defined in
 // protocol_factory.cpp; shared by the cluster harness and the benches.
@@ -35,7 +40,14 @@ std::unique_ptr<Process> make_replica(ProtocolKind kind, const Topology& topo,
 // have moved).
 class ScriptedClient final : public Process {
 public:
+    // Invoked (on the client's execution context) when a multicast is
+    // issued; the sim harness records it into its DeliveryLog, the live
+    // harness records it up front under its own lock and passes {}.
+    using MulticastHook =
+        std::function<void(TimePoint at, ProcessId sender, const AppMessage&)>;
+
     ScriptedClient(const Topology& topo, DeliveryLog* log, Duration retry);
+    ScriptedClient(const Topology& topo, MulticastHook hook, Duration retry);
 
     void on_start(Context& ctx) override;
     void on_message(Context& ctx, ProcessId from,
@@ -55,7 +67,7 @@ private:
     };
 
     Topology topo_;
-    DeliveryLog* log_;
+    MulticastHook note_;
     Duration retry_;
     Context* ctx_ = nullptr;
     TimerId retry_timer_ = invalid_timer;

@@ -1,16 +1,21 @@
 // Closed-loop load experiment driver for the Fig. 7 / Fig. 8 benchmarks:
-// builds a cluster of the requested protocol, attaches closed-loop load
-// clients, runs a warmup phase, then measures throughput and the paper's
-// latency metric over a window.
+// builds a cluster of the requested protocol ON the requested runtime,
+// attaches closed-loop load clients, runs a warmup phase, then measures
+// throughput and the paper's latency metric over a window. Under
+// RuntimeKind::sim the window is virtual time and the run is
+// deterministic; under threaded/net the same processes run on real
+// threads / real loopback sockets and the window is wall clock.
 #ifndef WBAM_HARNESS_EXPERIMENT_HPP
 #define WBAM_HARNESS_EXPERIMENT_HPP
 
 #include "client/load_client.hpp"
 #include "harness/cluster.hpp"
+#include "harness/runtime.hpp"
 
 namespace wbam::harness {
 
 struct ExperimentConfig {
+    RuntimeKind runtime = RuntimeKind::sim;
     ProtocolKind kind = ProtocolKind::wbcast;
     int groups = 10;
     int group_size = 3;
@@ -32,13 +37,13 @@ struct ExperimentConfig {
 };
 
 struct ExperimentResult {
-    double throughput_ops_s = 0;  // completed multicasts per simulated second
+    double throughput_ops_s = 0;  // completed multicasts per measured second
     double mean_ms = 0;
     double p50_ms = 0;
     double p99_ms = 0;
     std::uint64_t ops = 0;
-    std::uint64_t events = 0;
-    double sim_seconds = 0;  // total simulated time
+    std::uint64_t events = 0;  // simulator only (0 on wall-clock runtimes)
+    double sim_seconds = 0;    // simulated (sim) or wall-clock (threaded/net)
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg);

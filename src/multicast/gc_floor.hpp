@@ -1,0 +1,90 @@
+// The delivered-floor GC exchange shared by every replica protocol that
+// garbage-collects by group-wide delivery progress (wbcast's compaction,
+// and the ftskeen/fastcast application-log stubs): members report their
+// delivery watermark to the group leader, the leader folds the last
+// report per member and computes the floor as their MINIMUM over ALL
+// members — so the floor can never pass any member's reported progress,
+// which is what keeps compacted stubs below every real catch-up
+// requester's watermark. The leader announces the floor every round (not
+// only on change): a member that missed an announcement — partition,
+// snapshot heal — learns it on the next tick. Idle members report
+// nothing and an unreported member pins the floor at bottom, so clusters
+// that never delivered stay GC-silent.
+//
+// The wire bodies live here once; each protocol tags them with its own
+// Module::proto type values.
+#ifndef WBAM_MULTICAST_GC_FLOOR_HPP
+#define WBAM_MULTICAST_GC_FLOOR_HPP
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "codec/fields.hpp"
+#include "common/types.hpp"
+
+namespace wbam {
+
+// Member -> leader: this member's delivery watermark.
+struct GcStatusMsg {
+    Timestamp max_delivered_gts;
+
+    void encode(codec::Writer& w) const {
+        codec::write_field(w, max_delivered_gts);
+    }
+    static GcStatusMsg decode(codec::Reader& r) {
+        GcStatusMsg m;
+        codec::read_field(r, m.max_delivered_gts);
+        return m;
+    }
+};
+
+// Leader -> group: the group-wide delivered floor.
+struct GcPruneMsg {
+    Timestamp floor;
+
+    void encode(codec::Writer& w) const { codec::write_field(w, floor); }
+    static GcPruneMsg decode(codec::Reader& r) {
+        GcPruneMsg m;
+        codec::read_field(r, m.floor);
+        return m;
+    }
+};
+
+// Leader-side bookkeeping: the last delivery report per group member and
+// the floor over them.
+class DeliveredFloor {
+public:
+    DeliveredFloor() = default;
+    explicit DeliveredFloor(std::vector<ProcessId> members)
+        : members_(std::move(members)) {}
+
+    // Folds a member's report (reports only ever advance).
+    void note(ProcessId member, Timestamp delivered) {
+        auto& known = reports_[member];
+        known = std::max(known, delivered);
+    }
+
+    // Minimum over ALL members' last reports; bottom while any member has
+    // yet to report (an unreported member pins retention — exactly the
+    // conservative behaviour the stub/compaction safety argument needs).
+    Timestamp floor() const {
+        Timestamp f;
+        bool first = true;
+        for (const ProcessId p : members_) {
+            const auto it = reports_.find(p);
+            if (it == reports_.end()) return bottom_ts;
+            f = first ? it->second : std::min(f, it->second);
+            first = false;
+        }
+        return f;
+    }
+
+private:
+    std::vector<ProcessId> members_;
+    std::map<ProcessId, Timestamp> reports_;
+};
+
+}  // namespace wbam
+
+#endif  // WBAM_MULTICAST_GC_FLOOR_HPP

@@ -1,0 +1,688 @@
+#include "net/world.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <unordered_set>
+
+#include "codec/wire.hpp"
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace wbam::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+constexpr std::size_t read_chunk = 64 * 1024;
+constexpr int max_iov = 16;
+
+}  // namespace
+
+// Control frames (hello/ack) carry their type inside the payload buffer
+// and are not retained after writing.
+NetWorld::OutFrame NetWorld::make_control(Buffer payload) {
+    OutFrame f;
+    put_frame_header(f.hdr.bytes.data(),
+                     static_cast<std::uint32_t>(payload.size()));
+    f.hdr.len = frame_header_size;
+    f.body = BufferSlice(std::move(payload));
+    f.seq = 0;
+    return f;
+}
+
+struct NetWorld::Host {
+    ProcessId id = invalid_process;
+    std::unique_ptr<Process> proc;
+    std::unique_ptr<HostContext> ctx;
+    Rng rng{0};
+    int listen_fd = -1;
+    std::uint16_t port = 0;
+    std::unordered_set<TimerId> active_timers;
+};
+
+struct NetWorld::HostContext final : Context {
+    NetWorld* world = nullptr;
+    Host* host = nullptr;
+
+    ProcessId self() const override { return host->id; }
+    TimePoint now() const override { return world->now(); }
+    void send(ProcessId to, BufferSlice bytes) override {
+        world->send_from(host->id, to, std::move(bytes));
+    }
+    TimerId set_timer(Duration delay) override {
+        const TimerId id = world->next_timer_++;
+        host->active_timers.insert(id);
+        world->timers_.push(TimerFlight{.due = world->now() + delay,
+                                        .seq = world->timer_seq_++,
+                                        .pid = host->id, .id = id});
+        return id;
+    }
+    void cancel_timer(TimerId id) override { host->active_timers.erase(id); }
+    Rng& rng() override { return host->rng; }
+};
+
+NetWorld::NetWorld(Topology topo, std::uint64_t seed, NetConfig cfg)
+    : topo_(std::move(topo)), cfg_(std::move(cfg)), seed_rng_(seed),
+      epoch_(cfg_.epoch == std::chrono::steady_clock::time_point{}
+                 ? std::chrono::steady_clock::now()
+                 : cfg_.epoch) {
+    if (::pipe(wake_fds_) == 0) {
+        set_nonblocking(wake_fds_[0]);
+        set_nonblocking(wake_fds_[1]);
+    }
+}
+
+NetWorld::~NetWorld() {
+    shutdown();
+    for (auto& c : conns_)
+        if (c->fd >= 0) ::close(c->fd);
+    for (auto& h : hosts_)
+        if (h->listen_fd >= 0) ::close(h->listen_fd);
+    if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+    if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+TimePoint NetWorld::now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void NetWorld::add_process(ProcessId id, std::unique_ptr<Process> p,
+                           std::uint16_t listen_port) {
+    WBAM_ASSERT(!started_);
+    WBAM_ASSERT(id >= 0 && id < topo_.num_processes());
+    WBAM_ASSERT_MSG(by_pid_.count(id) == 0, "process already registered");
+
+    auto host = std::make_unique<Host>();
+    host->id = id;
+    host->proc = std::move(p);
+    host->rng = seed_rng_.fork();
+    host->ctx = std::make_unique<HostContext>();
+    host->ctx->world = this;
+    host->ctx->host = host.get();
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    WBAM_ASSERT_MSG(fd >= 0, "socket() failed");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(listen_port);
+    if (::inet_pton(AF_INET, cfg_.bind_host.c_str(), &addr.sin_addr) != 1)
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    const int bound =
+        ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    WBAM_ASSERT_MSG(bound == 0, "bind() failed (port in use?)");
+    WBAM_ASSERT_MSG(::listen(fd, 64) == 0, "listen() failed");
+    set_nonblocking(fd);
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&got), &len);
+    host->listen_fd = fd;
+    host->port = ntohs(got.sin_port);
+
+    by_pid_[id] = host.get();
+    hosts_.push_back(std::move(host));
+}
+
+std::uint16_t NetWorld::port_of(ProcessId id) const {
+    const auto it = by_pid_.find(id);
+    WBAM_ASSERT_MSG(it != by_pid_.end(), "not a local process");
+    return it->second->port;
+}
+
+bool NetWorld::is_local(ProcessId id) const { return by_pid_.count(id) > 0; }
+
+void NetWorld::set_cluster(ClusterMap map) {
+    WBAM_ASSERT(!started_);
+    cluster_ = std::move(map);
+}
+
+NetWorld::Host* NetWorld::host_of(ProcessId id) {
+    const auto it = by_pid_.find(id);
+    return it == by_pid_.end() ? nullptr : it->second;
+}
+
+void NetWorld::start() {
+    WBAM_ASSERT(!started_);
+    for (const auto& h : hosts_)
+        WBAM_ASSERT_MSG(h->proc != nullptr, "unregistered process");
+    started_ = true;
+    thread_ = std::thread([this] { loop(); });
+}
+
+void NetWorld::run_for(Duration d) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+}
+
+void NetWorld::run_on(ProcessId id, std::function<void(Context&)> fn) {
+    {
+        const std::lock_guard<std::mutex> guard(post_mutex_);
+        posted_.emplace_back(id, std::move(fn));
+    }
+    wake();
+}
+
+void NetWorld::drop_connections() {
+    run_on(hosts_.front()->id, [this](Context&) {
+        for (auto& c : conns_)
+            if (c->fd >= 0) conn_dead(*c);
+    });
+}
+
+void NetWorld::shutdown() {
+    if (!started_) return;
+    draining_.store(true);
+    wake();
+    thread_.join();
+    started_ = false;
+}
+
+void NetWorld::wake() {
+    if (wake_fds_[1] < 0) return;
+    const char b = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &b, 1);
+}
+
+// --- sending -----------------------------------------------------------------
+
+void NetWorld::send_from(ProcessId from, ProcessId to, BufferSlice bytes) {
+    if (is_local(to)) {
+        local_.push_back(LocalMail{from, to, std::move(bytes)});
+        return;
+    }
+    if (!cluster_.contains(to)) return;  // unaddressable: dropped
+    Conn* c = out_conn(from, to);
+    const DataHeader hdr = make_data_header(c->next_seq, bytes.size());
+    c->out.push_back(OutFrame{hdr, std::move(bytes), c->next_seq});
+    ++c->next_seq;
+}
+
+NetWorld::Conn* NetWorld::out_conn(ProcessId from, ProcessId to) {
+    const auto key = std::make_pair(from, to);
+    const auto it = out_by_pair_.find(key);
+    if (it != out_by_pair_.end()) return it->second;
+    auto conn = std::make_unique<Conn>(cfg_.max_frame);
+    conn->local = from;
+    conn->remote = to;
+    conn->outbound = true;
+    conn->backoff = cfg_.dial_backoff_min;
+    conn->retry_at = now();  // dial on the next loop turn
+    Conn* raw = conn.get();
+    conns_.push_back(std::move(conn));
+    out_by_pair_[key] = raw;
+    return raw;
+}
+
+void NetWorld::dial(Conn& c) {
+    WBAM_ASSERT(c.outbound && c.fd < 0);
+    const Endpoint& ep = cluster_.of(c.remote);
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const std::string port = std::to_string(ep.port);
+    if (::getaddrinfo(ep.host.c_str(), port.c_str(), &hints, &res) != 0 ||
+        res == nullptr) {
+        conn_dead(c);
+        return;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        ::freeaddrinfo(res);
+        conn_dead(c);
+        return;
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+    ::freeaddrinfo(res);
+    if (rc != 0 && errno != EINPROGRESS) {
+        ::close(fd);
+        conn_dead(c);
+        return;
+    }
+    c.fd = fd;
+    c.connecting = rc != 0;
+    // A fresh connection always opens with the identity handshake.
+    c.out.push_front(make_control(encode_hello(c.local, c.remote)));
+    c.head_sent = 0;
+}
+
+// A connection died (or a dial failed): outbound channels re-dial with
+// exponential backoff and retransmit everything unacked ahead of the
+// still-queued frames — the channel delays, it does not lose. Inbound
+// connections are discarded (the peer owns the re-dial). Control frames
+// queued for the dead connection are dropped: dial() opens the next one
+// with a fresh HELLO, and acks are regenerated by the next delivery.
+void NetWorld::conn_dead(Conn& c) {
+    if (c.fd >= 0) {
+        ::close(c.fd);
+        c.fd = -1;
+    }
+    c.connecting = false;
+    if (!c.outbound) return;  // reaped by the loop
+    c.head_sent = 0;  // a partially written head restarts from its start
+    std::deque<OutFrame> requeued;
+    requeued.swap(c.unacked);
+    for (OutFrame& f : c.out)
+        if (f.seq != 0) requeued.push_back(std::move(f));
+    c.out = std::move(requeued);
+    c.backoff = std::min(std::max(c.backoff * 2, cfg_.dial_backoff_min),
+                         cfg_.dial_backoff_max);
+    c.retry_at = now() + c.backoff;
+}
+
+void NetWorld::close_conn(Conn& c) {
+    if (c.fd >= 0) {
+        ::close(c.fd);
+        c.fd = -1;
+    }
+    c.connecting = false;
+}
+
+bool NetWorld::flush_conn(Conn& c) {
+    if (c.fd < 0 || c.connecting) return true;
+    while (!c.out.empty()) {
+        iovec iov[max_iov];
+        int iovcnt = 0;
+        std::size_t batched = 0;
+        std::size_t offset = c.head_sent;
+        for (const OutFrame& f : c.out) {
+            if (iovcnt + 2 > max_iov) break;
+            if (offset < f.hdr.size()) {
+                iov[iovcnt++] = {
+                    const_cast<std::uint8_t*>(f.hdr.data()) + offset,
+                    f.hdr.size() - offset};
+                batched += f.hdr.size() - offset;
+                if (!f.body.empty()) {
+                    iov[iovcnt++] = {const_cast<std::uint8_t*>(f.body.data()),
+                                     f.body.size()};
+                    batched += f.body.size();
+                }
+            } else {
+                const std::size_t body_off = offset - f.hdr.size();
+                iov[iovcnt++] = {
+                    const_cast<std::uint8_t*>(f.body.data()) + body_off,
+                    f.body.size() - body_off};
+                batched += f.body.size() - body_off;
+            }
+            offset = 0;  // only the head frame is partially written
+        }
+        const ssize_t n = ::writev(c.fd, iov, iovcnt);
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+                return true;
+            conn_dead(c);
+            return false;
+        }
+        // First successful write on a dialled connection: reset the backoff.
+        if (c.outbound) c.backoff = cfg_.dial_backoff_min;
+        std::size_t advanced = static_cast<std::size_t>(n);
+        while (advanced > 0 && !c.out.empty()) {
+            const std::size_t remaining = c.out.front().size() - c.head_sent;
+            const std::size_t take = std::min(advanced, remaining);
+            c.head_sent += take;
+            advanced -= take;
+            if (c.head_sent == c.out.front().size()) {
+                // Data frames stay retained until the peer acks them (the
+                // retransmit buffer of the reliable channel); control
+                // frames are fire-and-forget.
+                if (c.out.front().seq != 0)
+                    c.unacked.push_back(std::move(c.out.front()));
+                c.out.pop_front();
+                c.head_sent = 0;
+            }
+        }
+        if (static_cast<std::size_t>(n) < batched) return true;  // kernel full
+    }
+    return true;
+}
+
+// --- receiving ---------------------------------------------------------------
+
+// Queues cumulative acks for every channel that delivered since the last
+// emission, on the local end's own outbound connection to the peer.
+void NetWorld::emit_acks() {
+    for (const auto& [channel, upto] : ack_due_) {
+        const auto& [remote, local] = channel;
+        if (!cluster_.contains(remote)) continue;
+        out_conn(local, remote)->out.push_back(make_control(encode_ack(upto)));
+    }
+    ack_due_.clear();
+}
+
+void NetWorld::accept_ready(Host& h) {
+    for (;;) {
+        const int fd = ::accept(h.listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            return;  // EAGAIN or transient error
+        }
+        set_nonblocking(fd);
+        set_nodelay(fd);
+        auto conn = std::make_unique<Conn>(cfg_.max_frame);
+        conn->local = h.id;
+        conn->outbound = false;
+        conn->fd = fd;
+        conns_.push_back(std::move(conn));
+    }
+}
+
+// One complete frame off the wire. Returns false on protocol violations
+// (the caller drops the connection).
+bool NetWorld::on_frame(Conn& c, const BufferSlice& payload) {
+    if (payload.empty()) return false;
+    const auto type = static_cast<FrameType>(payload[0]);
+    const BufferSlice body = payload.subslice(1, payload.size() - 1);
+    if (!c.saw_hello) {
+        // The handshake must come first — on inbound connections it tells
+        // us who dialled; on outbound connections the peer sends nothing
+        // before we identified ourselves, so anything arriving here is
+        // ack/data already keyed by the pair we dialled.
+        if (c.outbound) {
+            c.saw_hello = true;
+        } else {
+            if (type != FrameType::hello) return false;
+            const auto hello = decode_hello(body);
+            if (!hello || !is_local(hello->to) || hello->from < 0 ||
+                hello->from >= topo_.num_processes())
+                return false;
+            // Re-key the connection by the announced identity; a replaced
+            // connection from the same peer supersedes the old one (the
+            // peer re-dialled).
+            c.local = hello->to;
+            c.remote = hello->from;
+            c.saw_hello = true;
+            for (auto& other : conns_) {
+                if (other.get() == &c || other->outbound) continue;
+                if (other->fd >= 0 && other->saw_hello &&
+                    other->remote == c.remote && other->local == c.local)
+                    close_conn(*other);
+            }
+            return true;
+        }
+    }
+    try {
+        switch (type) {
+            case FrameType::hello:
+                return false;  // duplicate handshake
+            case FrameType::data: {
+                codec::Reader r(body);
+                const std::uint64_t seq = r.varint();
+                const BufferSlice envelope = r.take_slice(r.remaining());
+                const auto channel = std::make_pair(c.remote, c.local);
+                auto [it, fresh] = recv_next_.try_emplace(channel, 1);
+                if (seq < it->second) {
+                    // Retransmit duplicate: re-ack so the sender can prune
+                    // its retransmit buffer even if the original ack died
+                    // with a connection.
+                    ack_due_[channel] = it->second - 1;
+                    return true;
+                }
+                if (seq > it->second)
+                    log::warn("net: sequence gap on channel p", c.remote,
+                              "->p", c.local, " (", it->second, " -> ", seq,
+                              ")");
+                it->second = seq + 1;
+                ack_due_[channel] = seq;
+                if (Host* h = host_of(c.local)) deliver(*h, c.remote, envelope);
+                (void)fresh;
+                return true;
+            }
+            case FrameType::ack: {
+                codec::Reader r(body);
+                const std::uint64_t upto = r.varint();
+                r.expect_done();
+                // Acks refer to OUR data channel towards the peer.
+                const auto it =
+                    out_by_pair_.find(std::make_pair(c.local, c.remote));
+                if (it == out_by_pair_.end()) return true;
+                auto& unacked = it->second->unacked;
+                while (!unacked.empty() && unacked.front().seq <= upto)
+                    unacked.pop_front();
+                return true;
+            }
+        }
+    } catch (const codec::DecodeError&) {
+    }
+    return false;
+}
+
+bool NetWorld::read_conn(Conn& c) {
+    for (;;) {
+        std::uint8_t* p = c.in.write_ptr(read_chunk);
+        const ssize_t n = ::read(c.fd, p, c.in.write_space());
+        if (n > 0) {
+            drain_read_ = true;  // progress marker for the shutdown drain
+            c.in.commit(static_cast<std::size_t>(n));
+            bool malformed = false;
+            const bool ok = c.in.drain([&](const BufferSlice& payload) {
+                if (malformed) return;
+                if (!on_frame(c, payload)) malformed = true;
+            });
+            if (!ok || malformed) {
+                log::info("net: dropping malformed connection (local p",
+                          c.local, ")");
+                c.outbound ? conn_dead(c) : close_conn(c);
+                return false;
+            }
+            continue;
+        }
+        if (n == 0) {  // peer closed
+            c.outbound ? conn_dead(c) : close_conn(c);
+            return false;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        if (errno == EINTR) continue;
+        c.outbound ? conn_dead(c) : close_conn(c);
+        return false;
+    }
+}
+
+void NetWorld::deliver(Host& h, ProcessId from, const BufferSlice& frame) {
+    try {
+        codec::deliver_unwrapped(frame, [&](const BufferSlice& msg) {
+            try {
+                h.proc->on_message(*h.ctx, from, msg);
+            } catch (const codec::DecodeError&) {
+                // Malformed input is dropped (see sim::World).
+            }
+        });
+    } catch (const codec::DecodeError&) {
+    }
+}
+
+// --- the loop ----------------------------------------------------------------
+
+void NetWorld::process_posted() {
+    std::deque<std::pair<ProcessId, std::function<void(Context&)>>> batch;
+    {
+        const std::lock_guard<std::mutex> guard(post_mutex_);
+        batch.swap(posted_);
+    }
+    for (auto& [pid, fn] : batch)
+        if (Host* h = host_of(pid)) fn(*h->ctx);
+}
+
+void NetWorld::process_local() {
+    // Deliveries may enqueue further local sends; process the current batch
+    // only (new mail waits for the next turn — async, never re-entrant).
+    std::deque<LocalMail> batch;
+    batch.swap(local_);
+    for (LocalMail& m : batch)
+        if (Host* h = host_of(m.to)) deliver(*h, m.from, m.bytes);
+}
+
+void NetWorld::fire_due_timers() {
+    const TimePoint current = now();
+    while (!timers_.empty() && timers_.top().due <= current) {
+        const TimerFlight f = timers_.top();
+        timers_.pop();
+        Host* h = host_of(f.pid);
+        if (h == nullptr || h->active_timers.erase(f.id) == 0) continue;
+        h->proc->on_timer(*h->ctx, f.id);
+    }
+}
+
+TimePoint NetWorld::next_deadline() const {
+    TimePoint next = time_never;
+    if (!timers_.empty()) next = timers_.top().due;
+    for (const auto& c : conns_)
+        if (c->outbound && c->fd < 0 && !c->out.empty())
+            next = std::min(next, c->retry_at);
+    return next;
+}
+
+void NetWorld::loop() {
+    for (const auto& h : hosts_) h->proc->on_start(*h->ctx);
+
+    std::vector<pollfd> pfds;
+    std::vector<Conn*> pfd_conn;  // parallel to pfds; nullptr = not a conn
+    TimePoint drain_deadline = time_never;
+    int drain_quiet_rounds = 0;
+
+    for (;;) {
+        process_posted();
+        const bool had_local = !local_.empty();
+        process_local();
+        const bool draining = draining_.load();
+        if (!draining) fire_due_timers();
+        emit_acks();
+
+        bool out_pending = false;
+        for (const auto& c : conns_) out_pending |= !c->out.empty();
+
+        if (draining) {
+            // Drain until quiet: flush every outbound queue AND keep
+            // reading so frames a peer already flushed still get
+            // delivered (the net twin of the threaded runtime's
+            // deliver-all-in-flight drain). Two consecutive idle rounds
+            // (~2 poll timeouts) mean nothing is left in flight locally.
+            if (drain_deadline == time_never)
+                drain_deadline = now() + cfg_.drain_wait;
+            const bool busy =
+                out_pending || !local_.empty() || had_local || drain_read_;
+            drain_read_ = false;
+            drain_quiet_rounds = busy ? 0 : drain_quiet_rounds + 1;
+            if (drain_quiet_rounds >= 2 || now() >= drain_deadline) return;
+        }
+
+        // (Re-)dial outbound connections whose backoff expired.
+        for (const auto& c : conns_)
+            if (c->outbound && c->fd < 0 && !c->out.empty() &&
+                c->retry_at <= now())
+                dial(*c);
+
+        // Flush before sleeping: most sends complete without a poll round.
+        for (const auto& c : conns_)
+            if (!c->out.empty()) flush_conn(*c);
+
+        pfds.clear();
+        pfd_conn.clear();
+        const std::size_t wake_at = pfds.size();
+        pfds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+        pfd_conn.push_back(nullptr);
+        const std::size_t listeners_at = pfds.size();
+        if (!draining) {
+            // No NEW connections while draining; established ones still
+            // read (in-flight frames must land) and flush.
+            for (const auto& h : hosts_) {
+                pfds.push_back(pollfd{h->listen_fd, POLLIN, 0});
+                pfd_conn.push_back(nullptr);
+            }
+        }
+        for (const auto& c : conns_) {
+            if (c->fd < 0) continue;
+            short events = POLLIN;
+            if (c->connecting || !c->out.empty()) events |= POLLOUT;
+            pfds.push_back(pollfd{c->fd, events, 0});
+            pfd_conn.push_back(c.get());
+        }
+
+        int timeout_ms = 100;
+        const TimePoint next = next_deadline();
+        if (!local_.empty()) {
+            timeout_ms = 0;
+        } else if (next != time_never) {
+            const TimePoint current = now();
+            timeout_ms = next <= current
+                             ? 0
+                             : static_cast<int>(std::min<TimePoint>(
+                                   (next - current) / 1'000'000 + 1, 100));
+        }
+        if (draining) timeout_ms = std::min(timeout_ms, 10);
+
+        const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+        if (ready < 0 && errno != EINTR) return;  // unrecoverable
+        if (ready <= 0) continue;
+
+        if (pfds[wake_at].revents & POLLIN) {
+            char buf[256];
+            while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+            }
+        }
+        if (!draining) {
+            for (std::size_t i = 0; i < hosts_.size(); ++i)
+                if (pfds[listeners_at + i].revents & POLLIN)
+                    accept_ready(*hosts_[i]);
+        }
+        for (std::size_t i = 0; i < pfds.size(); ++i) {
+            Conn* c = pfd_conn[i];
+            if (c == nullptr || c->fd < 0 || pfds[i].revents == 0) continue;
+            if (c->connecting) {
+                if (pfds[i].revents & (POLLOUT | POLLERR | POLLHUP)) {
+                    int err = 0;
+                    socklen_t len = sizeof(err);
+                    ::getsockopt(c->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+                    if (err != 0) {
+                        conn_dead(*c);
+                        continue;
+                    }
+                    c->connecting = false;
+                    flush_conn(*c);
+                }
+                continue;
+            }
+            if (pfds[i].revents & POLLIN) {
+                if (!read_conn(*c)) continue;
+            } else if (pfds[i].revents & (POLLERR | POLLHUP)) {
+                // No readable data: the connection is gone.
+                c->outbound ? conn_dead(*c) : close_conn(*c);
+                continue;
+            }
+            if (pfds[i].revents & POLLOUT) flush_conn(*c);
+        }
+
+        // Reap dead inbound connections (outbound ones persist: they own
+        // the redial schedule and the queued frames).
+        conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                    [](const std::unique_ptr<Conn>& c) {
+                                        return !c->outbound && c->fd < 0;
+                                    }),
+                     conns_.end());
+    }
+}
+
+}  // namespace wbam::net

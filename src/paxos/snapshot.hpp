@@ -7,6 +7,7 @@
 #define WBAM_PAXOS_SNAPSHOT_HPP
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "codec/fields.hpp"
@@ -31,21 +32,32 @@ inline Timestamp decode_catchup_mark(const BufferSlice& mark) {
     return t;
 }
 
-// Deterministic snapshot framing: clock, then every entry in ascending
-// message-id order (unordered_map iteration order must not leak into the
-// bytes — quiesced members compare snapshots byte-for-byte).
-template <typename EntryMap, typename EncodeEntryFn>
+// Deterministic snapshot framing: clock, then every entry passing
+// `filter` in ascending message-id order (unordered_map iteration order
+// must not leak into the bytes — quiesced members compare snapshots
+// byte-for-byte). Filtering happens on the id list, so omitted entries
+// cost nothing and shipped ones are never copied.
+template <typename EntryMap, typename FilterFn, typename EncodeEntryFn>
 Bytes encode_rsm_snapshot(std::uint64_t clock, const EntryMap& entries,
-                          EncodeEntryFn&& encode_entry) {
+                          FilterFn&& filter, EncodeEntryFn&& encode_entry) {
     std::vector<MsgId> ids;
     ids.reserve(entries.size());
-    for (const auto& [id, e] : entries) ids.push_back(id);
+    for (const auto& [id, e] : entries)
+        if (filter(e)) ids.push_back(id);
     std::sort(ids.begin(), ids.end());
     codec::Writer w;
     codec::write_field(w, clock);
     w.varint(ids.size());
     for (const MsgId id : ids) encode_entry(w, entries.at(id));
     return std::move(w).take();
+}
+
+template <typename EntryMap, typename EncodeEntryFn>
+Bytes encode_rsm_snapshot(std::uint64_t clock, const EntryMap& entries,
+                          EncodeEntryFn&& encode_entry) {
+    return encode_rsm_snapshot(clock, entries,
+                               [](const auto&) { return true; },
+                               std::forward<EncodeEntryFn>(encode_entry));
 }
 
 // Inverse framing: per_entry is invoked once per encoded entry with the

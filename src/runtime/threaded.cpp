@@ -106,6 +106,10 @@ void ThreadedWorld::run_for(Duration d) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(d));
 }
 
+void ThreadedWorld::run_on(ProcessId id, std::function<void(Context&)> fn) {
+    post(id, Mail{.kind = Mail::Kind::fn, .fn = std::move(fn)});
+}
+
 void ThreadedWorld::shutdown() {
     {
         const std::lock_guard<std::mutex> guard(net_mutex_);
@@ -113,6 +117,9 @@ void ThreadedWorld::shutdown() {
         running_ = false;
         net_cv_.notify_all();
     }
+    // The dispatcher drains every in-flight message into its mailbox before
+    // exiting (the shared graceful-shutdown contract; see the header), so
+    // the stop mail below is guaranteed to sit behind all of them.
     dispatcher_.join();
     for (auto& host : hosts_) post(host->id, Mail{.kind = Mail::Kind::stop});
     for (auto& t : threads_) t.join();
@@ -146,7 +153,24 @@ void ThreadedWorld::post(ProcessId to, Mail mail) {
 void ThreadedWorld::dispatcher_loop() {
     std::unique_lock<std::mutex> lock(net_mutex_);
     for (;;) {
-        if (!running_) return;
+        if (!running_) {
+            // Drain: deliver every message still in flight, in due order
+            // (per-channel FIFO holds; the remaining delay is forfeited).
+            // Pending timers are dropped — they must not fire after
+            // shutdown.
+            std::vector<Flight> rest;
+            while (!in_flight_.empty()) {
+                rest.push_back(in_flight_.top());
+                in_flight_.pop();
+            }
+            lock.unlock();
+            for (auto& f : rest) {
+                if (f.timer != invalid_timer) continue;
+                post(f.to, Mail{.kind = Mail::Kind::message, .from = f.from,
+                                .bytes = std::move(f.bytes)});
+            }
+            return;
+        }
         if (in_flight_.empty()) {
             net_cv_.wait(lock);
             continue;
@@ -202,6 +226,9 @@ void ThreadedWorld::host_loop(Host& host) {
                 break;
             case Mail::Kind::timer:
                 host.proc->on_timer(*host.ctx, mail.timer);
+                break;
+            case Mail::Kind::fn:
+                mail.fn(*host.ctx);
                 break;
             case Mail::Kind::stop:
                 return;

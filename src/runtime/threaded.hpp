@@ -3,9 +3,20 @@
 // thread with a serial mailbox; a dispatcher thread injects configurable
 // network delays and enforces per-channel FIFO. Used by examples that want
 // to demonstrate the protocols under genuine concurrency; tests and
-// benches use the deterministic simulator.
+// benches use the deterministic simulator. The TCP runtime (net::NetWorld)
+// implements the same contract over real sockets.
+//
+// Graceful-shutdown contract (shared with net::NetWorld): shutdown()
+// first DRAINS — every message in flight at that moment is delivered to
+// its mailbox (in due order, so per-channel FIFO holds; remaining network
+// delay is forfeited) and mailboxes are processed to completion — then
+// joins all threads. Pending timers do not fire, and messages sent while
+// draining may be dropped. Tests therefore never race teardown against
+// in-flight deliveries.
 #ifndef WBAM_RUNTIME_THREADED_HPP
 #define WBAM_RUNTIME_THREADED_HPP
+
+#include <functional>
 
 #include <condition_variable>
 #include <deque>
@@ -39,7 +50,11 @@ public:
     void start();
     // Sleeps the caller for wall-clock `d`.
     void run_for(Duration d);
-    // Stops dispatch, drains mailboxes and joins all threads.
+    // Runs fn(ctx) on process `id`'s own thread (external injection: test
+    // drivers and example workloads; same surface as net::NetWorld).
+    void run_on(ProcessId id, std::function<void(Context&)> fn);
+    // Drains in-flight messages and mailboxes, then joins all threads
+    // (the shared graceful-shutdown contract documented above).
     void shutdown();
 
     TimePoint now() const;
@@ -48,11 +63,12 @@ private:
     // Mailboxes hold slices of the sender's frozen buffer: a fan-out posts
     // the same storage to every recipient, and the handler decodes in place.
     struct Mail {
-        enum class Kind : std::uint8_t { start, message, timer, stop };
+        enum class Kind : std::uint8_t { start, message, timer, fn, stop };
         Kind kind = Kind::message;
         ProcessId from = invalid_process;
         BufferSlice bytes;
         TimerId timer = invalid_timer;
+        std::function<void(Context&)> fn;  // Kind::fn only
     };
 
     struct Host;

@@ -7,9 +7,15 @@
 #include <utility>
 #include <vector>
 
+#include "multicast/gc_floor.hpp"
 #include "multicast/message.hpp"
 
 namespace wbam::wbcast {
+
+// Wire bodies of the GC exchange: shared across protocols
+// (multicast/gc_floor.hpp), tagged with this protocol's type values.
+using ::wbam::GcPruneMsg;
+using ::wbam::GcStatusMsg;
 
 enum class MsgType : std::uint8_t {
     accept = 0,        // leader -> all processes of dest(m)   ("2a")
@@ -174,30 +180,6 @@ struct NewStateAckMsg {
     static NewStateAckMsg decode(codec::Reader& r) {
         NewStateAckMsg m;
         codec::read_field(r, m.ballot);
-        return m;
-    }
-};
-
-struct GcStatusMsg {
-    Timestamp max_delivered_gts;
-
-    void encode(codec::Writer& w) const {
-        codec::write_field(w, max_delivered_gts);
-    }
-    static GcStatusMsg decode(codec::Reader& r) {
-        GcStatusMsg m;
-        codec::read_field(r, m.max_delivered_gts);
-        return m;
-    }
-};
-
-struct GcPruneMsg {
-    Timestamp floor;
-
-    void encode(codec::Writer& w) const { codec::write_field(w, floor); }
-    static GcPruneMsg decode(codec::Reader& r) {
-        GcPruneMsg m;
-        codec::read_field(r, m.floor);
         return m;
     }
 };

@@ -22,7 +22,8 @@ WbcastReplica::WbcastReplica(const Topology& topo, ProcessId pid,
                                     cfg.suspect_timeout},
                [this](Context& ctx, ProcessId trusted) {
                    on_trust_change(ctx, trusted);
-               }) {
+               }),
+      delivered_floor_(topo.members(topo.group_of(pid))) {
     WBAM_ASSERT_MSG(g0_ != invalid_group, "wbcast replica must be in a group");
     // All members bootstrap agreeing on a ballot led by the initial leader.
     cballot_ = ballot_ = Ballot{1, topo_.initial_leader(g0_)};
@@ -503,8 +504,7 @@ void WbcastReplica::retry_stuck(Context& ctx) {
 }
 
 void WbcastReplica::handle_gc_status(ProcessId from, const GcStatusMsg& m) {
-    auto& known = member_delivered_[from];
-    known = std::max(known, m.max_delivered_gts);
+    delivered_floor_.note(from, m.max_delivered_gts);
 }
 
 void WbcastReplica::handle_gc_prune(const GcPruneMsg& m) {
@@ -516,25 +516,17 @@ void WbcastReplica::handle_gc_prune(const GcPruneMsg& m) {
 }
 
 void WbcastReplica::run_gc(Context& ctx) {
-    member_delivered_[pid_] = max_delivered_gts_;
-    Timestamp floor;
-    bool first = true;
-    for (const ProcessId p : topo_.members(g0_)) {
-        const auto it = member_delivered_.find(p);
-        if (it == member_delivered_.end()) return;  // no report yet
-        floor = first ? it->second : std::min(floor, it->second);
-        first = false;
-    }
+    delivered_floor_.note(pid_, max_delivered_gts_);
+    const Timestamp floor = delivered_floor_.floor();
     if (floor == bottom_ts) return;
-    bool any = false;
     for (auto& [id, e] : entries_) {
         if (e.phase != Phase::committed || e.compacted || !e.deliver_sent)
             continue;
         if (e.gts > floor) continue;
         compact(e);
-        any = true;
     }
-    if (!any) return;
+    // Announce every round, not only on change: a member that missed an
+    // earlier announcement (partition, recovery) learns the floor here.
     const Buffer wire = codec::encode_envelope(proto, type_of(MsgType::gc_prune),
                                               invalid_msg, GcPruneMsg{floor});
     for (const ProcessId p : topo_.members(g0_))

@@ -141,7 +141,7 @@ private:
     TimePoint last_recover_attempt_ = 0;
 
     // GC: leader-side view of each member's delivery progress.
-    std::map<ProcessId, Timestamp> member_delivered_;
+    DeliveredFloor delivered_floor_;
     std::size_t compacted_count_ = 0;
 
     std::unordered_map<GroupId, ProcessId> remote_leader_hint_;

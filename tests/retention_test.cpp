@@ -167,16 +167,22 @@ TEST(RetentionTest, SeveredFtskeenMemberCatchesUpViaSnapshot) {
                           paxos::MsgType::catchup_snapshot, lagging), 1u);
     const auto* lag_paxos = paxos_of(c, ProtocolKind::ftskeen, lagging);
     EXPECT_GT(lag_paxos->pruned_upto(), 0u);
-    // The snapshot stripped the payloads the member had delivered before
-    // the cut, so it now holds stubs: it must refuse to seed a blank
-    // member (it would replay empty payloads), while an always-connected
-    // peer can — and it can still serve anyone at-or-above its own
-    // watermark.
+    // Once the group-wide delivered floor passed them, every member
+    // compacted the delivered entries to payload-less stubs (the app-log
+    // retention mirror of wbcast). Stubs mean no member can seed a
+    // hypothetical blank member below the floor — exactly wbcast's
+    // property — but every member can serve any requester at-or-above its
+    // own watermark, which covers every member that ever reported.
     auto& healed = c.world().process_as<ftskeen::FtSkeenReplica>(lagging);
+    EXPECT_GT(healed.compacted_count(), 0u);
     EXPECT_FALSE(healed.can_serve_snapshot(bottom_ts));
-    EXPECT_TRUE(c.world().process_as<ftskeen::FtSkeenReplica>(0)
-                    .can_serve_snapshot(bottom_ts));
+    EXPECT_FALSE(c.world().process_as<ftskeen::FtSkeenReplica>(0)
+                     .can_serve_snapshot(bottom_ts));
     EXPECT_TRUE(healed.can_serve_snapshot(healed.max_delivered_gts()));
+    for (const ProcessId p : c.topo().members(0)) {
+        auto& r = c.world().process_as<ftskeen::FtSkeenReplica>(p);
+        EXPECT_TRUE(r.can_serve_snapshot(r.max_delivered_gts()));
+    }
     // Applied state is byte-identical across every member of each group.
     for (const GroupId g : c.topo().all_groups()) {
         const auto& members = c.topo().members(g);
@@ -233,6 +239,78 @@ TEST(RetentionTest, SeveredFastcastMemberCatchesUpViaSnapshot) {
     }
     for (const ProcessId p : c.topo().members(0))
         EXPECT_LE(paxos_of(c, ProtocolKind::fastcast, p)->chosen_count(), 60u);
+}
+
+// --- application-log retention: stubs below the delivered floor --------------
+
+// Steady traffic, then quiescence: every member must have compacted every
+// group-delivered entry to a payload-less stub (the delivered floor caught
+// up with the watermark), and the no-arg state snapshot — which omits the
+// delivered past outright — must be entry-free and byte-identical across
+// members: its entry count is bounded by a requester's gap, never the run
+// length.
+template <typename Replica>
+void run_app_log_stub_test(ProtocolKind kind, std::uint64_t seed) {
+    Cluster c(retention_config(kind, 2, 1, seed));
+    constexpr int n = 24;
+    for (int i = 0; i < n; ++i)
+        c.multicast_at(milliseconds(5) + i * microseconds(25'000), 0, {0, 1},
+                       Bytes{0x11, 0x22});
+    c.run_for(milliseconds(1600));  // n * 25ms of traffic + many GC cycles
+    const auto result = c.check();
+    EXPECT_TRUE(result.ok()) << result.summary();
+    EXPECT_EQ(c.log().completed_count(), static_cast<std::size_t>(n));
+    for (const GroupId g : c.topo().all_groups()) {
+        Bytes reference;
+        for (const ProcessId p : c.topo().members(g)) {
+            auto& r = c.world().process_as<Replica>(p);
+            EXPECT_EQ(r.entry_count(), static_cast<std::size_t>(n))
+                << "replica " << p;
+            EXPECT_EQ(r.compacted_count(), static_cast<std::size_t>(n))
+                << "replica " << p << " retains uncompacted delivered entries";
+            // All entries delivered and compacted: the snapshot ships only
+            // the clock and a zero entry count.
+            const Bytes snap = r.state_snapshot();
+            EXPECT_LE(snap.size(), 16u) << "replica " << p;
+            if (reference.empty()) reference = snap;
+            EXPECT_EQ(snap, reference) << "replica " << p;
+        }
+    }
+}
+
+TEST(RetentionTest, FtskeenAppLogDropsToStubsBelowDeliveryFloor) {
+    run_app_log_stub_test<ftskeen::FtSkeenReplica>(ProtocolKind::ftskeen, 29);
+}
+
+TEST(RetentionTest, FastcastAppLogDropsToStubsBelowDeliveryFloor) {
+    run_app_log_stub_test<fastcast::FastCastReplica>(ProtocolKind::fastcast,
+                                                     31);
+}
+
+// The app-log GC plane must stay silent on an idle cluster, like the paxos
+// floor protocol and wbcast's GC.
+TEST(RetentionTest, IdleAppGcSendsNoTraffic) {
+    const struct {
+        ProtocolKind kind;
+        std::uint8_t status_type;
+        std::uint8_t prune_type;
+    } cases[] = {
+        {ProtocolKind::ftskeen,
+         static_cast<std::uint8_t>(ftskeen::MsgType::gc_status),
+         static_cast<std::uint8_t>(ftskeen::MsgType::gc_prune)},
+        {ProtocolKind::fastcast,
+         static_cast<std::uint8_t>(fastcast::MsgType::gc_status),
+         static_cast<std::uint8_t>(fastcast::MsgType::gc_prune)},
+    };
+    for (const auto& cs : cases) {
+        Cluster c(retention_config(cs.kind, 2, 0, 37));
+        c.run_for(milliseconds(1000));  // 20 GC intervals
+        const auto& trace = c.world().send_trace();
+        EXPECT_EQ(count_records(trace, codec::Module::proto, cs.status_type),
+                  0u);
+        EXPECT_EQ(count_records(trace, codec::Module::proto, cs.prune_type),
+                  0u);
+    }
 }
 
 // --- randomized soak across all retention-enabled protocols ------------------

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "harness/live_cluster.hpp"
 #include "multicast/api.hpp"
 #include "runtime/threaded.hpp"
 #include "wbcast/protocol.hpp"
@@ -36,13 +37,15 @@ TEST(ThreadedRuntimeTest, DeliversMessagesFifo) {
                                                        microseconds(900)));
     auto a = std::make_unique<Echo>();
     auto b = std::make_unique<Echo>();
-    Echo* pa = a.get();
     Echo* pb = b.get();
     w.add_process(0, std::move(a));
     w.add_process(1, std::move(b));
     w.start();
-    w.run_for(milliseconds(20));  // wait for on_start
-    for (std::uint8_t i = 0; i < 50; ++i) pa->ctx->send(1, Bytes{i});
+    // External injection goes through run_on: the thunk runs on process
+    // 0's own thread, after its on_start (mailbox FIFO).
+    w.run_on(0, [](Context& ctx) {
+        for (std::uint8_t i = 0; i < 50; ++i) ctx.send(1, Bytes{i});
+    });
     w.run_for(milliseconds(100));
     w.shutdown();
     ASSERT_EQ(pb->received.size(), 50u);
@@ -56,10 +59,11 @@ TEST(ThreadedRuntimeTest, TimersFireAndCancel) {
     Echo* pa = a.get();
     w.add_process(0, std::move(a));
     w.start();
-    w.run_for(milliseconds(20));
-    pa->ctx->set_timer(milliseconds(5));
-    const TimerId cancelled = pa->ctx->set_timer(milliseconds(5));
-    pa->ctx->cancel_timer(cancelled);
+    w.run_on(0, [](Context& ctx) {
+        ctx.set_timer(milliseconds(5));
+        const TimerId cancelled = ctx.set_timer(milliseconds(5));
+        ctx.cancel_timer(cancelled);
+    });
     w.run_for(milliseconds(100));
     w.shutdown();
     EXPECT_EQ(pa->fired.load(), 1);
@@ -87,32 +91,32 @@ void run_wbcast_total_order(bool batching) {
         replicas.push_back(r.get());
         w.add_process(p, std::move(r));
     }
-    // A lightweight injector process acting as the client.
+    // A lightweight injector process acting as the client; fired on its
+    // own thread via run_on.
     class Injector final : public Process {
     public:
         explicit Injector(Topology t) : topo(std::move(t)) {}
-        void on_start(Context& c) override { ctx = &c; }
+        void on_start(Context&) override {}
         void on_message(Context&, ProcessId, const BufferSlice&) override {}
         void on_timer(Context&, TimerId) override {}
-        void fire(int n) {
+        void fire(Context& ctx, int n) {
             for (int i = 0; i < n; ++i) {
                 const AppMessage m = make_app_message(
-                    make_msg_id(ctx->self(), static_cast<std::uint32_t>(i)),
+                    make_msg_id(ctx.self(), static_cast<std::uint32_t>(i)),
                     {0, 1}, Bytes{static_cast<std::uint8_t>(i)});
                 const Buffer wire = encode_multicast_request(m);
-                ctx->send(topo.initial_leader(0), wire);
-                ctx->send(topo.initial_leader(1), wire);
+                ctx.send(topo.initial_leader(0), wire);
+                ctx.send(topo.initial_leader(1), wire);
             }
         }
         Topology topo;
-        Context* ctx = nullptr;
     };
     auto injector = std::make_unique<Injector>(topo);
     Injector* inj = injector.get();
     w.add_process(topo.num_replicas(), std::move(injector));
     w.start();
     w.run_for(milliseconds(50));
-    inj->fire(20);
+    w.run_on(topo.num_replicas(), [inj](Context& ctx) { inj->fire(ctx, 20); });
     // Wait for every replica to deliver all 20 (bounded wait).
     bool done = false;
     for (int spin = 0; spin < 100 && !done; ++spin) {
@@ -136,6 +140,52 @@ TEST(ThreadedRuntimeTest, WbcastClusterDeliversInTotalOrder) {
 
 TEST(ThreadedRuntimeTest, BatchedWbcastClusterDeliversInTotalOrder) {
     run_wbcast_total_order(/*batching=*/true);
+}
+
+// run_on injection delivers the thunk on the target process's own thread,
+// in its context.
+TEST(ThreadedRuntimeTest, RunOnExecutesOnProcessContext) {
+    ThreadedWorld w(Topology(1, 1, 1),
+                    std::make_unique<sim::UniformDelay>(microseconds(100)));
+    w.add_process(0, std::make_unique<Echo>());
+    auto b = std::make_unique<Echo>();
+    Echo* pb = b.get();
+    w.add_process(1, std::move(b));
+    w.start();
+    std::atomic<ProcessId> seen{invalid_process};
+    w.run_on(1, [&seen](Context& ctx) {
+        seen.store(ctx.self());
+        ctx.send(ctx.self(), Bytes{0x7e});  // self-send still works
+    });
+    for (int spin = 0; spin < 100 && seen.load() != 1; ++spin)
+        w.run_for(milliseconds(5));
+    w.shutdown();
+    EXPECT_EQ(seen.load(), 1);
+    const std::lock_guard<std::mutex> guard(pb->mutex);
+    ASSERT_EQ(pb->received.size(), 1u);
+    EXPECT_EQ(pb->received[0], Bytes{0x7e});
+}
+
+// The LiveCluster harness on the threaded runtime: same protocols, same
+// checker, one runtime knob away from sim and net.
+TEST(ThreadedRuntimeTest, LiveClusterWbcastChecksOut) {
+    harness::LiveClusterConfig cfg;
+    cfg.runtime = harness::RuntimeKind::threaded;
+    cfg.kind = harness::ProtocolKind::wbcast;
+    cfg.groups = 2;
+    cfg.group_size = 3;
+    cfg.clients = 1;
+    cfg.replica.heartbeat_interval = milliseconds(50);
+    cfg.replica.suspect_timeout = seconds(30);
+    cfg.replica.retry_interval = milliseconds(200);
+    harness::LiveCluster c(cfg);
+    constexpr int n = 10;
+    for (int i = 0; i < n; ++i) c.multicast(0, {0, 1});
+    ASSERT_TRUE(c.await_completion(seconds(30)));
+    c.shutdown();
+    const auto result = c.check();
+    EXPECT_TRUE(result.ok()) << result.summary();
+    EXPECT_EQ(c.log_snapshot().completed_count(), static_cast<std::size_t>(n));
 }
 
 }  // namespace
