@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
     bench::SweepSetup setup;
     setup.runtime = bench::runtime_from_args(argc, argv);
     setup.name = "Figure 7 (LAN, CloudLab-like)";
+    setup.json_tag = "fig7";
     // ~0.1 ms RTT: one-way 40-60 us.
     setup.make_delays = [] {
         return std::make_unique<sim::JitterDelay>(microseconds(40),

@@ -9,9 +9,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/fig_report.hpp"
 
 namespace wbam::bench {
 
@@ -35,6 +37,9 @@ inline harness::RuntimeKind runtime_from_args(int argc, char** argv) {
 
 struct SweepSetup {
     const char* name = "";
+    // "fig7" / "fig8": tags the emitted BENCH_<tag>.json (path override:
+    // the BENCH_FIG_JSON environment variable; empty tag = no JSON).
+    const char* json_tag = "";
     harness::RuntimeKind runtime = harness::RuntimeKind::sim;
     std::function<std::unique_ptr<sim::DelayModel>()> make_delays;
     sim::CpuModel cpu;
@@ -138,6 +143,34 @@ inline void run_sweep(const SweepSetup& setup) {
                 all[static_cast<int>(kind)][d].push_back(SweepPoint{clients, r});
             }
         }
+    }
+    // The merged BENCH_fig7/fig8 JSON (same schema as the distributed
+    // coordinator's — docs/BENCHMARKS.md).
+    if (setup.json_tag[0] != '\0') {
+        harness::FigReport report;
+        report.bench = setup.json_tag;
+        report.name = setup.name;
+        report.runtime = harness::to_string(setup.runtime);
+        report.groups = setup.groups;
+        report.group_size = setup.group_size;
+        for (const ProtocolKind kind : kinds) {
+            for (const int d : setup.dest_group_counts) {
+                harness::FigSeries series;
+                series.protocol = harness::to_string(kind);
+                series.dest_groups = d;
+                for (const SweepPoint& p : all[static_cast<int>(kind)][d])
+                    series.points.push_back(harness::FigPoint{
+                        p.clients, p.result.throughput_ops_s, p.result.mean_ms,
+                        p.result.p50_ms, p.result.p99_ms, p.result.ops});
+                report.series.push_back(std::move(series));
+            }
+        }
+        const char* path = std::getenv("BENCH_FIG_JSON");
+        const std::string out =
+            path != nullptr ? path
+                            : "BENCH_" + std::string(setup.json_tag) + ".json";
+        if (report.write(out))
+            std::printf("\n(wrote %s)\n", out.c_str());
     }
     // Headline comparison at 1000 clients (the point the paper marks).
     std::printf("\n-- comparison at 1000 clients (WbCast vs FastCast) --\n");

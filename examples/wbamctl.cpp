@@ -1,0 +1,377 @@
+// wbamctl — control CLI of the distributed benchmark plane.
+//
+//   wbamctl run --topology=FILE [--proto=wbcast] [--dest-groups=1]
+//               [--sessions=4] [--payload=20] [--warmup-ms=500]
+//               [--measure-ms=3000] [--sample-ms=250] [--seed=1]
+//               [--batching] [--epoch-ns=T] [--deadline-ms=120000]
+//               [--fig=7] [--out=BENCH_fig7.json] [-v]
+//
+//     Takes the coordinator seat (the LAST client pid of the topology
+//     file), distributes the experiment spec to every wbamd --bench
+//     process, opens the measurement window, merges the streamed latency
+//     samples, validates that every replica group agrees on its delivery
+//     sequence, and writes the merged BENCH_fig7/fig8-schema JSON.
+//     Exit 0 only on a validated run.
+//
+//   wbamctl sim --topology=FILE [same workload flags] [--clients=N]
+//               [--target-ops=2000] [--out=...]
+//
+//     Runs the SAME topology file through the deterministic simulator
+//     (sim::LinkMatrixDelay built from the file's owd matrix) and emits
+//     the same JSON schema — the simulated prediction of the deployed
+//     run. All client pids drive load (no coordinator seat in-process).
+//
+//   wbamctl topology [--groups=2] [--group-size=3] [--gen-clients=3]
+//                    [--regions=2] [--local=100us] [--cross=20ms]
+//                    [--base-port=7000] [--out=FILE]
+//   wbamctl topology --check=FILE
+//
+//     Generates a grouped topology file (replicas regioned by group,
+//     clients round-robin) or validates an existing one.
+//
+// Deployment modes and the file format: docs/DEPLOYMENT.md.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.hpp"
+#include "ctrl/bench_plane.hpp"
+#include "harness/experiment.hpp"
+#include "harness/topology_spec.hpp"
+#include "net/world.hpp"
+
+using namespace wbam;
+
+namespace {
+
+struct CtlOptions {
+    std::string topology_file;
+    std::string check_file;
+    std::string out;
+    harness::ProtocolKind proto = harness::ProtocolKind::wbcast;
+    int dest_groups = 1;
+    int sessions = 4;
+    int clients = 0;  // sim only; 0 = the topology file's client count
+    int payload = 20;
+    int warmup_ms = 500;
+    int measure_ms = 3000;
+    int sample_ms = 250;
+    int deadline_ms = 120'000;
+    std::uint64_t target_ops = 2000;  // sim only
+    std::uint64_t seed = 1;
+    bool batching = false;
+    std::int64_t epoch_ns = 0;
+    int fig = 7;
+    bool verbose = false;
+    // topology generation
+    int groups = 2;
+    int group_size = 3;
+    int gen_clients = 3;
+    int regions = 2;
+    Duration local = microseconds(100);
+    Duration cross = milliseconds(20);
+    int base_port = 7000;
+};
+
+const char* flag_value(const char* arg, const char* name) {
+    const std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') return arg + n + 1;
+    return nullptr;
+}
+
+bool parse_flags(int argc, char** argv, int first, CtlOptions& o) {
+    for (int i = first; i < argc; ++i) {
+        const char* v = nullptr;
+        auto int_flag = [&](const char* name, int* out, int min, int max) {
+            if ((v = flag_value(argv[i], name)) == nullptr) return false;
+            char* end = nullptr;
+            const long parsed = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || parsed < min || parsed > max) {
+                std::fprintf(stderr,
+                             "wbamctl: bad value in %s (range %d..%d)\n",
+                             argv[i], min, max);
+                std::exit(2);
+            }
+            *out = static_cast<int>(parsed);
+            return true;
+        };
+        auto dur_flag = [&](const char* name, Duration* out) {
+            if ((v = flag_value(argv[i], name)) == nullptr) return false;
+            const auto d = harness::parse_duration(v);
+            if (!d) {
+                std::fprintf(stderr, "wbamctl: bad duration in %s\n", argv[i]);
+                std::exit(2);
+            }
+            *out = *d;
+            return true;
+        };
+        if ((v = flag_value(argv[i], "--topology"))) {
+            o.topology_file = v;
+        } else if ((v = flag_value(argv[i], "--check"))) {
+            o.check_file = v;
+        } else if ((v = flag_value(argv[i], "--out"))) {
+            o.out = v;
+        } else if ((v = flag_value(argv[i], "--proto"))) {
+            const auto kind = harness::parse_protocol_kind(v);
+            if (!kind) {
+                std::fprintf(stderr, "wbamctl: unknown --proto=%s\n", v);
+                return false;
+            }
+            o.proto = *kind;
+        } else if ((v = flag_value(argv[i], "--seed"))) {
+            o.seed = std::strtoull(v, nullptr, 10);
+        } else if ((v = flag_value(argv[i], "--target-ops"))) {
+            o.target_ops = std::strtoull(v, nullptr, 10);
+        } else if ((v = flag_value(argv[i], "--epoch-ns"))) {
+            o.epoch_ns = static_cast<std::int64_t>(
+                std::strtoull(v, nullptr, 10));
+        } else if (int_flag("--dest-groups", &o.dest_groups, 1, 4096) ||
+                   int_flag("--sessions", &o.sessions, 1, 1 << 16) ||
+                   int_flag("--clients", &o.clients, 0, 1 << 20) ||
+                   int_flag("--payload", &o.payload, 0, 4 << 20) ||
+                   int_flag("--warmup-ms", &o.warmup_ms, 0, 3'600'000) ||
+                   int_flag("--measure-ms", &o.measure_ms, 1, 3'600'000) ||
+                   int_flag("--sample-ms", &o.sample_ms, 1, 60'000) ||
+                   int_flag("--deadline-ms", &o.deadline_ms, 1, 86'400'000) ||
+                   int_flag("--fig", &o.fig, 7, 8) ||
+                   int_flag("--groups", &o.groups, 1, 4096) ||
+                   int_flag("--group-size", &o.group_size, 1, 99) ||
+                   int_flag("--gen-clients", &o.gen_clients, 1, 1 << 20) ||
+                   int_flag("--regions", &o.regions, 1, 64) ||
+                   int_flag("--base-port", &o.base_port, 1, 65535) ||
+                   dur_flag("--local", &o.local) ||
+                   dur_flag("--cross", &o.cross)) {
+        } else if (std::strcmp(argv[i], "--batching") == 0) {
+            o.batching = true;
+        } else if (std::strcmp(argv[i], "-v") == 0) {
+            o.verbose = true;
+        } else {
+            std::fprintf(stderr, "wbamctl: unknown argument: %s\n", argv[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+ctrl::BenchSpec spec_from(const CtlOptions& o) {
+    ctrl::BenchSpec spec;
+    spec.proto = o.proto;
+    spec.dest_groups = static_cast<std::uint32_t>(o.dest_groups);
+    spec.payload = static_cast<std::uint32_t>(o.payload);
+    spec.sessions = static_cast<std::uint32_t>(o.sessions);
+    spec.warmup = milliseconds(o.warmup_ms);
+    spec.measure = milliseconds(o.measure_ms);
+    spec.sample_interval = milliseconds(o.sample_ms);
+    spec.seed = o.seed;
+    spec.batching_enabled = o.batching;
+    return spec;
+}
+
+harness::FigReport report_skeleton(const CtlOptions& o,
+                                   const harness::TopologySpec& spec,
+                                   const char* runtime) {
+    harness::FigReport report;
+    report.bench = o.fig == 8 ? "fig8" : "fig7";
+    report.runtime = runtime;
+    report.groups = spec.groups;
+    report.group_size = spec.group_size;
+    report.payload = static_cast<std::uint32_t>(o.payload);
+    report.name = std::string(harness::to_string(o.proto)) + ", " +
+                  std::to_string(spec.groups) + "x" +
+                  std::to_string(spec.group_size) + " replicas, " +
+                  std::to_string(spec.regions) + " regions";
+    return report;
+}
+
+std::string default_out(const CtlOptions& o) {
+    return o.out.empty()
+               ? (o.fig == 8 ? "BENCH_fig8.json" : "BENCH_fig7.json")
+               : o.out;
+}
+
+int cmd_run(const CtlOptions& o) {
+    if (o.topology_file.empty()) {
+        std::fprintf(stderr, "wbamctl run: --topology=FILE is required\n");
+        return 2;
+    }
+    std::string error;
+    const auto spec = harness::TopologySpec::load(o.topology_file, &error);
+    if (!spec) {
+        std::fprintf(stderr, "wbamctl: %s\n", error.c_str());
+        return 2;
+    }
+    const Topology topo = spec->topology();
+    if (topo.num_clients() < 2) {
+        std::fprintf(stderr,
+                     "wbamctl run: topology needs >= 2 client pids "
+                     "(drivers + the coordinator seat)\n");
+        return 2;
+    }
+    const ProcessId self = topo.client(topo.num_clients() - 1);
+
+    ctrl::CoordinatorConfig ccfg;
+    ccfg.spec = spec_from(o);
+    ccfg.shared_epoch = o.epoch_ns > 0;
+    ccfg.deadline = milliseconds(o.deadline_ms);
+
+    net::NetConfig ncfg;
+    if (spec->cluster_map().of(self).host != "127.0.0.1")
+        ncfg.bind_host = "0.0.0.0";
+    if (o.epoch_ns > 0)
+        ncfg.epoch = std::chrono::steady_clock::time_point(
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::nanoseconds(o.epoch_ns)));
+    net::NetWorld world(topo, static_cast<std::uint64_t>(self) + 1, ncfg);
+    auto coordinator = std::make_unique<ctrl::Coordinator>(topo, ccfg);
+    ctrl::Coordinator* coord = coordinator.get();
+    world.add_process(self, std::move(coordinator),
+                      spec->cluster_map().of(self).port);
+    world.set_cluster(spec->cluster_map());
+    world.start();
+
+    const int slices = o.deadline_ms / 10 + 100;
+    for (int s = 0; s < slices && !coord->finished(); ++s)
+        world.run_for(milliseconds(10));
+    world.shutdown();
+
+    if (!coord->finished() || !coord->succeeded()) {
+        std::fprintf(stderr, "wbamctl run: FAILED — %s\n",
+                     coord->finished() ? coord->error().c_str()
+                                       : "coordinator never finished");
+        return 1;
+    }
+
+    harness::FigReport report = report_skeleton(o, *spec, "net-distributed");
+    report.driver_processes = coord->drivers();
+    report.samples_streamed = coord->samples_streamed();
+    harness::FigSeries series;
+    series.protocol = harness::to_string(o.proto);
+    series.dest_groups = o.dest_groups;
+    series.points.push_back(coord->result_point());
+    report.series.push_back(std::move(series));
+
+    const std::string out = default_out(o);
+    if (!report.write(out)) return 1;
+    const harness::FigPoint& pt = report.series[0].points[0];
+    std::printf(
+        "wbamctl run: OK — %d sessions on %d drivers: %.0f ops/s, "
+        "mean %.2f ms, p50 %.2f ms, p99 %.2f ms (%llu ops, %llu samples; "
+        "delivery sequences validated on all %d replicas) -> %s\n",
+        pt.clients, coord->drivers(), pt.throughput_ops_s, pt.mean_ms,
+        pt.p50_ms, pt.p99_ms, static_cast<unsigned long long>(pt.ops),
+        static_cast<unsigned long long>(coord->samples_streamed()),
+        topo.num_replicas(), out.c_str());
+    return 0;
+}
+
+int cmd_sim(const CtlOptions& o) {
+    if (o.topology_file.empty()) {
+        std::fprintf(stderr, "wbamctl sim: --topology=FILE is required\n");
+        return 2;
+    }
+    std::string error;
+    const auto spec = harness::TopologySpec::load(o.topology_file, &error);
+    if (!spec) {
+        std::fprintf(stderr, "wbamctl: %s\n", error.c_str());
+        return 2;
+    }
+    harness::ExperimentConfig cfg;
+    cfg.runtime = harness::RuntimeKind::sim;
+    cfg.kind = o.proto;
+    cfg.groups = spec->groups;
+    cfg.group_size = spec->group_size;
+    // The sim has no coordinator seat: every client pid drives load. A
+    // --clients override would change the process count and invalidate
+    // the file's per-process region table, so it is rejected here.
+    if (o.clients != 0 && o.clients != spec->clients) {
+        std::fprintf(stderr,
+                     "wbamctl sim: --clients=%d conflicts with the topology "
+                     "file's %d client pids (regions are per-process)\n",
+                     o.clients, spec->clients);
+        return 2;
+    }
+    cfg.clients = spec->clients;
+    cfg.staggered_leaders = spec->staggered_leaders;
+    cfg.dest_groups = o.dest_groups;
+    cfg.payload = static_cast<std::uint32_t>(o.payload);
+    cfg.make_delays = [spec] { return spec->delay_model(); };
+    cfg.seed = o.seed;
+    cfg.warmup = milliseconds(o.warmup_ms);
+    cfg.target_ops = o.target_ops;
+    cfg.min_measure = milliseconds(o.measure_ms);
+    const auto r = harness::run_experiment(cfg);
+
+    harness::FigReport report = report_skeleton(o, *spec, "sim");
+    harness::FigSeries series;
+    series.protocol = harness::to_string(o.proto);
+    series.dest_groups = o.dest_groups;
+    series.points.push_back(harness::FigPoint{
+        spec->clients, r.throughput_ops_s, r.mean_ms, r.p50_ms, r.p99_ms,
+        r.ops});
+    report.series.push_back(std::move(series));
+    const std::string out = default_out(o);
+    if (!report.write(out)) return 1;
+    std::printf("wbamctl sim: %d clients: %.0f ops/s, mean %.2f ms, "
+                "p50 %.2f ms, p99 %.2f ms -> %s\n",
+                spec->clients, r.throughput_ops_s, r.mean_ms, r.p50_ms,
+                r.p99_ms, out.c_str());
+    return 0;
+}
+
+int cmd_topology(const CtlOptions& o) {
+    if (!o.check_file.empty()) {
+        std::string error;
+        const auto spec = harness::TopologySpec::load(o.check_file, &error);
+        if (!spec) {
+            std::fprintf(stderr, "wbamctl topology: INVALID — %s\n",
+                         error.c_str());
+            return 1;
+        }
+        std::printf("wbamctl topology: OK — %d groups x %d replicas + %d "
+                    "clients across %d regions (%d processes)\n",
+                    spec->groups, spec->group_size, spec->clients,
+                    spec->regions, spec->num_processes());
+        return 0;
+    }
+    if (o.group_size % 2 == 0) {
+        std::fprintf(stderr, "wbamctl topology: --group-size must be odd\n");
+        return 2;
+    }
+    const harness::TopologySpec spec = harness::TopologySpec::make_grouped(
+        o.groups, o.group_size, o.gen_clients, o.regions, o.local, o.cross,
+        static_cast<std::uint16_t>(o.base_port));
+    if (o.out.empty()) {
+        std::fputs(spec.format().c_str(), stdout);
+        return 0;
+    }
+    if (!spec.save(o.out)) {
+        std::fprintf(stderr, "wbamctl topology: cannot write %s\n",
+                     o.out.c_str());
+        return 1;
+    }
+    std::printf("wbamctl topology: wrote %s (%d processes, %d regions)\n",
+                o.out.c_str(), spec.num_processes(), spec.regions);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: wbamctl {run|sim|topology} [flags] "
+                     "(see header comment / docs/DEPLOYMENT.md)\n");
+        return 2;
+    }
+    CtlOptions o;
+    if (!parse_flags(argc, argv, 2, o)) return 2;
+    if (o.verbose) log::set_level(log::Level::info);
+    const std::string cmd = argv[1];
+    if (cmd == "run") return cmd_run(o);
+    if (cmd == "sim") return cmd_sim(o);
+    if (cmd == "topology") return cmd_topology(o);
+    std::fprintf(stderr, "wbamctl: unknown subcommand '%s'\n", cmd.c_str());
+    return 2;
+}

@@ -2,21 +2,31 @@
 // speaking the TCP runtime. A cluster is a set of wbamd processes sharing
 // one topology and address map; scripts/run_loopback_cluster.sh spins up
 // the paper's 2-group x 3-replica shape (plus one client) over loopback
-// and validates that every replica delivered the identical sequence.
+// and validates that every replica delivered the identical sequence, and
+// scripts/wbam_deploy.py launches whole emulated-WAN or multi-host
+// deployments (docs/DEPLOYMENT.md).
 //
 //   wbamd --pid=N [--proto=wbcast] [--groups=2] [--group-size=3]
-//         [--clients=1] --base-port=P [--peers=host:port,...]
+//         [--clients=1] (--base-port=P | --peers=host:port,... |
+//         --topology=FILE) [--bench] [--epoch-ns=T]
 //         [--run-ms=6000] [--msgs=25] [--payload=32] [--out=FILE] [-v]
 //
-// Replica pids run the selected protocol and, at exit, write their
-// delivery sequence (one message id per line) to --out. Client pids drive
-// a closed-ish workload addressed to every group, retrying unacked
-// messages, and exit 0 only when every multicast was acknowledged by all
-// destination groups.
+// Self-driving mode (default): replica pids run the selected protocol
+// and, at exit, write their delivery sequence (one message id per line)
+// to --out. Client pids drive a closed-ish workload addressed to every
+// group, retrying unacked messages, and exit 0 only when every multicast
+// was acknowledged by all destination groups.
+//
+// Bench mode (--bench): the process joins the distributed benchmark
+// plane (src/ctrl/) and takes its entire experiment configuration from
+// the coordinator's RUN_SPEC (--proto/--msgs are ignored): replica pids
+// start bare behind a ctrl::NodeShim, client pids become closed-loop
+// ctrl::BenchDriver load generators, and the LAST client pid is reserved
+// for the wbamctl coordinator. The process exits when the coordinator
+// orders SHUTDOWN (or at the --run-ms safety deadline, with exit 1).
 #include <atomic>
+#include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -24,83 +34,17 @@
 #include <vector>
 
 #include "common/log.hpp"
-#include "harness/cluster.hpp"
+#include "ctrl/bench_plane.hpp"
+#include "harness/bootstrap.hpp"
 #include "net/world.hpp"
 
 using namespace wbam;
 
 namespace {
 
-struct Options {
-    ProcessId pid = invalid_process;
-    harness::ProtocolKind proto = harness::ProtocolKind::wbcast;
-    int groups = 2;
-    int group_size = 3;
-    int clients = 1;
-    int base_port = 0;
-    std::string peers;
-    int run_ms = 6000;
-    int msgs = 25;
-    int payload = 32;
-    std::string out;
-    bool verbose = false;
-};
-
-const char* flag_value(const char* arg, const char* name) {
-    const std::size_t n = std::strlen(name);
-    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') return arg + n + 1;
-    return nullptr;
-}
-
-bool parse_args(int argc, char** argv, Options& o) {
-    for (int i = 1; i < argc; ++i) {
-        const char* v = nullptr;
-        if ((v = flag_value(argv[i], "--pid"))) {
-            o.pid = std::atoi(v);
-        } else if ((v = flag_value(argv[i], "--proto"))) {
-            const auto kind = harness::parse_protocol_kind(v);
-            if (!kind) {
-                std::fprintf(stderr, "unknown --proto=%s\n", v);
-                return false;
-            }
-            o.proto = *kind;
-        } else if ((v = flag_value(argv[i], "--groups"))) {
-            o.groups = std::atoi(v);
-        } else if ((v = flag_value(argv[i], "--group-size"))) {
-            o.group_size = std::atoi(v);
-        } else if ((v = flag_value(argv[i], "--clients"))) {
-            o.clients = std::atoi(v);
-        } else if ((v = flag_value(argv[i], "--base-port"))) {
-            o.base_port = std::atoi(v);
-        } else if ((v = flag_value(argv[i], "--peers"))) {
-            o.peers = v;
-        } else if ((v = flag_value(argv[i], "--run-ms"))) {
-            o.run_ms = std::atoi(v);
-        } else if ((v = flag_value(argv[i], "--msgs"))) {
-            o.msgs = std::atoi(v);
-        } else if ((v = flag_value(argv[i], "--payload"))) {
-            o.payload = std::atoi(v);
-        } else if ((v = flag_value(argv[i], "--out"))) {
-            o.out = v;
-        } else if (std::strcmp(argv[i], "-v") == 0) {
-            o.verbose = true;
-        } else {
-            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
-            return false;
-        }
-    }
-    if (o.pid == invalid_process || (o.base_port == 0 && o.peers.empty())) {
-        std::fprintf(stderr,
-                     "usage: wbamd --pid=N --base-port=P [--proto=...] "
-                     "(see header comment)\n");
-        return false;
-    }
-    return true;
-}
-
-// Client process: multicasts `msgs` messages to every group (paced by a
-// short timer), retries unacked ones, and flips `done` when everything
-// was acknowledged by all destination groups.
+// Client process of the self-driving mode: multicasts `msgs` messages to
+// every group (paced by a short timer), retries unacked ones, and flips
+// `done` when everything was acknowledged by all destination groups.
 class WorkloadClient final : public Process {
 public:
     WorkloadClient(Topology topo, int msgs, int payload,
@@ -176,43 +120,93 @@ private:
     std::unordered_map<MsgId, PendingOp> pending_;
 };
 
+int write_sequence(const std::string& path, const std::vector<MsgId>& ids) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "wbamd: cannot write %s\n", path.c_str());
+        return 1;
+    }
+    for (const MsgId id : ids)
+        std::fprintf(f, "%016llx\n", static_cast<unsigned long long>(id));
+    std::fclose(f);
+    return 0;
+}
+
+net::NetConfig net_config_for(const harness::NodeOptions& o,
+                              const net::Endpoint& self) {
+    net::NetConfig cfg;
+    // Loopback deployments keep the 127.0.0.1 default; anything else
+    // (netns mesh addresses, real NICs, hostnames) binds the wildcard so
+    // the listener is reachable on whatever address peers dial.
+    if (self.host != "127.0.0.1") cfg.bind_host = "0.0.0.0";
+    if (o.epoch_ns > 0)
+        cfg.epoch = std::chrono::steady_clock::time_point(
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::nanoseconds(o.epoch_ns)));
+    return cfg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-    Options o;
-    if (!parse_args(argc, argv, o)) return 2;
-    if (o.verbose) log::set_level(log::Level::info);
-
-    const Topology topo(o.groups, o.group_size, o.clients);
-    if (o.pid < 0 || o.pid >= topo.num_processes()) {
-        std::fprintf(stderr, "wbamd: --pid=%d outside the %d-process topology\n",
-                     o.pid, topo.num_processes());
+    std::string error;
+    const auto options = harness::parse_node_args(argc, argv, &error);
+    if (!options) {
+        std::fprintf(stderr,
+                     "wbamd: %s\nusage: wbamd --pid=N (--base-port=P | "
+                     "--peers=... | --topology=FILE) [--bench] (see header "
+                     "comment)\n",
+                     error.c_str());
         return 2;
     }
+    const harness::NodeOptions& o = *options;
+    if (o.verbose) log::set_level(log::Level::info);
 
-    net::ClusterMap map;
-    if (!o.peers.empty()) {
-        const auto parsed = net::parse_cluster(o.peers);
-        if (!parsed ||
-            parsed->endpoints.size() !=
-                static_cast<std::size_t>(topo.num_processes())) {
-            std::fprintf(stderr, "wbamd: malformed --peers list\n");
-            return 2;
-        }
-        map = *parsed;
-    } else {
-        map = net::loopback_cluster(topo,
-                                    static_cast<std::uint16_t>(o.base_port));
+    const auto boot = harness::resolve_bootstrap(o, &error);
+    if (!boot) {
+        std::fprintf(stderr, "wbamd: %s\n", error.c_str());
+        return 2;
     }
+    const Topology& topo = boot->topo;
 
-    net::NetWorld world(topo, static_cast<std::uint64_t>(o.pid) + 1);
+    net::NetWorld world(topo, static_cast<std::uint64_t>(o.pid) + 1,
+                        net_config_for(o, boot->map.of(o.pid)));
 
-    // Replica-side delivery record (the sink runs on the loop thread).
+    // Self-driving replica state (the sink runs on the loop thread).
     std::mutex deliveries_mutex;
     std::vector<MsgId> deliveries;
-    std::atomic<bool> client_done{false};
+    std::atomic<bool> done{false};
+    ctrl::NodeShim* shim = nullptr;
 
-    if (topo.is_replica(o.pid)) {
+    const ProcessId coordinator_pid =
+        topo.num_clients() > 0 ? topo.client(topo.num_clients() - 1)
+                               : invalid_process;
+    if (o.bench) {
+        if (topo.num_clients() < 2) {
+            std::fprintf(stderr,
+                         "wbamd: --bench needs >= 2 client pids (drivers + "
+                         "the wbamctl coordinator)\n");
+            return 2;
+        }
+        if (o.pid == coordinator_pid) {
+            std::fprintf(stderr,
+                         "wbamd: pid %d is the coordinator seat — run "
+                         "'wbamctl run' there instead\n",
+                         o.pid);
+            return 2;
+        }
+        if (topo.is_replica(o.pid)) {
+            auto proc = std::make_unique<ctrl::NodeShim>(
+                topo, o.pid, coordinator_pid, &done);
+            shim = proc.get();
+            world.add_process(o.pid, std::move(proc), boot->map.of(o.pid).port);
+        } else {
+            world.add_process(o.pid,
+                              std::make_unique<ctrl::BenchDriver>(
+                                  topo, coordinator_pid, &done),
+                              boot->map.of(o.pid).port);
+        }
+    } else if (topo.is_replica(o.pid)) {
         DeliverySink sink = [&](Context& ctx, GroupId group,
                                 const AppMessage& m) {
             {
@@ -230,31 +224,47 @@ int main(int argc, char** argv) {
         world.add_process(o.pid,
                           harness::make_replica(o.proto, topo, o.pid, sink,
                                                 replica),
-                          map.of(o.pid).port);
+                          boot->map.of(o.pid).port);
     } else {
         world.add_process(o.pid,
                           std::make_unique<WorkloadClient>(topo, o.msgs,
-                                                           o.payload,
-                                                           &client_done),
-                          map.of(o.pid).port);
+                                                           o.payload, &done),
+                          boot->map.of(o.pid).port);
     }
-    world.set_cluster(map);
+    world.set_cluster(boot->map);
     world.start();
 
-    // Replicas serve for the full --run-ms; the client exits as soon as
-    // its workload completed (or gives up at the deadline).
-    const bool is_client = topo.is_client(o.pid);
+    // Replicas serve for the full --run-ms; clients (and every bench-mode
+    // process) exit as soon as their done flag flips.
+    const bool exits_on_done = o.bench || topo.is_client(o.pid);
     const int slices = o.run_ms / 10;
     for (int s = 0; s < slices; ++s) {
         world.run_for(milliseconds(10));
-        if (is_client && client_done.load()) break;
+        if (exits_on_done && done.load()) break;
     }
     world.shutdown();
 
-    if (is_client) {
-        const bool ok = client_done.load();
+    if (o.bench) {
+        const bool ok = done.load();
+        if (shim != nullptr) {
+            const std::vector<MsgId> seq = shim->deliveries();
+            std::printf("wbamd bench replica p%d (group %d): delivered %zu "
+                        "(%s)\n",
+                        o.pid, topo.group_of(o.pid), seq.size(),
+                        ok ? "clean shutdown" : "DEADLINE");
+            if (!o.out.empty() && write_sequence(o.out, seq) != 0) return 1;
+        } else {
+            std::printf("wbamd bench driver p%d: %s\n", o.pid,
+                        ok ? "clean shutdown" : "DEADLINE");
+        }
+        return ok ? 0 : 1;
+    }
+
+    if (topo.is_client(o.pid)) {
+        const bool ok = done.load();
         std::printf("wbamd client p%d: %s (%d multicasts to %d groups)\n",
-                    o.pid, ok ? "completed" : "INCOMPLETE", o.msgs, o.groups);
+                    o.pid, ok ? "completed" : "INCOMPLETE", o.msgs,
+                    topo.num_groups());
         return ok ? 0 : 1;
     }
 
@@ -262,15 +272,6 @@ int main(int argc, char** argv) {
     std::printf("wbamd replica p%d (%s, group %d): delivered %zu\n", o.pid,
                 harness::to_string(o.proto), topo.group_of(o.pid),
                 deliveries.size());
-    if (!o.out.empty()) {
-        std::FILE* f = std::fopen(o.out.c_str(), "w");
-        if (f == nullptr) {
-            std::fprintf(stderr, "wbamd: cannot write %s\n", o.out.c_str());
-            return 1;
-        }
-        for (const MsgId id : deliveries)
-            std::fprintf(f, "%016llx\n", static_cast<unsigned long long>(id));
-        std::fclose(f);
-    }
+    if (!o.out.empty()) return write_sequence(o.out, deliveries);
     return 0;
 }

@@ -4,44 +4,17 @@ namespace wbam::client {
 
 DeliverySink BenchCoordinator::make_sink() {
     return [this](Context& ctx, GroupId group, const AppMessage& m) {
-        bool ack = false;
-        {
-            const std::lock_guard<std::mutex> guard(mutex_);
-            const auto it = pending_.find(m.id);
-            if (it == pending_.end()) return;  // duplicate after completion
-            Pending& p = it->second;
-            if (!p.seen.insert(group).second)
-                return;  // not first in this group
-            ack = true;
-            if (--p.remaining == 0) {
-                // Partially delivered: record the paper's latency metric.
-                const TimePoint now = ctx.now();
-                ++completed_total_;
-                if (now >= window_start_ && now < window_end_) {
-                    ++completed_in_window_;
-                    latency_.record(now - p.issued);
-                }
-                pending_.erase(it);
-            }
-        }
+        const LatencySampler::Delivery d =
+            sampler_.note_group_delivery(m.id, group, ctx.now());
         // First delivery in this group: acknowledge to the client so its
-        // closed loop can advance (outside the lock: ctx.send may block on
-        // runtime internals).
-        if (ack) {
+        // closed loop can advance (outside the sampler's lock: ctx.send
+        // may block on runtime internals).
+        if (d.first_in_group) {
             const ProcessId origin = msg_id_client(m.id);
             if (topo_.is_client(origin))
                 ctx.send(origin, encode_deliver_ack(group, m.id));
         }
     };
-}
-
-void BenchCoordinator::note_multicast(MsgId id, TimePoint at,
-                                      std::size_t ngroups) {
-    Pending p;
-    p.issued = at;
-    p.remaining = static_cast<std::uint32_t>(ngroups);
-    const std::lock_guard<std::mutex> guard(mutex_);
-    pending_.emplace(id, std::move(p));
 }
 
 }  // namespace wbam::client

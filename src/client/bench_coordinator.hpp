@@ -1,25 +1,18 @@
-// Measurement plumbing for the figure benchmarks: tracks every multicast
-// from issue to partial delivery (first delivery in every destination
-// group — the paper's client-perceived latency metric, §II), accumulates a
-// latency histogram over a measurement window, and acknowledges completion
-// per group to the originating closed-loop client.
+// In-process measurement glue for the figure benchmarks: a LatencySampler
+// (the node-side measurement core, shared with the distributed control
+// plane) plus the delivery sink and per-group acknowledgement logic that
+// close the loop back to the originating client. The distributed
+// counterpart splits the same roles across processes: ctrl::BenchDriver
+// hosts the sampler next to the clients and ctrl::Coordinator aggregates
+// the streamed samples (src/ctrl/bench_plane.hpp).
 #ifndef WBAM_CLIENT_BENCH_COORDINATOR_HPP
 #define WBAM_CLIENT_BENCH_COORDINATOR_HPP
 
-#include <mutex>
-#include <unordered_map>
-#include <unordered_set>
-
+#include "client/latency_sampler.hpp"
 #include "multicast/api.hpp"
-#include "stats/histogram.hpp"
 
 namespace wbam::client {
 
-// Thread-safe: the sink runs on replica threads and note_multicast on
-// client threads when the experiment drives a wall-clock runtime
-// (threaded/net); under the simulator the uncontended lock is noise.
-// latency()/completed_total() are snapshots for a quiesced run — read
-// them after the world has shut down.
 class BenchCoordinator {
 public:
     explicit BenchCoordinator(Topology topo) : topo_(std::move(topo)) {}
@@ -30,51 +23,31 @@ public:
     DeliverySink make_sink();
 
     // Called by clients when they issue a multicast.
-    void note_multicast(MsgId id, TimePoint at, std::size_t ngroups);
+    void note_multicast(MsgId id, TimePoint at, std::size_t ngroups) {
+        sampler_.note_multicast(id, at, ngroups);
+    }
 
-    // Latency samples are recorded for operations that COMPLETE within
-    // [start, end).
     void set_window(TimePoint start, TimePoint end) {
-        const std::lock_guard<std::mutex> guard(mutex_);
-        window_start_ = start;
-        window_end_ = end;
-        completed_in_window_ = 0;
-        latency_.clear();
+        sampler_.set_window(start, end);
     }
+    // Closes an open-ended window at `end` (the wall-clock experiment
+    // runner calls it at measure_end so the shutdown drain cannot inflate
+    // a window whose duration is already fixed).
+    void close_window(TimePoint end) { sampler_.close_window(end); }
 
-    // Closes an open-ended window at `end`, preserving what it counted.
-    // Completions after this point no longer count or record samples —
-    // the wall-clock experiment runner calls it at measure_end so the
-    // shutdown drain cannot inflate a window whose duration is already
-    // fixed.
-    void close_window(TimePoint end) {
-        const std::lock_guard<std::mutex> guard(mutex_);
-        window_end_ = end;
-    }
-
-    const stats::Histogram& latency() const { return latency_; }
+    LatencySampler& sampler() { return sampler_; }
+    const stats::Histogram& latency() const { return sampler_.latency(); }
     std::uint64_t completed_in_window() const {
-        const std::lock_guard<std::mutex> guard(mutex_);
-        return completed_in_window_;
+        return sampler_.completed_in_window();
     }
-    std::uint64_t completed_total() const { return completed_total_; }
-    std::size_t outstanding() const { return pending_.size(); }
+    std::uint64_t completed_total() const {
+        return sampler_.completed_total();
+    }
+    std::size_t outstanding() const { return sampler_.outstanding(); }
 
 private:
-    struct Pending {
-        TimePoint issued = 0;
-        std::uint32_t remaining = 0;
-        std::unordered_set<GroupId> seen;
-    };
-
     Topology topo_;
-    mutable std::mutex mutex_;
-    std::unordered_map<MsgId, Pending> pending_;
-    stats::Histogram latency_;
-    TimePoint window_start_ = 0;
-    TimePoint window_end_ = time_never;
-    std::uint64_t completed_in_window_ = 0;
-    std::uint64_t completed_total_ = 0;
+    LatencySampler sampler_;
 };
 
 }  // namespace wbam::client

@@ -37,6 +37,7 @@ enum class Module : std::uint8_t {
     client = 3,  // client requests and delivery acknowledgements
     app = 4,     // application payloads layered over multicast (kv store)
     batch = 5,   // runtime-level frame of coalesced envelopes (see above)
+    ctrl = 6,    // distributed-benchmark control plane (src/ctrl/)
 };
 
 template <WireMessage T>
@@ -72,7 +73,7 @@ struct EnvelopeView {
 private:
     void parse() {
         const std::uint8_t m = body.u8();
-        if (m > static_cast<std::uint8_t>(Module::batch))
+        if (m > static_cast<std::uint8_t>(Module::ctrl))
             throw DecodeError("unknown module");
         module = static_cast<Module>(m);
         type = body.u8();

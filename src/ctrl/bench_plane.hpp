@@ -1,0 +1,223 @@
+// The distributed benchmark plane: the processes that turn a deployed
+// wbamd cluster (real OS processes over TCP — loopback, netns-emulated
+// WAN, or real hosts) into a measurement instrument producing the same
+// BENCH_fig7/fig8 JSON as the simulated sweeps.
+//
+// Three roles, all ordinary Process implementations on the net runtime
+// (so the control plane inherits the transport's reliable-FIFO channels
+// and reconnect behaviour for free):
+//
+//   * NodeShim    — wraps a replica. Starts bare; instantiates the actual
+//                   protocol stack only when the coordinator's RUN_SPEC
+//                   arrives (the deployment driver never bakes protocol
+//                   knobs into argv). Records its delivery sequence as an
+//                   order-sensitive digest for the coordinator's
+//                   per-group agreement check, and acks deliveries to the
+//                   originating driver.
+//   * BenchDriver — hosts `sessions` closed-loop client sessions and the
+//                   node-side LatencySampler; streams drained raw samples
+//                   to the coordinator (SAMPLE) during the measurement
+//                   window and reports final counters (DRIVER_DONE).
+//                   Keeps applying load after its window closes so other
+//                   drivers measure under full contention; stops at
+//                   SHUTDOWN.
+//   * Coordinator — distributes the BenchSpec, opens the measurement
+//                   window (absolute timepoints when the deployment
+//                   shares a clock epoch), merges streamed samples into
+//                   one histogram (exact merged percentiles), validates
+//                   that every replica group agrees on its delivery
+//                   sequence, and exposes the merged FigReport point.
+//
+// The message exchange is documented in ctrl/messages.hpp; the file
+// format and deployment modes in docs/DEPLOYMENT.md.
+#ifndef WBAM_CTRL_BENCH_PLANE_HPP
+#define WBAM_CTRL_BENCH_PLANE_HPP
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "client/latency_sampler.hpp"
+#include "ctrl/messages.hpp"
+#include "harness/fig_report.hpp"
+
+namespace wbam::ctrl {
+
+// --- replica side ------------------------------------------------------------
+
+class NodeShim final : public Process {
+public:
+    // `shutdown_flag` is set (from the loop thread) when the coordinator
+    // orders SHUTDOWN; the hosting main loop polls it to exit.
+    NodeShim(Topology topo, ProcessId self, ProcessId coordinator,
+             std::atomic<bool>* shutdown_flag);
+
+    void on_start(Context& ctx) override;
+    void on_message(Context& ctx, ProcessId from,
+                    const BufferSlice& bytes) override;
+    void on_timer(Context& ctx, TimerId id) override;
+
+    // Snapshot of the recorded delivery sequence (read after shutdown for
+    // --out files; thread-safe).
+    std::vector<MsgId> deliveries() const;
+
+private:
+    void handle_ctrl(Context& ctx, const codec::EnvelopeView& env);
+
+    Topology topo_;
+    ProcessId self_;
+    ProcessId coordinator_;
+    std::atomic<bool>* shutdown_flag_;
+
+    std::unique_ptr<Process> inner_;
+    // Protocol traffic that raced ahead of our RUN_SPEC (a peer that
+    // received its spec first may already be heartbeating): replayed into
+    // the inner process the moment it exists.
+    std::vector<std::pair<ProcessId, BufferSlice>> early_mail_;
+
+    mutable std::mutex deliveries_mutex_;
+    std::vector<MsgId> deliveries_;
+    std::uint64_t digest_ = 0;
+};
+
+// --- driver side -------------------------------------------------------------
+
+class BenchDriver final : public Process {
+public:
+    BenchDriver(Topology topo, ProcessId coordinator,
+                std::atomic<bool>* shutdown_flag);
+
+    void on_start(Context& ctx) override;
+    void on_message(Context& ctx, ProcessId from,
+                    const BufferSlice& bytes) override;
+    void on_timer(Context& ctx, TimerId id) override;
+
+    const client::LatencySampler& sampler() const { return sampler_; }
+
+private:
+    struct PendingOp {
+        AppMessage msg;
+        std::unordered_set<GroupId> acked;
+        TimePoint last_send = 0;
+    };
+
+    void handle_ctrl(Context& ctx, const codec::EnvelopeView& env);
+    void begin(Context& ctx, const StartMsg& start);
+    void issue(Context& ctx);
+    void flush_samples(Context& ctx);
+
+    Topology topo_;
+    ProcessId coordinator_;
+    std::atomic<bool>* shutdown_flag_;
+
+    BenchSpec spec_;
+    bool have_spec_ = false;
+    bool started_ = false;
+    bool stopped_ = false;
+    bool done_sent_ = false;
+    TimePoint window_open_ = 0;
+    TimePoint window_close_ = 0;
+
+    client::LatencySampler sampler_;
+    // Destination choice is drawn from the spec's seed (not the world
+    // RNG), so wbamctl --seed reproduces the same workload shape across
+    // runs and deployments.
+    Rng workload_rng_{1};
+    std::uint32_t seq_ = 0;
+    std::unordered_map<MsgId, PendingOp> pending_;
+    TimerId sample_timer_ = invalid_timer;
+    TimerId retry_timer_ = invalid_timer;
+};
+
+// --- coordinator side --------------------------------------------------------
+
+struct CoordinatorConfig {
+    BenchSpec spec;
+    // Deployment shares one clock epoch (NetConfig::epoch / --epoch-ns):
+    // START carries absolute window timepoints, so every driver measures
+    // the SAME wall-clock window.
+    bool shared_epoch = false;
+    // Settle time between the last DRIVER_DONE and the first REPORT (lets
+    // in-flight deliveries land so replica digests converge).
+    Duration quiesce = milliseconds(750);
+    // Replica digest collection: groups still converging are re-polled.
+    Duration report_retry = milliseconds(400);
+    int report_attempts = 25;
+    // Overall run deadline, measured from on_start.
+    Duration deadline = seconds(180);
+};
+
+class Coordinator final : public Process {
+public:
+    Coordinator(Topology topo, CoordinatorConfig cfg);
+
+    void on_start(Context& ctx) override;
+    void on_message(Context& ctx, ProcessId from,
+                    const BufferSlice& bytes) override;
+    void on_timer(Context& ctx, TimerId id) override;
+
+    // Cross-thread progress flag for the hosting main loop.
+    bool finished() const { return finished_.load(); }
+
+    // The accessors below are valid only after the world has shut down
+    // (the loop thread is joined; no concurrent mutation remains).
+    bool succeeded() const { return ok_; }
+    const std::string& error() const { return error_; }
+    harness::FigPoint result_point() const;
+    const stats::Histogram& merged_latency() const { return merged_; }
+    std::uint64_t samples_streamed() const { return samples_streamed_; }
+    int drivers() const { return drivers_; }
+
+private:
+    enum class Phase {
+        wait_ready,
+        wait_spec_ok,
+        measuring,
+        quiescing,
+        reporting,
+        done,
+    };
+
+    void broadcast(Context& ctx, const Buffer& wire);
+    void handle_ctrl(Context& ctx, ProcessId from, const BufferSlice& bytes);
+    void send_report(Context& ctx);
+    void finish(Context& ctx);
+    void fail(Context& ctx, const std::string& why);
+    bool validate_groups(std::string* why) const;
+
+    Topology topo_;
+    CoordinatorConfig cfg_;
+    ProcessId self_ = invalid_process;
+    int participants_ = 0;
+    int drivers_ = 0;
+
+    Phase phase_ = Phase::wait_ready;
+    std::set<ProcessId> ready_;
+    std::set<ProcessId> spec_ok_;
+    std::map<ProcessId, DriverDoneMsg> driver_done_;
+    std::map<ProcessId, ReplicaDoneMsg> replica_done_;
+    int report_attempts_made_ = 0;
+    TimePoint started_at_ = 0;
+    TimePoint window_open_ = 0;
+    TimePoint window_close_ = 0;
+    TimePoint quiesce_until_ = 0;
+    TimePoint next_report_at_ = 0;
+    TimerId tick_timer_ = invalid_timer;
+
+    stats::Histogram merged_;
+    std::uint64_t samples_streamed_ = 0;
+
+    std::atomic<bool> finished_{false};
+    bool ok_ = false;
+    std::string error_;
+};
+
+}  // namespace wbam::ctrl
+
+#endif  // WBAM_CTRL_BENCH_PLANE_HPP

@@ -1,0 +1,240 @@
+// Wire messages of the distributed-benchmark control plane
+// (codec::Module::ctrl), spoken over the same net::NetWorld frame layer
+// (and reliable-FIFO Context::send contract) as the protocols themselves.
+// One coordinator process — by convention the LAST client pid of the
+// topology — drives every other process through this exchange:
+//
+//   node -> coord    READY        on_start: "I exist and can be dialled"
+//   coord -> node    RUN_SPEC     the serialized experiment configuration
+//   node -> coord    SPEC_OK      spec installed (replicas instantiate
+//                                 their protocol stack at this point)
+//   coord -> node    START        opens the measurement window (absolute
+//                                 timepoints when the deployment shares a
+//                                 clock epoch — see NetConfig::epoch —
+//                                 else each driver opens it on receipt)
+//   driver -> coord  SAMPLE       streamed batches of raw latency samples
+//   driver -> coord  DRIVER_DONE  local window closed + final counters
+//   coord -> replica REPORT       request the delivery-sequence digest
+//   replica -> coord REPLICA_DONE delivered count + order digest (the
+//                                 coordinator's per-group agreement check)
+//   coord -> node    SHUTDOWN     drain and exit
+//
+// All bodies use the shared codec (varints, zigzag), so malformed control
+// traffic is rejected by the same DecodeError path as protocol traffic.
+#ifndef WBAM_CTRL_MESSAGES_HPP
+#define WBAM_CTRL_MESSAGES_HPP
+
+#include "codec/wire.hpp"
+#include "harness/cluster.hpp"
+
+namespace wbam::ctrl {
+
+enum class CtrlMsgType : std::uint8_t {
+    ready = 0,
+    run_spec = 1,
+    spec_ok = 2,
+    start = 3,
+    sample = 4,
+    driver_done = 5,
+    report = 6,
+    replica_done = 7,
+    shutdown = 8,
+};
+
+// The distributable subset of harness::ExperimentConfig: everything a
+// node needs to build its replica stack or drive its share of the load.
+struct BenchSpec {
+    harness::ProtocolKind proto = harness::ProtocolKind::wbcast;
+    std::uint32_t dest_groups = 1;
+    std::uint32_t payload = 20;        // bytes per multicast
+    std::uint32_t sessions = 1;        // closed-loop sessions per driver
+    Duration warmup = milliseconds(500);
+    Duration measure = seconds(3);     // fixed-length measurement window
+    Duration sample_interval = milliseconds(250);
+    Duration client_retry = milliseconds(500);
+    std::uint64_t seed = 1;
+    // Replica knobs worth distributing (the rest keep their defaults).
+    Duration heartbeat_interval = milliseconds(50);
+    Duration suspect_timeout = seconds(30);
+    Duration retry_interval = milliseconds(200);
+    bool batching_enabled = false;
+
+    ReplicaConfig replica_config() const {
+        ReplicaConfig cfg;
+        cfg.heartbeat_interval = heartbeat_interval;
+        cfg.suspect_timeout = suspect_timeout;
+        cfg.retry_interval = retry_interval;
+        cfg.batching_enabled = batching_enabled;
+        return cfg;
+    }
+
+    void encode(codec::Writer& w) const {
+        w.u8(static_cast<std::uint8_t>(proto));
+        w.varint(dest_groups);
+        w.varint(payload);
+        w.varint(sessions);
+        w.zigzag(warmup);
+        w.zigzag(measure);
+        w.zigzag(sample_interval);
+        w.zigzag(client_retry);
+        w.varint(seed);
+        w.zigzag(heartbeat_interval);
+        w.zigzag(suspect_timeout);
+        w.zigzag(retry_interval);
+        w.boolean(batching_enabled);
+    }
+    static BenchSpec decode(codec::Reader& r) {
+        BenchSpec s;
+        const std::uint8_t proto = r.u8();
+        if (proto > static_cast<std::uint8_t>(harness::ProtocolKind::wbcast))
+            throw codec::DecodeError("unknown protocol kind");
+        s.proto = static_cast<harness::ProtocolKind>(proto);
+        codec::read_field(r, s.dest_groups);
+        codec::read_field(r, s.payload);
+        codec::read_field(r, s.sessions);
+        s.warmup = r.zigzag();
+        s.measure = r.zigzag();
+        s.sample_interval = r.zigzag();
+        s.client_retry = r.zigzag();
+        s.seed = r.varint();
+        s.heartbeat_interval = r.zigzag();
+        s.suspect_timeout = r.zigzag();
+        s.retry_interval = r.zigzag();
+        s.batching_enabled = r.boolean();
+        if (s.dest_groups == 0 || s.sessions == 0 || s.measure <= 0 ||
+            s.sample_interval <= 0)
+            throw codec::DecodeError("degenerate bench spec");
+        return s;
+    }
+};
+
+enum class NodeRole : std::uint8_t { replica = 0, driver = 1 };
+
+struct ReadyMsg {
+    NodeRole role = NodeRole::replica;
+
+    void encode(codec::Writer& w) const {
+        w.u8(static_cast<std::uint8_t>(role));
+    }
+    static ReadyMsg decode(codec::Reader& r) {
+        ReadyMsg m;
+        const std::uint8_t role = r.u8();
+        if (role > static_cast<std::uint8_t>(NodeRole::driver))
+            throw codec::DecodeError("unknown node role");
+        m.role = static_cast<NodeRole>(role);
+        return m;
+    }
+};
+
+// START: the measurement window. Absolute timepoints on the shared clock
+// epoch when window_open > 0 (single-machine deployments: the netns mode
+// passes one --epoch-ns to every process, so steady_clock readings agree
+// across processes); both zero means "relative": each driver opens its
+// window warmup after receipt and closes it measure later.
+struct StartMsg {
+    TimePoint window_open = 0;
+    TimePoint window_close = 0;
+
+    void encode(codec::Writer& w) const {
+        w.zigzag(window_open);
+        w.zigzag(window_close);
+    }
+    static StartMsg decode(codec::Reader& r) {
+        StartMsg m;
+        m.window_open = r.zigzag();
+        m.window_close = r.zigzag();
+        if (m.window_close < m.window_open)
+            throw codec::DecodeError("window closes before it opens");
+        return m;
+    }
+};
+
+// SAMPLE: a drained batch of raw completion-latency samples plus the
+// driver's running in-window counter (the coordinator's progress signal).
+struct SampleMsg {
+    std::uint64_t completed_in_window = 0;
+    std::vector<Duration> latencies_ns;
+
+    void encode(codec::Writer& w) const {
+        w.varint(completed_in_window);
+        w.varint(latencies_ns.size());
+        for (const Duration d : latencies_ns)
+            w.varint(static_cast<std::uint64_t>(d < 0 ? 0 : d));
+    }
+    static SampleMsg decode(codec::Reader& r) {
+        SampleMsg m;
+        m.completed_in_window = r.varint();
+        const std::uint64_t n = r.varint();
+        if (n > r.remaining())  // >= 1 byte per varint sample
+            throw codec::DecodeError("sample count exceeds body");
+        m.latencies_ns.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i)
+            m.latencies_ns.push_back(static_cast<Duration>(r.varint()));
+        return m;
+    }
+};
+
+struct DriverDoneMsg {
+    std::uint64_t completed_in_window = 0;
+    std::uint64_t issued = 0;
+    Duration window_ns = 0;
+
+    void encode(codec::Writer& w) const {
+        w.varint(completed_in_window);
+        w.varint(issued);
+        w.zigzag(window_ns);
+    }
+    static DriverDoneMsg decode(codec::Reader& r) {
+        DriverDoneMsg m;
+        m.completed_in_window = r.varint();
+        m.issued = r.varint();
+        m.window_ns = r.zigzag();
+        return m;
+    }
+};
+
+// REPLICA_DONE: the replica's delivery record in digest form. Replicas of
+// one group must agree on the exact delivery sequence, so (count, digest)
+// equality across a group is the distributed run's ordering check.
+struct ReplicaDoneMsg {
+    std::uint64_t delivered = 0;
+    std::uint64_t digest = 0;  // order-sensitive FNV-1a over the sequence
+
+    void encode(codec::Writer& w) const {
+        w.varint(delivered);
+        w.u64(digest);
+    }
+    static ReplicaDoneMsg decode(codec::Reader& r) {
+        ReplicaDoneMsg m;
+        m.delivered = r.varint();
+        m.digest = r.u64();
+        return m;
+    }
+};
+
+// Order-sensitive digest of a delivery sequence (FNV-1a over msg ids).
+inline std::uint64_t fold_delivery_digest(std::uint64_t digest, MsgId id) {
+    if (digest == 0) digest = 1469598103934665603ULL;  // FNV offset basis
+    for (int shift = 0; shift < 64; shift += 8) {
+        digest ^= (id >> shift) & 0xff;
+        digest *= 1099511628211ULL;  // FNV prime
+    }
+    return digest;
+}
+
+template <codec::WireMessage T>
+Buffer encode_ctrl(CtrlMsgType type, const T& body) {
+    return codec::encode_envelope(codec::Module::ctrl,
+                                  static_cast<std::uint8_t>(type),
+                                  invalid_msg, body);
+}
+
+inline Buffer encode_ctrl(CtrlMsgType type) {
+    return codec::encode_envelope(codec::Module::ctrl,
+                                  static_cast<std::uint8_t>(type),
+                                  invalid_msg);
+}
+
+}  // namespace wbam::ctrl
+
+#endif  // WBAM_CTRL_MESSAGES_HPP

@@ -1,0 +1,152 @@
+#include "harness/bootstrap.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace wbam::harness {
+
+namespace {
+
+const char* flag_value(const char* arg, const char* name) {
+    const std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') return arg + n + 1;
+    return nullptr;
+}
+
+bool parse_number(const char* s, long long* out) {
+    if (*s == '\0') return false;
+    char* end = nullptr;
+    const long long v = std::strtoll(s, &end, 10);
+    if (end == nullptr || *end != '\0') return false;
+    *out = v;
+    return true;
+}
+
+bool set_error(std::string* error, std::string what) {
+    if (error != nullptr) *error = std::move(what);
+    return false;
+}
+
+}  // namespace
+
+std::optional<NodeOptions> parse_node_args(int argc, const char* const* argv,
+                                           std::string* error) {
+    NodeOptions o;
+    auto bad = [&](const std::string& what) -> std::optional<NodeOptions> {
+        set_error(error, what);
+        return std::nullopt;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char* v = nullptr;
+        long long n = 0;
+        auto int_flag = [&](const char* name, long long min, long long max,
+                            auto assign) -> int {
+            if ((v = flag_value(argv[i], name)) == nullptr) return 0;
+            if (!parse_number(v, &n) || n < min || n > max) return -1;
+            assign(n);
+            return 1;
+        };
+        int r = 0;
+        if ((r = int_flag("--pid", 0, 1 << 20,
+                          [&](long long x) { o.pid = static_cast<ProcessId>(x); })) != 0) {
+        } else if ((r = int_flag("--groups", 1, 4096,
+                                 [&](long long x) { o.groups = static_cast<int>(x); })) != 0) {
+        } else if ((r = int_flag("--group-size", 1, 99,
+                                 [&](long long x) { o.group_size = static_cast<int>(x); })) != 0) {
+        } else if ((r = int_flag("--clients", 0, 1 << 20,
+                                 [&](long long x) { o.clients = static_cast<int>(x); })) != 0) {
+        } else if ((r = int_flag("--base-port", 1, 65535,
+                                 [&](long long x) { o.base_port = static_cast<int>(x); })) != 0) {
+        } else if ((r = int_flag("--run-ms", 1, 86'400'000,
+                                 [&](long long x) { o.run_ms = static_cast<int>(x); })) != 0) {
+        } else if ((r = int_flag("--msgs", 1, 1 << 24,
+                                 [&](long long x) { o.msgs = static_cast<int>(x); })) != 0) {
+        } else if ((r = int_flag("--payload", 0, 1 << 22,
+                                 [&](long long x) { o.payload = static_cast<int>(x); })) != 0) {
+        } else if ((r = int_flag("--epoch-ns", 0, std::int64_t{1} << 62,
+                                 [&](long long x) { o.epoch_ns = x; })) != 0) {
+        } else if ((v = flag_value(argv[i], "--proto"))) {
+            const auto kind = parse_protocol_kind(v);
+            if (!kind) return bad(std::string("unknown --proto=") + v);
+            o.proto = *kind;
+        } else if ((v = flag_value(argv[i], "--peers"))) {
+            o.peers = v;
+        } else if ((v = flag_value(argv[i], "--topology"))) {
+            o.topology_file = v;
+        } else if ((v = flag_value(argv[i], "--out"))) {
+            o.out = v;
+        } else if (std::strcmp(argv[i], "--bench") == 0) {
+            o.bench = true;
+        } else if (std::strcmp(argv[i], "-v") == 0) {
+            o.verbose = true;
+        } else {
+            return bad(std::string("unknown argument: ") + argv[i]);
+        }
+        if (r < 0)
+            return bad(std::string("bad value in ") + argv[i]);
+    }
+    if (o.pid == invalid_process)
+        return bad("--pid is required");
+    if (o.topology_file.empty() && o.base_port == 0 && o.peers.empty())
+        return bad("one of --topology, --peers or --base-port is required");
+    return o;
+}
+
+std::optional<Bootstrap> resolve_bootstrap(const NodeOptions& o,
+                                           std::string* error) {
+    Bootstrap b;
+    if (!o.topology_file.empty()) {
+        std::string spec_error;
+        auto spec = TopologySpec::load(o.topology_file, &spec_error);
+        if (!spec) {
+            set_error(error, spec_error);
+            return std::nullopt;
+        }
+        b.topo = spec->topology();
+        b.map = spec->cluster_map();
+        b.spec = std::move(spec);
+    } else {
+        if (o.group_size % 2 == 0) {
+            set_error(error, "--group-size must be odd (2f+1)");
+            return std::nullopt;
+        }
+        b.topo = Topology(o.groups, o.group_size, o.clients);
+        if (!o.peers.empty()) {
+            const auto parsed = net::parse_cluster(o.peers);
+            if (!parsed) {
+                set_error(error, "malformed --peers list");
+                return std::nullopt;
+            }
+            if (parsed->endpoints.size() !=
+                static_cast<std::size_t>(b.topo.num_processes())) {
+                set_error(error,
+                          "--peers names " +
+                              std::to_string(parsed->endpoints.size()) +
+                              " endpoints for a " +
+                              std::to_string(b.topo.num_processes()) +
+                              "-process topology");
+                return std::nullopt;
+            }
+            b.map = *parsed;
+        } else {
+            if (o.base_port + b.topo.num_processes() > 65536) {
+                set_error(error, "--base-port leaves no room for " +
+                                     std::to_string(b.topo.num_processes()) +
+                                     " consecutive ports");
+                return std::nullopt;
+            }
+            b.map = net::loopback_cluster(
+                b.topo, static_cast<std::uint16_t>(o.base_port));
+        }
+    }
+    if (o.pid < 0 || o.pid >= b.topo.num_processes()) {
+        set_error(error, "--pid=" + std::to_string(o.pid) +
+                             " outside the " +
+                             std::to_string(b.topo.num_processes()) +
+                             "-process topology");
+        return std::nullopt;
+    }
+    return b;
+}
+
+}  // namespace wbam::harness

@@ -1,0 +1,52 @@
+// The BENCH_fig7 / BENCH_fig8 JSON schema (docs/BENCHMARKS.md): one
+// report per figure run, one series per (protocol, destination-group
+// count), one point per client count. The simulated sweeps
+// (bench/bench_load.hpp) and the distributed coordinator
+// (ctrl::Coordinator via wbamctl) emit the SAME schema, so plotting and
+// CI checks are runtime-agnostic.
+#ifndef WBAM_HARNESS_FIG_REPORT_HPP
+#define WBAM_HARNESS_FIG_REPORT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wbam::harness {
+
+struct FigPoint {
+    int clients = 0;  // closed-loop sessions driving the cluster
+    double throughput_ops_s = 0;
+    double mean_ms = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    std::uint64_t ops = 0;  // completions inside the measurement window
+};
+
+struct FigSeries {
+    std::string protocol;
+    int dest_groups = 0;
+    std::vector<FigPoint> points;
+};
+
+struct FigReport {
+    std::string bench;    // "fig7" | "fig8"
+    std::string name;     // human-readable setup line
+    std::string runtime;  // "sim" | "threaded" | "net" | "net-distributed"
+    int groups = 0;
+    int group_size = 0;
+    std::uint32_t payload = 20;
+    // Distributed runs only (0/0 on in-process runs): how the load was
+    // spread across OS processes and how many raw samples were streamed.
+    int driver_processes = 0;
+    std::uint64_t samples_streamed = 0;
+
+    std::vector<FigSeries> series;
+
+    std::string to_json() const;
+    // Writes to_json() to `path`; false (with a stderr note) on I/O error.
+    bool write(const std::string& path) const;
+};
+
+}  // namespace wbam::harness
+
+#endif  // WBAM_HARNESS_FIG_REPORT_HPP

@@ -45,10 +45,26 @@ inline ClusterMap loopback_cluster(const Topology& topo,
     return map;
 }
 
+// Inverse of parse_cluster: "host:port,host:port,..." in id order.
+// format_cluster(parse_cluster(s)) == s for every well-formed s.
+inline std::string format_cluster(const ClusterMap& map) {
+    std::string out;
+    for (std::size_t i = 0; i < map.endpoints.size(); ++i) {
+        if (i > 0) out += ',';
+        out += map.endpoints[i].host;
+        out += ':';
+        out += std::to_string(map.endpoints[i].port);
+    }
+    return out;
+}
+
 // Parses "host:port,host:port,..." (one entry per ProcessId, in id order).
 // Returns nullopt on any malformed entry.
 inline std::optional<ClusterMap> parse_cluster(std::string_view spec) {
     ClusterMap map;
+    // A trailing comma would silently drop an endpoint from a generated
+    // list; reject it like any other malformed entry.
+    if (!spec.empty() && spec.back() == ',') return std::nullopt;
     while (!spec.empty()) {
         const std::size_t comma = spec.find(',');
         std::string_view entry = spec.substr(0, comma);

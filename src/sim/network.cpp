@@ -36,4 +36,29 @@ Duration RegionMatrixDelay::sample(ProcessId from, ProcessId to, std::size_t,
     return one_way + jitter;
 }
 
+LinkMatrixDelay::LinkMatrixDelay(std::vector<int> region_of,
+                                 std::vector<std::vector<Duration>> owd,
+                                 double jitter_frac)
+    : region_of_(std::move(region_of)), owd_(std::move(owd)),
+      jitter_frac_(jitter_frac) {
+    for (const int r : region_of_)
+        WBAM_ASSERT(r >= 0 && static_cast<std::size_t>(r) < owd_.size());
+    for (const auto& row : owd_) WBAM_ASSERT(row.size() == owd_.size());
+}
+
+int LinkMatrixDelay::region_of(ProcessId p) const {
+    WBAM_ASSERT(p >= 0 && static_cast<std::size_t>(p) < region_of_.size());
+    return region_of_[static_cast<std::size_t>(p)];
+}
+
+Duration LinkMatrixDelay::sample(ProcessId from, ProcessId to, std::size_t,
+                                 Rng& rng) {
+    const Duration one_way = owd_[static_cast<std::size_t>(region_of(from))]
+                                 [static_cast<std::size_t>(region_of(to))];
+    if (jitter_frac_ <= 0.0) return one_way;
+    const auto jitter = static_cast<Duration>(
+        static_cast<double>(one_way) * jitter_frac_ * rng.next_double());
+    return one_way + jitter;
+}
+
 }  // namespace wbam::sim

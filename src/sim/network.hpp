@@ -67,6 +67,28 @@ private:
     double jitter_frac_;
 };
 
+// Directed per-link latency matrix: owd[a][b] is the ONE-WAY delay from
+// region a to region b, so asymmetric links (the WAN case the emulated-WAN
+// harness shapes with netem) are representable exactly. This is the sim
+// twin of a deployment topology file: harness::TopologySpec::delay_model()
+// builds one, so the same file drives netem and the simulator.
+class LinkMatrixDelay final : public DelayModel {
+public:
+    LinkMatrixDelay(std::vector<int> region_of,
+                    std::vector<std::vector<Duration>> owd,
+                    double jitter_frac = 0.0);
+
+    Duration sample(ProcessId from, ProcessId to, std::size_t bytes,
+                    Rng& rng) override;
+
+    int region_of(ProcessId p) const;
+
+private:
+    std::vector<int> region_of_;
+    std::vector<std::vector<Duration>> owd_;
+    double jitter_frac_;
+};
+
 }  // namespace wbam::sim
 
 #endif  // WBAM_SIM_NETWORK_HPP

@@ -1,0 +1,272 @@
+// The distributed benchmark plane (src/ctrl/): control-message codec
+// round-trips and malformed-input rejection, the LatencySampler's
+// window/drain semantics, and the full coordinator exchange — READY →
+// RUN_SPEC → START → SAMPLE/DONE → REPORT → SHUTDOWN — run end-to-end
+// over real loopback TCP with one NetWorld per process, exactly the
+// in-process twin of a wbamd --bench + wbamctl run deployment.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "client/latency_sampler.hpp"
+#include "ctrl/bench_plane.hpp"
+#include "harness/live_cluster.hpp"
+
+namespace wbam {
+namespace {
+
+using ctrl::BenchSpec;
+using ctrl::CtrlMsgType;
+
+// --- codec -------------------------------------------------------------------
+
+template <typename T>
+T reencode(const T& msg) {
+    codec::Writer w;
+    msg.encode(w);
+    const Buffer buf = std::move(w).take_buffer();
+    codec::Reader r{BufferSlice(buf)};
+    T out = T::decode(r);
+    r.expect_done();
+    return out;
+}
+
+TEST(CtrlCodecTest, BenchSpecRoundTrip) {
+    BenchSpec spec;
+    spec.proto = harness::ProtocolKind::ftskeen;
+    spec.dest_groups = 3;
+    spec.payload = 200;
+    spec.sessions = 7;
+    spec.warmup = milliseconds(123);
+    spec.measure = seconds(4);
+    spec.sample_interval = milliseconds(77);
+    spec.client_retry = milliseconds(450);
+    spec.seed = 0xabcdef;
+    spec.heartbeat_interval = milliseconds(25);
+    spec.suspect_timeout = seconds(9);
+    spec.retry_interval = milliseconds(321);
+    spec.batching_enabled = true;
+
+    const BenchSpec out = reencode(spec);
+    EXPECT_EQ(out.proto, spec.proto);
+    EXPECT_EQ(out.dest_groups, spec.dest_groups);
+    EXPECT_EQ(out.payload, spec.payload);
+    EXPECT_EQ(out.sessions, spec.sessions);
+    EXPECT_EQ(out.warmup, spec.warmup);
+    EXPECT_EQ(out.measure, spec.measure);
+    EXPECT_EQ(out.sample_interval, spec.sample_interval);
+    EXPECT_EQ(out.client_retry, spec.client_retry);
+    EXPECT_EQ(out.seed, spec.seed);
+    EXPECT_EQ(out.heartbeat_interval, spec.heartbeat_interval);
+    EXPECT_EQ(out.suspect_timeout, spec.suspect_timeout);
+    EXPECT_EQ(out.retry_interval, spec.retry_interval);
+    EXPECT_EQ(out.batching_enabled, spec.batching_enabled);
+
+    const ReplicaConfig rc = out.replica_config();
+    EXPECT_EQ(rc.heartbeat_interval, spec.heartbeat_interval);
+    EXPECT_TRUE(rc.batching_enabled);
+}
+
+TEST(CtrlCodecTest, DegenerateSpecRejected) {
+    BenchSpec spec;
+    spec.sessions = 0;  // a driver with zero sessions can never finish
+    codec::Writer w;
+    spec.encode(w);
+    const Buffer buf = std::move(w).take_buffer();
+    codec::Reader r{BufferSlice(buf)};
+    EXPECT_THROW(BenchSpec::decode(r), codec::DecodeError);
+}
+
+TEST(CtrlCodecTest, SampleMsgRoundTripAndHostileCount) {
+    ctrl::SampleMsg msg;
+    msg.completed_in_window = 41;
+    msg.latencies_ns = {microseconds(100), milliseconds(20), 0,
+                        seconds(2)};
+    const ctrl::SampleMsg out = reencode(msg);
+    EXPECT_EQ(out.completed_in_window, 41u);
+    EXPECT_EQ(out.latencies_ns, msg.latencies_ns);
+
+    // A hostile count larger than the remaining body must not allocate.
+    codec::Writer w;
+    w.varint(1);
+    w.varint(std::uint64_t{1} << 40);
+    const Buffer buf = std::move(w).take_buffer();
+    codec::Reader r{BufferSlice(buf)};
+    EXPECT_THROW(ctrl::SampleMsg::decode(r), codec::DecodeError);
+}
+
+TEST(CtrlCodecTest, StartWindowOrderingEnforced) {
+    ctrl::StartMsg start;
+    start.window_open = milliseconds(10);
+    start.window_close = milliseconds(5);
+    codec::Writer w;
+    start.encode(w);
+    const Buffer buf = std::move(w).take_buffer();
+    codec::Reader r{BufferSlice(buf)};
+    EXPECT_THROW(ctrl::StartMsg::decode(r), codec::DecodeError);
+}
+
+TEST(CtrlCodecTest, DeliveryDigestIsOrderSensitive) {
+    const MsgId a = make_msg_id(6, 1);
+    const MsgId b = make_msg_id(6, 2);
+    std::uint64_t ab = 0, ba = 0;
+    ab = ctrl::fold_delivery_digest(ctrl::fold_delivery_digest(0, a), b);
+    ba = ctrl::fold_delivery_digest(ctrl::fold_delivery_digest(0, b), a);
+    EXPECT_NE(ab, ba);
+    EXPECT_NE(ab, 0u);
+}
+
+// --- LatencySampler ----------------------------------------------------------
+
+TEST(LatencySamplerTest, WindowAndDrainSemantics) {
+    client::LatencySampler s;
+    s.set_window(milliseconds(10), milliseconds(30));
+
+    // Completes inside the window: counted, sampled, drainable.
+    s.note_multicast(1, milliseconds(5), 2);
+    EXPECT_FALSE(s.note_group_delivery(1, 0, milliseconds(12)).completed);
+    const auto done = s.note_group_delivery(1, 1, milliseconds(15));
+    EXPECT_TRUE(done.first_in_group);
+    EXPECT_TRUE(done.completed);
+    // Duplicate delivery in the same group: neither first nor completing.
+    const auto dup = s.note_group_delivery(1, 1, milliseconds(16));
+    EXPECT_FALSE(dup.first_in_group);
+    EXPECT_FALSE(dup.completed);
+
+    // Completes after the window closes: total but not in-window.
+    s.note_multicast(2, milliseconds(20), 1);
+    s.note_group_delivery(2, 0, milliseconds(31));
+
+    EXPECT_EQ(s.completed_in_window(), 1u);
+    EXPECT_EQ(s.completed_total(), 2u);
+    const auto drained = s.drain_samples();
+    ASSERT_EQ(drained.size(), 1u);
+    EXPECT_EQ(drained[0], milliseconds(10));  // 15 - 5
+    EXPECT_TRUE(s.drain_samples().empty());  // drained means drained
+    EXPECT_EQ(s.latency().count(), 1u);      // histogram keeps the sample
+}
+
+// --- end-to-end over loopback TCP -------------------------------------------
+
+struct BenchFixture {
+    // 2 groups x 3 replicas + 2 drivers + 1 coordinator = 9 OS-process
+    // equivalents, each its own NetWorld over loopback TCP.
+    Topology topo{2, 3, 3};
+    std::vector<std::atomic<bool>> flags;
+    ctrl::Coordinator* coordinator = nullptr;
+    std::vector<ctrl::NodeShim*> shims;
+    std::vector<std::unique_ptr<net::NetWorld>> worlds;
+
+    explicit BenchFixture(const ctrl::CoordinatorConfig& ccfg,
+                          std::uint64_t seed = 1)
+        : flags(static_cast<std::size_t>(topo.num_processes())) {
+        const ProcessId coord_pid = topo.client(topo.num_clients() - 1);
+        auto factory = [&](ProcessId p) -> std::unique_ptr<Process> {
+            if (topo.is_replica(p)) {
+                auto shim = std::make_unique<ctrl::NodeShim>(
+                    topo, p, coord_pid, &flags[static_cast<std::size_t>(p)]);
+                shims.push_back(shim.get());
+                return shim;
+            }
+            if (p == coord_pid) {
+                auto c = std::make_unique<ctrl::Coordinator>(topo, ccfg);
+                coordinator = c.get();
+                return c;
+            }
+            return std::make_unique<ctrl::BenchDriver>(
+                topo, coord_pid, &flags[static_cast<std::size_t>(p)]);
+        };
+        worlds = harness::make_loopback_worlds(topo, seed, factory);
+        for (auto& w : worlds) w->start();
+    }
+
+    bool await_finished(Duration timeout) {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::nanoseconds(timeout);
+        while (!coordinator->finished()) {
+            if (std::chrono::steady_clock::now() >= deadline) return false;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        return true;
+    }
+
+    void shutdown() {
+        for (auto& w : worlds) w->shutdown();
+    }
+};
+
+ctrl::CoordinatorConfig quick_config() {
+    ctrl::CoordinatorConfig ccfg;
+    ccfg.spec.proto = harness::ProtocolKind::wbcast;
+    ccfg.spec.dest_groups = 2;
+    ccfg.spec.sessions = 2;
+    ccfg.spec.payload = 20;
+    ccfg.spec.warmup = milliseconds(150);
+    ccfg.spec.measure = milliseconds(500);
+    ccfg.spec.sample_interval = milliseconds(100);
+    ccfg.spec.client_retry = milliseconds(300);
+    // make_loopback_worlds gives every world one shared epoch, the same
+    // contract the deployment driver provides via --epoch-ns.
+    ccfg.shared_epoch = true;
+    ccfg.quiesce = milliseconds(300);
+    ccfg.deadline = seconds(60);
+    return ccfg;
+}
+
+TEST(CtrlPlaneTest, DistributedRunProducesMergedValidatedResult) {
+    BenchFixture fx(quick_config(), 211);
+    ASSERT_TRUE(fx.await_finished(seconds(90)))
+        << "coordinator stuck: " << fx.coordinator->error();
+    fx.shutdown();
+
+    ASSERT_TRUE(fx.coordinator->succeeded()) << fx.coordinator->error();
+    const harness::FigPoint pt = fx.coordinator->result_point();
+    EXPECT_EQ(pt.clients, 4);  // 2 drivers x 2 sessions
+    EXPECT_GT(pt.ops, 0u);
+    EXPECT_GT(pt.throughput_ops_s, 0.0);
+    EXPECT_GT(pt.p50_ms, 0.0);
+    EXPECT_GE(pt.p99_ms, pt.p50_ms);
+    // Every in-window completion was streamed as a raw sample, so merged
+    // percentiles are computed over the exact sample population.
+    EXPECT_EQ(fx.coordinator->samples_streamed(), pt.ops);
+    EXPECT_EQ(fx.coordinator->merged_latency().count(), pt.ops);
+
+    // SHUTDOWN reached every node (the coordinator's own slot stays off).
+    const auto coord_slot = static_cast<std::size_t>(
+        fx.topo.client(fx.topo.num_clients() - 1));
+    for (std::size_t i = 0; i < fx.flags.size(); ++i) {
+        if (i == coord_slot) continue;
+        EXPECT_TRUE(fx.flags[i].load()) << "no SHUTDOWN at pid " << i;
+    }
+
+    // Replicas of one group recorded identical sequences (the property
+    // the coordinator's digest check certifies).
+    ASSERT_EQ(fx.shims.size(), 6u);
+    for (GroupId g = 0; g < fx.topo.num_groups(); ++g) {
+        const auto& members = fx.topo.members(g);
+        const auto first =
+            fx.shims[static_cast<std::size_t>(members.front())]->deliveries();
+        EXPECT_FALSE(first.empty());
+        for (const ProcessId p : members)
+            EXPECT_EQ(fx.shims[static_cast<std::size_t>(p)]->deliveries(),
+                      first)
+                << "replica p" << p << " diverges in group " << g;
+    }
+}
+
+TEST(CtrlPlaneTest, RelativeWindowsWorkWithoutSharedEpoch) {
+    ctrl::CoordinatorConfig ccfg = quick_config();
+    ccfg.shared_epoch = false;  // ssh-mode semantics: windows open on receipt
+    ccfg.spec.proto = harness::ProtocolKind::fastcast;
+    BenchFixture fx(ccfg, 223);
+    ASSERT_TRUE(fx.await_finished(seconds(90)))
+        << "coordinator stuck: " << fx.coordinator->error();
+    fx.shutdown();
+    ASSERT_TRUE(fx.coordinator->succeeded()) << fx.coordinator->error();
+    EXPECT_GT(fx.coordinator->result_point().ops, 0u);
+}
+
+}  // namespace
+}  // namespace wbam
