@@ -35,6 +35,24 @@ inline harness::RuntimeKind runtime_from_args(int argc, char** argv) {
     return *kind;
 }
 
+// Parses --net-shards=N (falling back to WBAM_NET_SHARDS). Only the net
+// runtime reads it; 0 = auto (hardware concurrency).
+inline int net_shards_from_args(int argc, char** argv) {
+    const char* value = std::getenv("WBAM_NET_SHARDS");
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--net-shards=", 13) == 0)
+            value = argv[i] + 13;
+    }
+    if (value == nullptr) return 0;
+    char* end = nullptr;
+    const long n = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || n < 0 || n > 64) {
+        std::fprintf(stderr, "bad --net-shards=%s (range 0..64)\n", value);
+        std::exit(2);
+    }
+    return static_cast<int>(n);
+}
+
 struct SweepSetup {
     const char* name = "";
     // "fig7" / "fig8": tags the emitted BENCH_<tag>.json (path override:
@@ -48,6 +66,7 @@ struct SweepSetup {
     int groups = 10;
     int group_size = 3;
     bool staggered_leaders = false;
+    int net_shards = 0;  // net runtime only; 0 = auto
     Duration warmup = milliseconds(200);
     std::uint64_t target_ops = 2500;
     Duration min_measure = milliseconds(500);
@@ -129,6 +148,7 @@ inline void run_sweep(const SweepSetup& setup) {
                 cfg.make_delays = setup.make_delays;
                 cfg.cpu = setup.cpu;
                 cfg.replica = quiet_replica_config();
+                cfg.net_shards = setup.net_shards;
                 cfg.seed = static_cast<std::uint64_t>(clients) * 31 +
                            static_cast<std::uint64_t>(d);
                 cfg.warmup = setup.warmup;
@@ -153,6 +173,8 @@ inline void run_sweep(const SweepSetup& setup) {
         report.runtime = harness::to_string(setup.runtime);
         report.groups = setup.groups;
         report.group_size = setup.group_size;
+        if (setup.runtime == RuntimeKind::net)
+            report.net_shards = setup.net_shards;
         for (const ProtocolKind kind : kinds) {
             for (const int d : setup.dest_group_counts) {
                 harness::FigSeries series;

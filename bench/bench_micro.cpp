@@ -10,11 +10,14 @@
 // across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "codec/wire.hpp"
@@ -25,6 +28,7 @@
 #include "common/rng.hpp"
 #include "common/topology.hpp"
 #include "multicast/message.hpp"
+#include "net/stats.hpp"
 #include "sim/network.hpp"
 #include "sim/world.hpp"
 #include "stats/histogram.hpp"
@@ -358,6 +362,172 @@ SweepPoint measure_sweep_point(std::size_t payload) {
     return out;
 }
 
+// --- transport saturation (sharded event loops) -------------------------------
+//
+// Raw messages/sec of the TCP transport across shard counts: P echo pairs
+// over loopback, blasters in one NetWorld, echo sinks in another, each
+// blaster keeping `window` round trips in flight. Pair affinity spreads
+// the P channels across the event-loop shards, so the shard axis {1,2,4}
+// measures how the transport scales with cores — the numbers land in
+// BENCH_micro.json's "saturation" section (messages_per_sec and
+// messages_per_sec_per_core, median of 3 runs), tracked non-gating in CI.
+
+class EchoSink final : public Process {
+public:
+    void on_start(Context&) override {}
+    void on_message(Context& ctx, ProcessId from,
+                    const BufferSlice& bytes) override {
+        ctx.send(from, bytes);
+    }
+    void on_timer(Context&, TimerId) override {}
+};
+
+class Blaster final : public Process {
+public:
+    Blaster(ProcessId peer, int msgs, int window, std::size_t payload,
+            std::atomic<std::uint64_t>* completed)
+        : peer_(peer), msgs_(msgs), window_(window),
+          payload_(payload, 0x5a), completed_(completed) {}
+
+    void on_start(Context& ctx) override {
+        const int burst = std::min(window_, msgs_);
+        for (int i = 0; i < burst; ++i) send_one(ctx);
+    }
+    void on_message(Context& ctx, ProcessId, const BufferSlice&) override {
+        completed_->fetch_add(1, std::memory_order_relaxed);
+        if (issued_ < msgs_) send_one(ctx);
+    }
+    void on_timer(Context&, TimerId) override {}
+
+private:
+    void send_one(Context& ctx) {
+        ++issued_;
+        ctx.send(peer_, payload_);
+    }
+
+    ProcessId peer_;
+    int msgs_;
+    int window_;
+    Bytes payload_;
+    std::atomic<std::uint64_t>* completed_;
+    int issued_ = 0;
+};
+
+struct SaturationRun {
+    double seconds = 0;
+    std::uint64_t messages = 0;      // both directions count
+    std::uint64_t writev_calls = 0;
+    std::uint64_t frames_sent = 0;
+    bool completed = false;
+};
+
+SaturationRun run_saturation(int shards, int pairs, int msgs_per_pair,
+                             int window, std::size_t payload) {
+    const int n = 2 * pairs;
+    const Topology topo(1, 1, n - 1);
+    net::NetConfig cfg;
+    cfg.shards = shards;
+    cfg.epoch = std::chrono::steady_clock::now();
+
+    std::atomic<std::uint64_t> completed{0};
+    // Even pids blast, odd pids echo; the two sides live in different
+    // NetWorlds so every message crosses a real TCP connection.
+    net::NetWorld blast_world(topo, 11, cfg);
+    net::NetWorld echo_world(topo, 22, cfg);
+    for (ProcessId p = 0; p < n; p += 2)
+        blast_world.add_process(p,
+                                std::make_unique<Blaster>(p + 1, msgs_per_pair,
+                                                          window, payload,
+                                                          &completed),
+                                /*listen_port=*/0);
+    for (ProcessId p = 1; p < n; p += 2)
+        echo_world.add_process(p, std::make_unique<EchoSink>(),
+                               /*listen_port=*/0);
+    net::ClusterMap map;
+    map.endpoints.resize(static_cast<std::size_t>(n));
+    for (ProcessId p = 0; p < n; ++p)
+        map.endpoints[static_cast<std::size_t>(p)] = net::Endpoint{
+            "127.0.0.1",
+            (p % 2 == 0 ? blast_world : echo_world).port_of(p)};
+    blast_world.set_cluster(map);
+    echo_world.set_cluster(map);
+
+    net::transport_stats::reset();
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(msgs_per_pair) *
+        static_cast<std::uint64_t>(pairs);
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline = start + std::chrono::seconds(60);
+    echo_world.start();
+    blast_world.start();
+    while (completed.load(std::memory_order_relaxed) < target &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    const auto stop = std::chrono::steady_clock::now();
+    blast_world.shutdown();
+    echo_world.shutdown();
+
+    SaturationRun out;
+    out.seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+            .count();
+    out.completed = completed.load() >= target;
+    out.messages = 2 * completed.load();  // each round trip = 2 messages
+    out.writev_calls = net::transport_stats::writev_calls();
+    out.frames_sent = net::transport_stats::frames_sent();
+    return out;
+}
+
+struct SaturationPoint {
+    int shards = 0;
+    SaturationRun median;  // of 3 runs, by messages/sec
+    double messages_per_sec = 0;
+    double messages_per_sec_per_core = 0;
+    double frames_per_writev = 0;
+};
+
+SaturationPoint measure_saturation_point(int shards) {
+    const bool quick = std::getenv("WBAM_BENCH_QUICK") != nullptr;
+    const int pairs = 8;
+    const int msgs = quick ? 400 : 4000;
+    const int window = 64;
+    const std::size_t payload = 64;
+    const int runs = quick ? 1 : 3;
+    std::vector<SaturationRun> results;
+    for (int r = 0; r < runs; ++r)
+        results.push_back(run_saturation(shards, pairs, msgs, window, payload));
+    std::sort(results.begin(), results.end(),
+              [](const SaturationRun& a, const SaturationRun& b) {
+                  const double ra = a.seconds > 0
+                                        ? static_cast<double>(a.messages) /
+                                              a.seconds
+                                        : 0;
+                  const double rb = b.seconds > 0
+                                        ? static_cast<double>(b.messages) /
+                                              b.seconds
+                                        : 0;
+                  return ra < rb;
+              });
+    SaturationPoint out;
+    out.shards = shards;
+    out.median = results[results.size() / 2];
+    if (out.median.seconds > 0)
+        out.messages_per_sec =
+            static_cast<double>(out.median.messages) / out.median.seconds;
+    out.messages_per_sec_per_core = out.messages_per_sec / shards;
+    if (out.median.writev_calls > 0)
+        out.frames_per_writev =
+            static_cast<double>(out.median.frames_sent) /
+            static_cast<double>(out.median.writev_calls);
+    std::fprintf(stderr,
+                 "saturation shards=%d: %.0f msgs/s (%.0f per core), "
+                 "%.2f frames/writev%s\n",
+                 shards, out.messages_per_sec, out.messages_per_sec_per_core,
+                 out.frames_per_writev,
+                 out.median.completed ? "" : " [TIMED OUT]");
+    return out;
+}
+
 void write_bench_json() {
     const char* path = std::getenv("BENCH_MICRO_JSON");
     if (path == nullptr) path = "BENCH_micro.json";
@@ -459,7 +629,52 @@ void write_bench_json() {
         print_factor(s.owned_bytes_copied, s.slice_bytes_copied);
         std::fprintf(f, "}");
     }
-    std::fprintf(f, "\n    ]\n  }\n}\n");
+    std::fprintf(f, "\n    ]\n  },\n");
+    // Transport saturation across event-loop shard counts. per_core divides
+    // by the shard count, so flat per-core numbers across the axis mean the
+    // sharded transport scales; speedup_4_over_1 is the CI headline (needs
+    // >= 4 real cores to show > 1).
+    std::fprintf(f, "  \"saturation\": {\n");
+    std::fprintf(f,
+                 "    \"scenario\": \"8 echo pairs over loopback TCP, 64-byte "
+                 "payloads, 64 round trips in flight per pair; both directions "
+                 "count as messages\",\n");
+    std::fprintf(f, "    \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "    \"median_of\": %d,\n",
+                 std::getenv("WBAM_BENCH_QUICK") != nullptr ? 1 : 3);
+    std::fprintf(f, "    \"shard_axis\": [\n");
+    const int shard_axis[] = {1, 2, 4};
+    double rate_at_1 = 0, rate_at_4 = 0;
+    bool first_shard = true;
+    for (const int shards : shard_axis) {
+        const SaturationPoint s = measure_saturation_point(shards);
+        if (shards == 1) rate_at_1 = s.messages_per_sec;
+        if (shards == 4) rate_at_4 = s.messages_per_sec;
+        std::fprintf(f, "%s", first_shard ? "" : ",\n");
+        first_shard = false;
+        std::fprintf(f,
+                     "      {\"shards\": %d, \"messages\": %llu, "
+                     "\"seconds\": %.4f, \"messages_per_sec\": %.0f, "
+                     "\"messages_per_sec_per_core\": %.0f, "
+                     "\"frames_sent\": %llu, \"writev_calls\": %llu, "
+                     "\"frames_per_writev\": %.2f, \"completed\": %s}",
+                     s.shards,
+                     static_cast<unsigned long long>(s.median.messages),
+                     s.median.seconds, s.messages_per_sec,
+                     s.messages_per_sec_per_core,
+                     static_cast<unsigned long long>(s.median.frames_sent),
+                     static_cast<unsigned long long>(s.median.writev_calls),
+                     s.frames_per_writev,
+                     s.median.completed ? "true" : "false");
+    }
+    std::fprintf(f, "\n    ],\n");
+    if (rate_at_1 > 0)
+        std::fprintf(f, "    \"speedup_4_over_1\": %.2f\n",
+                     rate_at_4 / rate_at_1);
+    else
+        std::fprintf(f, "    \"speedup_4_over_1\": null\n");
+    std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::fprintf(stderr, "wrote %s\n", path);
 }

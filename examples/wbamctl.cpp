@@ -3,7 +3,8 @@
 //   wbamctl run --topology=FILE [--proto=wbcast] [--dest-groups=1]
 //               [--sessions=4] [--payload=20] [--warmup-ms=500]
 //               [--measure-ms=3000] [--sample-ms=250] [--seed=1]
-//               [--batching] [--epoch-ns=T] [--deadline-ms=120000]
+//               [--batching] [--epoch-ns=T] [--net-shards=N]
+//               [--deadline-ms=120000]
 //               [--fig=7] [--out=BENCH_fig7.json] [-v]
 //
 //     Takes the coordinator seat (the LAST client pid of the topology
@@ -63,6 +64,7 @@ struct CtlOptions {
     std::uint64_t seed = 1;
     bool batching = false;
     std::int64_t epoch_ns = 0;
+    int net_shards = 0;  // coordinator-side NetWorld shards; 0 = auto
     int fig = 7;
     bool verbose = false;
     // topology generation
@@ -135,6 +137,7 @@ bool parse_flags(int argc, char** argv, int first, CtlOptions& o) {
                    int_flag("--measure-ms", &o.measure_ms, 1, 3'600'000) ||
                    int_flag("--sample-ms", &o.sample_ms, 1, 60'000) ||
                    int_flag("--deadline-ms", &o.deadline_ms, 1, 86'400'000) ||
+                   int_flag("--net-shards", &o.net_shards, 0, 64) ||
                    int_flag("--fig", &o.fig, 7, 8) ||
                    int_flag("--groups", &o.groups, 1, 4096) ||
                    int_flag("--group-size", &o.group_size, 1, 99) ||
@@ -166,6 +169,7 @@ ctrl::BenchSpec spec_from(const CtlOptions& o) {
     spec.sample_interval = milliseconds(o.sample_ms);
     spec.seed = o.seed;
     spec.batching_enabled = o.batching;
+    spec.net_shards = static_cast<std::uint32_t>(o.net_shards);
     return spec;
 }
 
@@ -178,6 +182,7 @@ harness::FigReport report_skeleton(const CtlOptions& o,
     report.groups = spec.groups;
     report.group_size = spec.group_size;
     report.payload = static_cast<std::uint32_t>(o.payload);
+    report.net_shards = o.net_shards;
     report.name = std::string(harness::to_string(o.proto)) + ", " +
                   std::to_string(spec.groups) + "x" +
                   std::to_string(spec.group_size) + " replicas, " +
@@ -217,6 +222,7 @@ int cmd_run(const CtlOptions& o) {
     ccfg.deadline = milliseconds(o.deadline_ms);
 
     net::NetConfig ncfg;
+    ncfg.shards = o.net_shards;
     if (spec->cluster_map().of(self).host != "127.0.0.1")
         ncfg.bind_host = "0.0.0.0";
     if (o.epoch_ns > 0)

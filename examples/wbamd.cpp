@@ -8,7 +8,7 @@
 //
 //   wbamd --pid=N [--proto=wbcast] [--groups=2] [--group-size=3]
 //         [--clients=1] (--base-port=P | --peers=host:port,... |
-//         --topology=FILE) [--bench] [--epoch-ns=T]
+//         --topology=FILE) [--bench] [--epoch-ns=T] [--net-shards=N]
 //         [--run-ms=6000] [--msgs=25] [--payload=32] [--out=FILE] [-v]
 //
 // Self-driving mode (default): replica pids run the selected protocol
@@ -143,6 +143,7 @@ net::NetConfig net_config_for(const harness::NodeOptions& o,
         cfg.epoch = std::chrono::steady_clock::time_point(
             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                 std::chrono::nanoseconds(o.epoch_ns)));
+    cfg.shards = o.net_shards;
     return cfg;
 }
 

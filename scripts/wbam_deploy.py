@@ -287,7 +287,8 @@ def launch_cluster(args, layout, topo_path, exec_in_region, outdir):
         if p == layout.coordinator:
             continue
         cmd = [wbamd, f"--pid={p}", "--bench", f"--topology={topo_path}",
-               f"--epoch-ns={epoch}", f"--run-ms={run_ms}"]
+               f"--epoch-ns={epoch}", f"--run-ms={run_ms}",
+               f"--net-shards={args.net_shards}"]
         if p < layout.replicas:
             cmd.append(f"--out={os.path.join(outdir, f'replica_{p}.txt')}")
         full = exec_in_region(layout.region_of[p], cmd)
@@ -303,7 +304,7 @@ def launch_cluster(args, layout, topo_path, exec_in_region, outdir):
            f"--sessions={args.sessions}", f"--payload={args.payload}",
            f"--warmup-ms={args.warmup_ms}", f"--measure-ms={args.measure_ms}",
            f"--deadline-ms={run_ms}", f"--fig={args.fig}",
-           f"--out={args.out}"]
+           f"--net-shards={args.net_shards}", f"--out={args.out}"]
     if args.batching:
         ctl.append("--batching")
     try:
@@ -424,7 +425,7 @@ def cmd_ssh(args):
         if p == coordinator:
             continue
         cmd = [wbamd, f"--pid={p}", "--bench", f"--topology={remote_topo}",
-               f"--run-ms={run_ms}"]
+               f"--run-ms={run_ms}", f"--net-shards={args.net_shards}"]
         procs.append(subprocess.Popen(["ssh", "-o", "BatchMode=yes",
                                        hosts[p]] + cmd))
         names.append(f"ssh_{hosts[p]}_p{p}")
@@ -434,7 +435,8 @@ def cmd_ssh(args):
            f"--dest-groups={args.dest_groups}", f"--sessions={args.sessions}",
            f"--payload={args.payload}", f"--warmup-ms={args.warmup_ms}",
            f"--measure-ms={args.measure_ms}", f"--deadline-ms={run_ms}",
-           f"--fig={args.fig}", f"--out={args.out}"]
+           f"--fig={args.fig}", f"--net-shards={args.net_shards}",
+           f"--out={args.out}"]
     try:
         coord_status = subprocess.Popen(ctl).wait(timeout=run_ms / 1000 + 120)
     except BaseException:
@@ -483,6 +485,9 @@ def main():
         m.add_argument("--measure-ms", type=int, default=3000)
         m.add_argument("--deadline-slack-ms", type=int, default=30000)
         m.add_argument("--batching", action="store_true")
+        m.add_argument("--net-shards", type=int, default=0,
+                       help="transport event-loop shards per process "
+                            "(0 = auto: hardware concurrency)")
         m.add_argument("--fig", type=int, default=7)
         m.add_argument("--out", default="BENCH_fig7.json")
         m.add_argument("--expect-min-p50-ms", type=float, default=None,

@@ -58,6 +58,10 @@ struct BenchSpec {
     Duration suspect_timeout = seconds(30);
     Duration retry_interval = milliseconds(200);
     bool batching_enabled = false;
+    // Transport shard count the run was launched with (wbamd builds its
+    // NetWorld before the spec arrives, so this is recorded metadata for
+    // the report, not a knob the spec can change remotely; 0 = auto).
+    std::uint32_t net_shards = 0;
 
     ReplicaConfig replica_config() const {
         ReplicaConfig cfg;
@@ -82,6 +86,7 @@ struct BenchSpec {
         w.zigzag(suspect_timeout);
         w.zigzag(retry_interval);
         w.boolean(batching_enabled);
+        w.varint(net_shards);
     }
     static BenchSpec decode(codec::Reader& r) {
         BenchSpec s;
@@ -101,6 +106,7 @@ struct BenchSpec {
         s.suspect_timeout = r.zigzag();
         s.retry_interval = r.zigzag();
         s.batching_enabled = r.boolean();
+        codec::read_field(r, s.net_shards);
         if (s.dest_groups == 0 || s.sessions == 0 || s.measure <= 0 ||
             s.sample_interval <= 0)
             throw codec::DecodeError("degenerate bench spec");

@@ -45,7 +45,9 @@ ExperimentResult run_experiment_live(const ExperimentConfig& cfg) {
             threaded->add_process(p, factory(p));
         threaded->start();
     } else {
-        nets = make_loopback_worlds(topo, cfg.seed, factory);
+        net::NetConfig base;
+        base.shards = cfg.net_shards;
+        nets = make_loopback_worlds(topo, cfg.seed, factory, base);
         for (auto& world : nets) world->start();
     }
 

@@ -26,6 +26,9 @@ struct ExperimentConfig {
     std::function<std::unique_ptr<sim::DelayModel>()> make_delays;
     sim::CpuModel cpu;
     ReplicaConfig replica;
+    // Transport shard count per NetWorld (RuntimeKind::net only):
+    // 0 = auto (hardware concurrency).
+    int net_shards = 0;
     std::uint64_t seed = 1;
     Duration warmup = milliseconds(200);
     // The measurement window closes once target_ops completions AND

@@ -150,6 +150,27 @@ inline Buffer encode_ack(std::uint64_t upto) {
     return std::move(w).take_buffer();
 }
 
+// Fully-inline ACK frame: [length][type][upto varint] in the same
+// fixed-size header array DATA frames use, so piggybacked acks ride the
+// coalesced flush with zero heap allocations (encode_ack remains for
+// callers that want a standalone payload buffer).
+inline DataHeader make_ack_header(std::uint64_t upto) {
+    DataHeader h;
+    std::uint8_t* p = h.bytes.data() + frame_header_size;
+    *p++ = static_cast<std::uint8_t>(FrameType::ack);
+    std::uint64_t v = upto;
+    do {
+        std::uint8_t b = v & 0x7f;
+        v >>= 7;
+        if (v != 0) b |= 0x80;
+        *p++ = b;
+    } while (v != 0);
+    h.len = static_cast<std::uint8_t>(p - h.bytes.data());
+    put_frame_header(h.bytes.data(),
+                     static_cast<std::uint32_t>(h.len - frame_header_size));
+    return h;
+}
+
 // --- receive-side reassembly -------------------------------------------------
 
 // Accumulates raw socket bytes and pops complete frames as zero-copy

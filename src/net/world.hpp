@@ -1,18 +1,34 @@
-// The TCP runtime: a poll(2) event-loop world whose NetContext implements
-// the same Process/Context contract as the discrete-event simulator and
-// the threaded runtime, but whose channels are real sockets. One NetWorld
-// hosts one or more local processes (one per OS process in a deployed
-// cluster — see examples/wbamd.cpp — or one per ProcessId when an
-// in-process test wires several worlds over loopback) and speaks
-// length-prefixed frames (net/frame.hpp) carrying the exact envelope bytes
-// the in-process runtimes carry.
+// The TCP runtime: a sharded poll(2) event-loop world whose NetContext
+// implements the same Process/Context contract as the discrete-event
+// simulator and the threaded runtime, but whose channels are real
+// sockets. One NetWorld hosts one or more local processes (one per OS
+// process in a deployed cluster — see examples/wbamd.cpp — or one per
+// ProcessId when an in-process test wires several worlds over loopback)
+// and speaks length-prefixed frames (net/frame.hpp) carrying the exact
+// envelope bytes the in-process runtimes carry.
+//
+// Sharding (NetConfig::shards, default = hardware concurrency): the
+// world runs N event-loop worker threads. Ownership replaces locking —
+// every connection's state (socket, send queue, reassembler, channel
+// cursors) is owned by exactly one loop thread, chosen by the
+// deterministic pair affinity shard_for(a, b, N) (net/shard.hpp), which
+// is symmetric so a channel and its reverse (data one way, acks back)
+// always share a loop. Each local process is homed on one loop
+// (round-robin): its handlers, timers and run_on() thunks all execute
+// there, preserving the "single-threaded per process" contract. Work
+// crossing shards — a send whose connection another loop owns, a
+// delivery for a process homed elsewhere, an accepted socket whose
+// HELLO names a pair with different affinity — travels through MPSC
+// command mailboxes woken by eventfd/self-pipe; sockets are handed off
+// whole to the owning loop.
 //
 // Zero-copy at the socket boundary: Context::send queues the RETAINED
-// BufferSlice behind a 4-byte length header and the flush path hands both
-// to writev(2) — payload bytes are never copied into a transport buffer.
-// Inbound, FrameReassembler freezes each receive image and delivers
-// complete frames as aliasing subslices, so protocols decode in place
-// exactly as they do on the other runtimes.
+// BufferSlice behind an inline stack-built header and the coalescing
+// flush path (net/send_queue.hpp) hands many queued frames to ONE
+// writev(2) per batch — payload bytes are never copied into a transport
+// buffer and the batched path allocates nothing per message. Inbound,
+// FrameReassembler freezes each receive image and delivers complete
+// frames as aliasing subslices in one multi-frame handler pass.
 //
 // Connection lifecycle: every local process listens on its endpoint from
 // the ClusterMap; a send to a remote ProcessId lazily dials one outbound
@@ -24,31 +40,30 @@
 // everything unacked, in order, and the receiver's channel cursor drops
 // duplicates — so a connection drop DELAYS frames instead of losing
 // them, preserving the reliable-FIFO channel contract of Context::send
-// that the other runtimes provide (and that e.g. wbcast's
-// fire-once DELIVER plane depends on).
-//
-// Handlers, timers and run_on() thunks all execute on the world's single
-// loop thread, preserving the "single-threaded per process" contract.
+// that the other runtimes provide (and that e.g. wbcast's fire-once
+// DELIVER plane depends on). Cumulative ACKs never trigger their own
+// write: they piggyback on the next coalesced flush of the reverse
+// connection, or ride a short delayed-ack timer (NetConfig::ack_delay)
+// when no data is flowing.
 //
 // Graceful-shutdown contract (shared with runtime::ThreadedWorld, see
 // runtime/threaded.hpp): shutdown() first DRAINS — frames already
 // received and local sends already queued are delivered, and outbound
 // queues are flushed to the kernel (bounded by NetConfig::drain_wait) —
-// then joins the loop thread. Pending timers do not fire; messages sent
-// while draining are flushed best-effort. Tests therefore never race
-// teardown against in-flight deliveries.
+// then joins every loop thread. Quiescence is detected across shards: a
+// coordinator watches per-loop idle flags plus a global activity counter
+// until nothing moved for two consecutive checks. Pending timers do not
+// fire; messages sent while draining are flushed best-effort. Tests
+// therefore never race teardown against in-flight deliveries.
 #ifndef WBAM_NET_WORLD_HPP
 #define WBAM_NET_WORLD_HPP
 
 #include <atomic>
 #include <chrono>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <queue>
-#include <thread>
+#include <string>
 #include <vector>
 
 #include "common/process.hpp"
@@ -72,6 +87,19 @@ struct NetConfig {
     // across worlds are coherent; the default (time_point{}) means "this
     // world's construction time".
     std::chrono::steady_clock::time_point epoch{};
+    // Event-loop shard count: 0 = auto (hardware concurrency, clamped to
+    // [1, 8]); explicit values honored up to 64. See net/shard.hpp.
+    int shards = 0;
+    // Coalescing flush budget per writev: iovec entries and bytes.
+    int flush_max_iov = 64;
+    std::size_t flush_max_bytes = 1 << 20;
+    // Delayed-ack bound: a cumulative ack waits at most this long for a
+    // data frame to piggyback on before it is flushed on its own (still
+    // inside a coalesced writev, never a dedicated syscall).
+    Duration ack_delay = microseconds(500);
+    // Busy-poll window: loops spin (poll timeout 0) this long before
+    // blocking, trading CPU for latency. 0 = always block.
+    Duration busy_poll = 0;
 };
 
 class NetWorld {
@@ -95,121 +123,57 @@ public:
     // whenever any remote process will be addressed.
     void set_cluster(ClusterMap map);
 
-    // Spawns the loop thread; on_start runs there, before any delivery.
+    // Spawns the loop threads; on_start runs on each process's home loop,
+    // before any delivery.
     void start();
-    // Sleeps the caller for wall-clock `d` (the loop runs meanwhile).
+    // Sleeps the caller for wall-clock `d` (the loops run meanwhile).
     void run_for(Duration d);
-    // Runs fn(ctx) on the loop thread, in the context of local process
-    // `id` (external injection: test drivers, example workloads).
+    // Runs fn(ctx) on the home loop of local process `id`, in its context
+    // (external injection: test drivers, example workloads).
     void run_on(ProcessId id, std::function<void(Context&)> fn);
-    // Drains (see the contract above), then joins the loop thread.
+    // Drains (see the contract above), then joins every loop thread.
     void shutdown();
 
     // Nanoseconds since the configured epoch; same base as every
     // NetContext::now() of this world.
     TimePoint now() const;
 
-    // Test hook: closes every live connection (on the loop thread). The
+    // Resolved event-loop count of this world.
+    int shard_count() const { return nshards_; }
+
+    // Test hook: closes every live connection (on the owning loops). The
     // next sends re-dial; exercises the reconnect path.
     void drop_connections();
 
 private:
     struct Host;
     struct HostContext;
-    struct OutFrame {
-        DataHeader hdr;  // [length][type][seq] for data; [length] for control
-        BufferSlice body;
-        std::uint64_t seq = 0;  // data frames only; 0 marks control frames
-        std::size_t size() const { return hdr.size() + body.size(); }
-    };
-    struct Conn {
-        ProcessId local = invalid_process;   // our endpoint
-        ProcessId remote = invalid_process;  // peer (known late for inbound)
-        bool outbound = false;
-        int fd = -1;
-        bool connecting = false;  // nonblocking connect(2) in progress
-        bool saw_hello = false;   // inbound: first frame pending
-        FrameReassembler in;
-        std::deque<OutFrame> out;
-        std::size_t head_sent = 0;  // bytes of out.front() already written
-        // Reliable-channel state (outbound only): the next DATA sequence
-        // to assign, and written-but-unacked frames kept for retransmit.
-        std::uint64_t next_seq = 1;
-        std::deque<OutFrame> unacked;
-        // Redial state (outbound only).
-        Duration backoff = 0;
-        TimePoint retry_at = 0;
+    struct Conn;
+    struct Loop;
 
-        explicit Conn(std::size_t max_frame) : in(max_frame) {}
-    };
-    struct TimerFlight {
-        TimePoint due = 0;
-        std::uint64_t seq = 0;
-        ProcessId pid = invalid_process;
-        TimerId id = invalid_timer;
-        bool operator>(const TimerFlight& o) const {
-            return due != o.due ? due > o.due : seq > o.seq;
-        }
-    };
-    struct LocalMail {
-        ProcessId from = invalid_process;
-        ProcessId to = invalid_process;
-        BufferSlice bytes;
-    };
-
-    void loop();
     Host* host_of(ProcessId id);
     void send_from(ProcessId from, ProcessId to, BufferSlice bytes);
-    Conn* out_conn(ProcessId from, ProcessId to);
-    void dial(Conn& c);
-    void conn_dead(Conn& c);
-    void close_conn(Conn& c);
-    bool flush_conn(Conn& c);         // false: connection died
-    bool read_conn(Conn& c);          // false: connection died / malformed
-    // One received frame; returns false when the stream is malformed.
-    bool on_frame(Conn& c, const BufferSlice& payload);
-    static OutFrame make_control(Buffer payload);
-    void accept_ready(Host& h);
-    void emit_acks();
     void deliver(Host& h, ProcessId from, const BufferSlice& frame);
-    void fire_due_timers();
-    void process_local();
-    void process_posted();
-    TimePoint next_deadline() const;  // earliest timer / redial
-    void wake();
 
     Topology topo_;
     NetConfig cfg_;
+    int nshards_ = 1;
     Rng seed_rng_;
     std::chrono::steady_clock::time_point epoch_;
     ClusterMap cluster_;
 
     std::vector<std::unique_ptr<Host>> hosts_;  // local processes only
     std::map<ProcessId, Host*> by_pid_;
+    std::vector<std::unique_ptr<Loop>> loops_;  // one per shard
 
-    // Loop-owned state (touched only before start() or on the loop thread).
-    std::vector<std::unique_ptr<Conn>> conns_;
-    std::map<std::pair<ProcessId, ProcessId>, Conn*> out_by_pair_;
-    // Receive cursor per (remote, local) channel: next expected DATA seq.
-    // Outlives individual connections — that is what makes reconnect
-    // retransmission dedup-able.
-    std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> recv_next_;
-    // Channels with deliveries since the last ack emission.
-    std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> ack_due_;
-    std::priority_queue<TimerFlight, std::vector<TimerFlight>, std::greater<>>
-        timers_;
-    std::uint64_t timer_seq_ = 0;
-    TimerId next_timer_ = 1;
-    std::deque<LocalMail> local_;
-    bool drain_read_ = false;  // a socket produced bytes this loop turn
-
-    // Cross-thread: external injection and lifecycle flags.
-    std::mutex post_mutex_;
-    std::deque<std::pair<ProcessId, std::function<void(Context&)>>> posted_;
+    std::atomic<TimerId> next_timer_{1};
+    // Lifecycle: draining_ starts the drain, stop_ ends the loops, and
+    // activity_ + per-loop idle flags let shutdown() detect cross-shard
+    // quiescence.
     std::atomic<bool> draining_{false};
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> activity_{0};
     bool started_ = false;
-    int wake_fds_[2] = {-1, -1};  // self-pipe
-    std::thread thread_;
 };
 
 }  // namespace wbam::net
