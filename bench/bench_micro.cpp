@@ -32,6 +32,7 @@
 #include "sim/network.hpp"
 #include "sim/world.hpp"
 #include "stats/histogram.hpp"
+#include "wal/log.hpp"
 #include "wbcast/messages.hpp"
 
 namespace wbam {
@@ -528,6 +529,74 @@ SaturationPoint measure_saturation_point(int shards) {
     return out;
 }
 
+// --- WAL durability cost ------------------------------------------------------
+//
+// What each --wal-sync mode costs per appended record, measured on a fresh
+// log file: `always` pays one fsync per record (the per-message-durability
+// floor), `group` amortizes one fsync over a whole commit batch (the mode
+// wbamd runs with — the batch boundary is the protocol's message-batch
+// flush), `off` writes without syncing (crash durability = none, the
+// write-path cost floor). Record shape models a protocol append: a small
+// Writer-encoded meta part plus a 64-byte retained payload slice.
+
+struct DurabilityPoint {
+    wal::SyncMode mode = wal::SyncMode::off;
+    int batch = 1;  // appends per commit()
+    std::uint64_t appends = 0;
+    double seconds = 0;
+    double appends_per_sec = 0;
+    double us_per_append = 0;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t bytes_written = 0;
+};
+
+DurabilityPoint measure_durability(wal::SyncMode mode, int batch,
+                                   std::uint64_t appends) {
+    const char* tmp = std::getenv("TMPDIR");
+    const std::string path = std::string(tmp != nullptr ? tmp : "/tmp") +
+                             "/wbam_bench_wal_" + wal::to_string(mode) +
+                             ".wal";
+    std::remove(path.c_str());
+
+    DurabilityPoint out;
+    out.mode = mode;
+    out.batch = batch;
+    out.appends = appends;
+    const Bytes payload_bytes(64, 0x5a);
+    {
+        wal::Log log(path, mode);
+        if (!log.ok()) return out;
+        const auto start = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < appends; ++i) {
+            codec::Writer w;
+            w.varint(i);  // meta: a record id, like a MsgId or Timestamp
+            log.append(/*type=*/1, std::move(w).take(),
+                       BufferSlice(Bytes(payload_bytes)));
+            if (static_cast<int>(i % static_cast<std::uint64_t>(batch)) ==
+                batch - 1)
+                log.commit();
+        }
+        log.commit();
+        const auto stop = std::chrono::steady_clock::now();
+        out.seconds = std::chrono::duration_cast<
+                          std::chrono::duration<double>>(stop - start)
+                          .count();
+        out.fsyncs = log.stats().fsyncs;
+        out.bytes_written = log.stats().bytes_written;
+    }
+    std::remove(path.c_str());
+    if (out.seconds > 0)
+        out.appends_per_sec = static_cast<double>(appends) / out.seconds;
+    out.us_per_append = out.seconds * 1e6 / static_cast<double>(appends);
+    std::fprintf(stderr,
+                 "durability %s (batch %d): %.0f appends/s, %.2f us/append, "
+                 "%llu fsyncs\n",
+                 wal::to_string(out.mode), out.batch, out.appends_per_sec,
+                 out.us_per_append,
+                 static_cast<unsigned long long>(out.fsyncs));
+    return out;
+}
+
 void write_bench_json() {
     const char* path = std::getenv("BENCH_MICRO_JSON");
     if (path == nullptr) path = "BENCH_micro.json";
@@ -674,6 +743,51 @@ void write_bench_json() {
                      rate_at_4 / rate_at_1);
     else
         std::fprintf(f, "    \"speedup_4_over_1\": null\n");
+    std::fprintf(f, "  },\n");
+    // WAL durability: per-append cost of the three --wal-sync modes on a
+    // fresh log. group_commit_speedup_over_always is the headline: how much
+    // one-fsync-per-batch buys over one-fsync-per-record.
+    std::fprintf(f, "  \"durability\": {\n");
+    std::fprintf(f,
+                 "    \"scenario\": \"append ~73-byte records (varint meta + "
+                 "64-byte payload slice) to a fresh WAL; one fsync per record "
+                 "(always), per 64-record batch (group), or never (off)\",\n");
+    {
+        const bool quick = std::getenv("WBAM_BENCH_QUICK") != nullptr;
+        const std::uint64_t n_buffered = quick ? 4000 : 40000;
+        const std::uint64_t n_synced = quick ? 200 : 2000;
+        const DurabilityPoint points[] = {
+            measure_durability(wal::SyncMode::off, 64, n_buffered),
+            measure_durability(wal::SyncMode::group_commit, 64, n_buffered),
+            measure_durability(wal::SyncMode::always, 1, n_synced),
+        };
+        std::fprintf(f, "    \"modes\": [\n");
+        bool first_mode = true;
+        for (const DurabilityPoint& p : points) {
+            std::fprintf(f, "%s", first_mode ? "" : ",\n");
+            first_mode = false;
+            std::fprintf(
+                f,
+                "      {\"sync\": \"%s\", \"batch\": %d, \"appends\": %llu, "
+                "\"seconds\": %.4f, \"appends_per_sec\": %.0f, "
+                "\"us_per_append\": %.2f, \"fsyncs\": %llu, "
+                "\"bytes_written\": %llu}",
+                wal::to_string(p.mode), p.batch,
+                static_cast<unsigned long long>(p.appends), p.seconds,
+                p.appends_per_sec, p.us_per_append,
+                static_cast<unsigned long long>(p.fsyncs),
+                static_cast<unsigned long long>(p.bytes_written));
+        }
+        std::fprintf(f, "\n    ],\n");
+        if (points[2].appends_per_sec > 0)
+            std::fprintf(f,
+                         "    \"group_commit_speedup_over_always\": %.2f\n",
+                         points[1].appends_per_sec /
+                             points[2].appends_per_sec);
+        else
+            std::fprintf(f,
+                         "    \"group_commit_speedup_over_always\": null\n");
+    }
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::fprintf(stderr, "wrote %s\n", path);

@@ -37,6 +37,7 @@
 #include "ctrl/bench_plane.hpp"
 #include "harness/bootstrap.hpp"
 #include "net/world.hpp"
+#include "wal/log.hpp"
 
 using namespace wbam;
 
@@ -170,6 +171,27 @@ int main(int argc, char** argv) {
     }
     const Topology& topo = boot->topo;
 
+    // The WAL outlives the runtime (declared first, destroyed last): the
+    // replica's handlers append to it from the loop thread until shutdown.
+    std::optional<wal::Log> wal_log;
+    if (!o.wal_dir.empty() && topo.is_replica(o.pid)) {
+        const std::string path =
+            o.wal_dir + "/p" + std::to_string(o.pid) + ".wal";
+        wal_log.emplace(path, *wal::parse_sync_mode(o.wal_sync));
+        if (!wal_log->ok()) {
+            std::fprintf(stderr, "wbamd: cannot open WAL %s\n", path.c_str());
+            return 2;
+        }
+        std::fprintf(stderr,
+                     "wbamd: WAL %s (%s sync): %llu records recovered, %llu "
+                     "torn bytes truncated\n",
+                     path.c_str(), wal::to_string(wal_log->sync_mode()),
+                     static_cast<unsigned long long>(
+                         wal_log->stats().records_recovered),
+                     static_cast<unsigned long long>(
+                         wal_log->stats().truncated_bytes));
+    }
+
     net::NetWorld world(topo, static_cast<std::uint64_t>(o.pid) + 1,
                         net_config_for(o, boot->map.of(o.pid)));
 
@@ -198,7 +220,8 @@ int main(int argc, char** argv) {
         }
         if (topo.is_replica(o.pid)) {
             auto proc = std::make_unique<ctrl::NodeShim>(
-                topo, o.pid, coordinator_pid, &done);
+                topo, o.pid, coordinator_pid, &done,
+                wal_log ? &*wal_log : nullptr);
             shim = proc.get();
             world.add_process(o.pid, std::move(proc), boot->map.of(o.pid).port);
         } else {
@@ -222,6 +245,7 @@ int main(int argc, char** argv) {
         replica.heartbeat_interval = milliseconds(50);
         replica.suspect_timeout = seconds(30);  // loopback: no failures
         replica.retry_interval = milliseconds(200);
+        if (wal_log) replica.wal = &*wal_log;
         world.add_process(o.pid,
                           harness::make_replica(o.proto, topo, o.pid, sink,
                                                 replica),
@@ -248,7 +272,10 @@ int main(int argc, char** argv) {
     if (o.bench) {
         const bool ok = done.load();
         if (shim != nullptr) {
-            const std::vector<MsgId> seq = shim->deliveries();
+            // The validated snapshot, not the live sequence: tail traffic
+            // still settling at the deadline would race the group's files
+            // apart (see NodeShim::reported_deliveries).
+            const std::vector<MsgId> seq = shim->reported_deliveries();
             std::printf("wbamd bench replica p%d (group %d): delivered %zu "
                         "(%s)\n",
                         o.pid, topo.group_of(o.pid), seq.size(),

@@ -36,10 +36,12 @@ Everything here is stdlib-only python3.
 import argparse
 import os
 import random
+import re
 import shutil
 import signal
 import subprocess
 import sys
+import threading
 import time
 
 
@@ -277,25 +279,46 @@ def check_json(path, args):
 
 def launch_cluster(args, layout, topo_path, exec_in_region, outdir):
     """Starts every wbamd (replicas + drivers), then the coordinator;
-    returns (coordinator status, wbamd statuses)."""
+    returns (coordinator status, wbamd statuses). With --crash-pid set, a
+    helper thread SIGKILLs that replica mid-run and relaunches the exact
+    same command after --restart-after-ms — the rejoining process replays
+    its WAL and catches up, and the coordinator's per-group digest check
+    (plus check_sequences) then covers the full run including the outage."""
     epoch = monotonic_epoch_ns()
     wbamd = os.path.join(args.build, "wbamd")
     wbamctl = os.path.join(args.build, "wbamctl")
     run_ms = args.warmup_ms + args.measure_ms + args.deadline_slack_ms
-    procs, names = [], []
+    crash_pid = getattr(args, "crash_pid", None)
+    wal_dir = getattr(args, "wal_dir", None)
+    if crash_pid is not None:
+        if not 0 <= crash_pid < layout.replicas:
+            fail("--crash-pid must name a replica pid")
+        if wal_dir is None:
+            # A kill -9'd replica can only rejoin with its pre-crash
+            # digest if it was writing a WAL.
+            wal_dir = os.path.join(outdir, "wal")
+    if wal_dir:
+        os.makedirs(wal_dir, exist_ok=True)
+    procs, names, cmds = [], [], []
     for p in range(layout.processes):
         if p == layout.coordinator:
             continue
         cmd = [wbamd, f"--pid={p}", "--bench", f"--topology={topo_path}",
                f"--epoch-ns={epoch}", f"--run-ms={run_ms}",
                f"--net-shards={args.net_shards}"]
+        if getattr(args, "verbose", False):
+            cmd.append("-v")
         if p < layout.replicas:
             cmd.append(f"--out={os.path.join(outdir, f'replica_{p}.txt')}")
+            if wal_dir:
+                cmd += [f"--wal-dir={wal_dir}",
+                        f"--wal-sync={getattr(args, 'wal_sync', 'group')}"]
         full = exec_in_region(layout.region_of[p], cmd)
         procs.append(subprocess.Popen(
             full, stdout=open(os.path.join(outdir, f"wbamd_{p}.log"), "w"),
             stderr=subprocess.STDOUT))
         names.append(f"wbamd_{p}")
+        cmds.append(full)
     log(f"launched {len(procs)} wbamd processes "
         f"({layout.replicas} replicas + {layout.drivers} drivers)")
 
@@ -307,16 +330,60 @@ def launch_cluster(args, layout, topo_path, exec_in_region, outdir):
            f"--net-shards={args.net_shards}", f"--out={args.out}"]
     if args.batching:
         ctl.append("--batching")
+    injector = None
     try:
         coord = subprocess.Popen(exec_in_region(
             layout.region_of[layout.coordinator], ctl))
+        if crash_pid is not None:
+            idx = names.index(f"wbamd_{crash_pid}")
+
+            def inject():
+                time.sleep(args.crash_after_ms / 1000)
+                # `ip netns exec` execs wbamd in-process, so the Popen pid
+                # IS the daemon in both deployment modes: SIGKILL lands on
+                # wbamd itself, no shutdown path runs.
+                procs[idx].kill()
+                procs[idx].wait()
+                log(f"killed wbamd_{crash_pid} (SIGKILL) "
+                    f"{args.crash_after_ms} ms into the run")
+                time.sleep(args.restart_after_ms / 1000)
+                procs[idx] = subprocess.Popen(
+                    cmds[idx],
+                    stdout=open(os.path.join(
+                        outdir, f"wbamd_{crash_pid}_restarted.log"), "w"),
+                    stderr=subprocess.STDOUT)
+                log(f"restarted wbamd_{crash_pid} — replaying its WAL")
+
+            injector = threading.Thread(target=inject, daemon=True)
+            injector.start()
         coord_status = coord.wait(timeout=run_ms / 1000 + 60)
+        if injector is not None:
+            injector.join(timeout=30)
         statuses = wait_all(procs, names, timeout_s=run_ms / 1000 + 30)
         return coord_status, statuses
     except BaseException:
         for proc in procs:
             proc.kill()
         raise
+
+
+def check_wal_recovery(outdir, crash_pid):
+    """The restarted wbamd prints its WAL recovery stats at boot; a crash
+    injected mid-run must leave durable state behind, so zero recovered
+    records means the WAL wiring (or the crash timing) is broken."""
+    path = os.path.join(outdir, f"wbamd_{crash_pid}_restarted.log")
+    if not os.path.exists(path):
+        fail(f"wbamd_{crash_pid} was never restarted (no {path})")
+    with open(path) as f:
+        text = f.read()
+    m = re.search(r"(\d+) records recovered", text)
+    if m is None:
+        fail(f"restarted wbamd_{crash_pid} printed no WAL recovery line")
+    if int(m.group(1)) == 0:
+        fail(f"restarted wbamd_{crash_pid} recovered 0 WAL records — the "
+             f"crash predated any durable state; raise --crash-after-ms")
+    log(f"replica p{crash_pid} recovered {m.group(1)} WAL records on "
+        f"restart and rejoined with a matching digest")
 
 
 def finish_run(args, layout, coord_status, statuses, outdir):
@@ -327,6 +394,8 @@ def finish_run(args, layout, coord_status, statuses, outdir):
         fail(f"wbamd processes failed: {bad}")
     check_sequences(outdir, layout)
     check_json(args.out, args)
+    if getattr(args, "crash_pid", None) is not None:
+        check_wal_recovery(outdir, args.crash_pid)
     log(f"PASS — merged report in {args.out}")
 
 
@@ -496,6 +565,22 @@ def main():
         m.add_argument("--workdir", default=None)
         m.add_argument("--base-port", type=int, default=7100)
         m.add_argument("--topology", default=None)
+        m.add_argument("--verbose", action="store_true",
+                       help="run wbamd/wbamctl with -v (logs in the workdir)")
+    for mode in ("netns", "local"):
+        m = modes[mode]
+        m.add_argument("--wal-dir", default=None,
+                       help="directory for per-replica WALs (default: only "
+                            "created when --crash-pid needs one)")
+        m.add_argument("--wal-sync", default="group",
+                       choices=("off", "group", "always"))
+        m.add_argument("--crash-pid", type=int, default=None,
+                       help="replica pid to kill -9 mid-run and restart "
+                            "(crash-recovery smoke)")
+        m.add_argument("--crash-after-ms", type=int, default=1500,
+                       help="when to SIGKILL --crash-pid, from launch")
+        m.add_argument("--restart-after-ms", type=int, default=1500,
+                       help="downtime between the SIGKILL and the relaunch")
     modes["netns"].add_argument("--regions", type=int, default=0,
                                 help="default: one region per group")
     modes["netns"].add_argument("--cross", default="20ms",

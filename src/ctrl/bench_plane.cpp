@@ -1,6 +1,7 @@
 #include "ctrl/bench_plane.hpp"
 
 #include "common/assert.hpp"
+#include "wal/records.hpp"
 
 namespace wbam::ctrl {
 
@@ -18,10 +19,24 @@ constexpr Duration tick_interval = milliseconds(50);
 // --- NodeShim ----------------------------------------------------------------
 
 NodeShim::NodeShim(Topology topo, ProcessId self, ProcessId coordinator,
-                   std::atomic<bool>* shutdown_flag)
+                   std::atomic<bool>* shutdown_flag, wal::Log* wal)
     : topo_(std::move(topo)), self_(self), coordinator_(coordinator),
-      shutdown_flag_(shutdown_flag) {
+      shutdown_flag_(shutdown_flag), wal_(wal) {
     WBAM_ASSERT(topo_.is_replica(self_));
+    if (wal_ == nullptr) return;
+    // Rebuild the pre-crash delivery sequence from our own records. The
+    // shim's record for a delivery lands AFTER the protocol's watermark in
+    // the same commit batch, so everything the replica's replay will
+    // suppress as already-delivered is present here, and everything it
+    // re-emits (above its durable watermark) is absent — the replayed_ set
+    // only guards the rare torn batch in between.
+    for (const wal::Record& r : wal_->recovered()) {
+        if (r.type != wal::tag(wal::RecordType::app_delivered)) continue;
+        const MsgId id = wal::decode_app_delivered(r.body);
+        if (!replayed_.insert(id).second) continue;  // tolerate duplicates
+        deliveries_.push_back(id);
+        digest_ = fold_delivery_digest(digest_, id);
+    }
 }
 
 void NodeShim::on_start(Context& ctx) {
@@ -66,16 +81,40 @@ void NodeShim::handle_ctrl(Context& ctx, const codec::EnvelopeView& env) {
                     {
                         const std::lock_guard<std::mutex> guard(
                             deliveries_mutex_);
-                        deliveries_.push_back(m.id);
-                        digest_ = fold_delivery_digest(digest_, m.id);
+                        if (!replayed_.erase(m.id)) {
+                            deliveries_.push_back(m.id);
+                            digest_ = fold_delivery_digest(digest_, m.id);
+                            // Rides the inner replica's commit batch (the
+                            // protocols commit at their dispatch exits);
+                            // a no-op while its WAL replay re-emits.
+                            if (wal_ != nullptr)
+                                wal_->append(
+                                    wal::tag(wal::RecordType::app_delivered),
+                                    wal::encode_app_delivered(m.id));
+                        }
                     }
                     const ProcessId origin = msg_id_client(m.id);
                     if (topo_.is_client(origin))
                         c.send(origin, encode_deliver_ack(group, m.id));
                 };
+                ReplicaConfig rc = spec.replica_config();
+                rc.wal = wal_;
                 inner_ = harness::make_replica(spec.proto, topo_, self_, sink,
-                                               spec.replica_config());
+                                               rc);
+                const std::size_t restored = deliveries_.size();
                 inner_->on_start(ctx);
+                if (wal_ != nullptr) {
+                    // Deliveries the replica's WAL replay re-emitted (above
+                    // its durable watermark) reached the sink while append
+                    // was a replay no-op: re-append them now so the log
+                    // stays complete across a second crash.
+                    const std::lock_guard<std::mutex> guard(deliveries_mutex_);
+                    for (std::size_t i = restored; i < deliveries_.size(); ++i)
+                        wal_->append(
+                            wal::tag(wal::RecordType::app_delivered),
+                            wal::encode_app_delivered(deliveries_[i]));
+                    wal_->commit();
+                }
                 for (auto& [from, mail] : early_mail_)
                     inner_->on_message(ctx, from, mail);
                 early_mail_.clear();
@@ -91,6 +130,8 @@ void NodeShim::handle_ctrl(Context& ctx, const codec::EnvelopeView& env) {
                 const std::lock_guard<std::mutex> guard(deliveries_mutex_);
                 done.delivered = deliveries_.size();
                 done.digest = digest_;
+                reported_ = deliveries_;
+                report_answered_ = true;
             }
             ctx.send(coordinator_,
                      encode_ctrl(CtrlMsgType::replica_done, done));
@@ -107,6 +148,11 @@ void NodeShim::handle_ctrl(Context& ctx, const codec::EnvelopeView& env) {
 std::vector<MsgId> NodeShim::deliveries() const {
     const std::lock_guard<std::mutex> guard(deliveries_mutex_);
     return deliveries_;
+}
+
+std::vector<MsgId> NodeShim::reported_deliveries() const {
+    const std::lock_guard<std::mutex> guard(deliveries_mutex_);
+    return report_answered_ ? reported_ : deliveries_;
 }
 
 // --- BenchDriver -------------------------------------------------------------
@@ -304,6 +350,12 @@ void Coordinator::handle_ctrl(Context& ctx, ProcessId from,
                 broadcast(ctx,
                           encode_ctrl(CtrlMsgType::run_spec, cfg_.spec));
                 phase_ = Phase::wait_spec_ok;
+            } else if (phase_ != Phase::wait_ready) {
+                // A READY after the spec went out is a crashed node
+                // rejoining mid-run: re-send the spec so it rebuilds its
+                // stack (its duplicate SPEC_OK folds into the set; replicas
+                // serve continuously and never need a START).
+                ctx.send(from, encode_ctrl(CtrlMsgType::run_spec, cfg_.spec));
             }
             return;
         }

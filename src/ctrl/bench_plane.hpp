@@ -46,6 +46,7 @@
 #include "client/latency_sampler.hpp"
 #include "ctrl/messages.hpp"
 #include "harness/fig_report.hpp"
+#include "wal/log.hpp"
 
 namespace wbam::ctrl {
 
@@ -54,9 +55,14 @@ namespace wbam::ctrl {
 class NodeShim final : public Process {
 public:
     // `shutdown_flag` is set (from the loop thread) when the coordinator
-    // orders SHUTDOWN; the hosting main loop polls it to exit.
+    // orders SHUTDOWN; the hosting main loop polls it to exit. `wal`, when
+    // given, is shared with the inner replica: the shim appends an
+    // app_delivered record per delivery (riding the protocol's commit
+    // batches) and rebuilds its delivery sequence + digest from the
+    // recovered records on restart, so a kill -9'd node reports the FULL
+    // run in its REPLICA_DONE digest, not just the post-restart suffix.
     NodeShim(Topology topo, ProcessId self, ProcessId coordinator,
-             std::atomic<bool>* shutdown_flag);
+             std::atomic<bool>* shutdown_flag, wal::Log* wal = nullptr);
 
     void on_start(Context& ctx) override;
     void on_message(Context& ctx, ProcessId from,
@@ -67,6 +73,14 @@ public:
     // --out files; thread-safe).
     std::vector<MsgId> deliveries() const;
 
+    // The sequence as of the last REPORT answered — the snapshot the
+    // coordinator's digest validation agreed on. Deliveries landing
+    // between that report and process exit are excluded, so the written
+    // sequence files of one group compare byte-identical even when tail
+    // traffic is still settling at the shutdown deadline. Falls back to
+    // the live sequence if no REPORT was ever answered.
+    std::vector<MsgId> reported_deliveries() const;
+
 private:
     void handle_ctrl(Context& ctx, const codec::EnvelopeView& env);
 
@@ -74,6 +88,11 @@ private:
     ProcessId self_;
     ProcessId coordinator_;
     std::atomic<bool>* shutdown_flag_;
+    wal::Log* wal_;
+    // Ids restored from the WAL: if the inner replica's replay re-emits
+    // one (at-least-once above its durable watermark), the sink drops the
+    // duplicate instead of double-counting it.
+    std::unordered_set<MsgId> replayed_;
 
     std::unique_ptr<Process> inner_;
     // Protocol traffic that raced ahead of our RUN_SPEC (a peer that
@@ -83,6 +102,8 @@ private:
 
     mutable std::mutex deliveries_mutex_;
     std::vector<MsgId> deliveries_;
+    std::vector<MsgId> reported_;  // deliveries_ at the last REPORT
+    bool report_answered_ = false;
     std::uint64_t digest_ = 0;
 };
 

@@ -6,6 +6,9 @@
 #include "common/batching.hpp"
 #include "common/log.hpp"
 #include "paxos/snapshot.hpp"
+#include "wal/log.hpp"
+#include "wal/mute_context.hpp"
+#include "wal/records.hpp"
 
 namespace wbam::fastcast {
 
@@ -31,7 +34,8 @@ FastCastReplica::FastCastReplica(const Topology& topo, ProcessId pid,
              paxos::PaxosConfig{.retry_interval = cfg.retry_interval,
                                 .cmd_cost = cfg.consensus_cmd_cost,
                                 .gc_enabled = cfg.paxos_gc_enabled,
-                                .gc_interval = cfg.paxos_gc_interval}),
+                                .gc_interval = cfg.paxos_gc_interval,
+                                .wal = cfg.wal}),
       elector_(topo.members_leader_first(topo.group_of(pid)),
                elect::ElectorConfig{cfg.election_enabled,
                                     cfg.heartbeat_interval,
@@ -56,22 +60,85 @@ FastCastReplica::FastCastReplica(const Topology& topo, ProcessId pid,
 
 void FastCastReplica::on_start(Context& ctx) {
     paxos_.start(ctx);
+    const bool restarted = cfg_.wal && !cfg_.wal->recovered().empty();
+    if (restarted) replay_wal(ctx);
     elector_.start(ctx);
     tick_timer_ = ctx.set_timer(cfg_.retry_interval);
     if (cfg_.paxos_gc_enabled)
         paxos_gc_timer_ = ctx.set_timer(cfg_.paxos_gc_interval);
+    // The elector's trust callback fires only on change, and a restarted
+    // initial leader boots already trusting itself: re-establish leadership
+    // explicitly (with a fresh ballot above the restored promise).
+    if (restarted && cfg_.election_enabled && elector_.trusts_self(ctx))
+        paxos_.maybe_lead(ctx);
+}
+
+void FastCastReplica::replay_wal(Context& ctx) {
+    wal::Log& log = *cfg_.wal;
+    // Pass 1: the last durable watermark. Restoring it before the records
+    // replay suppresses re-delivery of everything the pre-crash process
+    // already delivered and made durable (the delivery-loop guards).
+    for (const wal::Record& r : log.recovered())
+        if (r.type == wal::tag(wal::RecordType::watermark))
+            max_delivered_gts_ =
+                std::max(max_delivered_gts_, wal::decode_watermark(r.body));
+    // Pass 2: feed the paxos engine in log order. The apply callbacks
+    // rebuild the application log deterministically; sends are muted (the
+    // pre-crash process already sent the originals, and the retry/catch-up
+    // machinery re-syncs whatever peers still miss).
+    wal::MuteContext mute(ctx);
+    paxos_.begin_restore();
+    log.replay([&](std::uint8_t type, const BufferSlice& body) {
+        switch (static_cast<wal::RecordType>(type)) {
+            case wal::RecordType::paxos_promised:
+                paxos_.restore_promised(wal::decode_promised(body));
+                break;
+            case wal::RecordType::paxos_accepted: {
+                const wal::AcceptedRecord rec = wal::decode_accepted(body);
+                paxos_.restore_accepted(
+                    rec.slot, rec.ballot,
+                    paxos::Command{rec.about, rec.payload});
+                break;
+            }
+            case wal::RecordType::paxos_chosen: {
+                const wal::ChosenRecord rec = wal::decode_chosen(body);
+                paxos_.restore_chosen(mute, rec.slot,
+                                      paxos::Command{rec.about, rec.payload});
+                break;
+            }
+            case wal::RecordType::paxos_snapshot: {
+                const wal::SnapshotRecord rec = wal::decode_snapshot(body);
+                paxos_.restore_snapshot(mute, rec.snap_upto, rec.state);
+                break;
+            }
+            default:
+                break;  // watermarks were folded in during pass 1
+        }
+    });
+    paxos_.finish_restore();
+    // A follower's deliveries wait for the leader's DELIVER_FLOOR; commits
+    // replayed above the watermark drain when that floor re-announces
+    // (dispatch_timer re-sends it periodically).
+    deliver_upto(ctx, max_delivered_gts_);
+    log::info("fastcast p", pid_, " replayed ", log.recovered().size(),
+              " wal records, watermark ", to_string(max_delivered_gts_));
 }
 
 void FastCastReplica::on_message(Context& ctx, ProcessId from,
                        const BufferSlice& bytes) {
-    if (!cfg_.batching_enabled) {
+    if (!cfg_.batching_enabled && cfg_.wal == nullptr) {
         dispatch_message(ctx, from, bytes);
         return;
     }
     // Coalesce same-destination sends (the paxos phase-2 fan-out in
-    // particular) into batch frames flushed at handler exit.
+    // particular) into batch frames flushed at handler exit. With a WAL
+    // attached the flush point doubles as the group-commit point: every
+    // record this handler appended is durable (one fsync per batch in
+    // group_commit mode) before any message it produced leaves.
     BatchingContext batched(ctx, cfg_.batch_max_bytes);
     dispatch_message(batched, from, bytes);
+    if (cfg_.wal) cfg_.wal->commit();
+    batched.flush();
 }
 
 void FastCastReplica::dispatch_message(Context& ctx, ProcessId from,
@@ -91,7 +158,7 @@ void FastCastReplica::dispatch_message(Context& ctx, ProcessId from,
             handle_spec_propose(ctx, from, SpecProposeMsg::decode(env.body));
             return;
         case MsgType::confirm:
-            handle_confirm(ctx, ConfirmMsg::decode(env.body));
+            handle_confirm(ctx, from, ConfirmMsg::decode(env.body));
             return;
         case MsgType::deliver_floor:
             handle_deliver_floor(ctx, DeliverFloorMsg::decode(env.body));
@@ -285,8 +352,21 @@ void FastCastReplica::send_confirm(Context& ctx, const Entry& e,
     }
 }
 
-void FastCastReplica::handle_confirm(Context& ctx, const ConfirmMsg& m) {
+void FastCastReplica::handle_confirm(Context& ctx, ProcessId from,
+                                     const ConfirmMsg& m) {
     if (!paxos_.is_leader()) return;
+    const auto it = entries_.find(m.id);
+    if (it != entries_.end() && it->second.phase == Phase::committed &&
+        it->second.gts <= max_delivered_gts_) {
+        // Already delivered here: the sender is a recovering leader whose
+        // confirm state died with its predecessor (or whose original
+        // confirm went to ours). Answer with our durable timestamp so it
+        // can unblock; nothing to record — our exchange is complete.
+        ctx.send(from, codec::encode_envelope(
+                           proto, static_cast<std::uint8_t>(MsgType::confirm),
+                           m.id, ConfirmMsg{m.id, g0_, it->second.lts}));
+        return;
+    }
     confirmed_[m.id][m.from_group] = m.lts;
     try_deliver(ctx);
 }
@@ -366,6 +446,9 @@ void FastCastReplica::try_deliver(Context& ctx) {
         confirmed_.erase(id);
         spec_lts_.erase(id);
         last_driven_.erase(id);
+        if (cfg_.wal)
+            cfg_.wal->append(wal::tag(wal::RecordType::watermark),
+                             wal::encode_watermark(max_delivered_gts_));
         sink_(ctx, g0_, e.msg);
     }
     if (floor > bottom_ts && floor == max_delivered_gts_) {
@@ -459,6 +542,9 @@ void FastCastReplica::install_state(Context& ctx, const BufferSlice& state) {
     for (const auto& [gts, id] : replay) {
         if (gts <= max_delivered_gts_) continue;  // delivered before the gap
         max_delivered_gts_ = gts;
+        if (cfg_.wal)
+            cfg_.wal->append(wal::tag(wal::RecordType::watermark),
+                             wal::encode_watermark(max_delivered_gts_));
         sink_(ctx, g0_, entries_.at(id).msg);
     }
     log::info("fastcast p", pid_, " installed state snapshot (", n, " entries)");
@@ -477,17 +563,22 @@ void FastCastReplica::deliver_upto(Context& ctx, Timestamp floor) {
         committed_by_gts_.erase(committed_by_gts_.begin());
         if (gts <= max_delivered_gts_) continue;
         max_delivered_gts_ = gts;
+        if (cfg_.wal)
+            cfg_.wal->append(wal::tag(wal::RecordType::watermark),
+                             wal::encode_watermark(max_delivered_gts_));
         sink_(ctx, g0_, entries_.at(id).msg);
     }
 }
 
 void FastCastReplica::on_timer(Context& ctx, TimerId id) {
-    if (!cfg_.batching_enabled) {
+    if (!cfg_.batching_enabled && cfg_.wal == nullptr) {
         dispatch_timer(ctx, id);
         return;
     }
     BatchingContext batched(ctx, cfg_.batch_max_bytes);
     dispatch_timer(batched, id);
+    if (cfg_.wal) cfg_.wal->commit();
+    batched.flush();
 }
 
 void FastCastReplica::dispatch_timer(Context& ctx, TimerId id) {
@@ -501,6 +592,12 @@ void FastCastReplica::dispatch_timer(Context& ctx, TimerId id) {
     if (id != tick_timer_) return;
     tick_timer_ = ctx.set_timer(cfg_.retry_interval);
     paxos_.on_tick(ctx);
+    // Trusted group-wide but not leading and not mid-phase-1: a nacked
+    // leadership attempt (restart with a stale promise) backed off and the
+    // elector will not re-fire — without this retry nobody ever leads.
+    if (cfg_.election_enabled && elector_.trusts_self(ctx) &&
+        !paxos_.is_leader() && !paxos_.establishing())
+        paxos_.maybe_lead(ctx);
     if (!paxos_.is_leader()) return;
     // Re-drive speculation for stuck messages (lost messages, leader
     // changes here or in remote groups).
@@ -515,6 +612,26 @@ void FastCastReplica::dispatch_timer(Context& ctx, TimerId id) {
         send_confirm(ctx, e, /*broadcast=*/true);
         maybe_spec_commit(ctx, mid, e.msg);
     }
+    // Committed-but-undelivered entries: the CONFIRM exchange lives in
+    // leader-volatile state, so a leader change on either side can strand
+    // an entry with its commit chosen but its confirmations gone (the
+    // originals were unicast to a since-dead leader). Self-confirm our own
+    // durable timestamp — the applied Propose in our log IS the durable
+    // value — and re-broadcast it; the remote leader answers with its own
+    // (handle_confirm's already-delivered reply covers the asymmetric
+    // case where it has long since moved on).
+    bool reconfirmed = false;
+    for (const auto& [gts, mid] : committed_by_gts_) {
+        if (gts <= max_delivered_gts_) continue;
+        const Entry& e = entries_.at(mid);
+        auto& at = last_driven_[mid];
+        if (ctx.now() - at < cfg_.retry_interval) continue;
+        at = ctx.now();
+        confirmed_[mid][g0_] = e.lts;
+        send_confirm(ctx, e, /*broadcast=*/true);
+        reconfirmed = true;
+    }
+    if (reconfirmed) try_deliver(ctx);
     // Tentative messages whose Propose never applied (lost leadership mid
     // flight): resubmit.
     for (auto& [mid, lts] : tentative_) {

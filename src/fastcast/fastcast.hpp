@@ -242,7 +242,7 @@ private:
     void handle_multicast(Context& ctx, const AppMessage& m);
     void install_state(Context& ctx, const BufferSlice& state);
     void handle_spec_propose(Context& ctx, ProcessId from, const SpecProposeMsg& m);
-    void handle_confirm(Context& ctx, const ConfirmMsg& m);
+    void handle_confirm(Context& ctx, ProcessId from, const ConfirmMsg& m);
     void handle_deliver_floor(Context& ctx, const DeliverFloorMsg& m);
     void app_gc_tick(Context& ctx);
     void run_app_gc(Context& ctx);
@@ -259,6 +259,8 @@ private:
     void send_spec_propose(Context& ctx, const AppMessage& m, Timestamp lts,
                            bool broadcast);
     void send_confirm(Context& ctx, const Entry& e, bool broadcast);
+    // Boot-time WAL restore (two passes: watermark, then paxos records).
+    void replay_wal(Context& ctx);
 
     Topology topo_;
     ProcessId pid_;

@@ -6,6 +6,9 @@
 #include "common/batching.hpp"
 #include "common/log.hpp"
 #include "paxos/snapshot.hpp"
+#include "wal/log.hpp"
+#include "wal/mute_context.hpp"
+#include "wal/records.hpp"
 
 namespace wbam::ftskeen {
 
@@ -31,7 +34,8 @@ FtSkeenReplica::FtSkeenReplica(const Topology& topo, ProcessId pid,
              paxos::PaxosConfig{.retry_interval = cfg.retry_interval,
                                 .cmd_cost = cfg.consensus_cmd_cost,
                                 .gc_enabled = cfg.paxos_gc_enabled,
-                                .gc_interval = cfg.paxos_gc_interval}),
+                                .gc_interval = cfg.paxos_gc_interval,
+                                .wal = cfg.wal}),
       elector_(topo.members_leader_first(topo.group_of(pid)),
                elect::ElectorConfig{cfg.election_enabled,
                                     cfg.heartbeat_interval,
@@ -56,22 +60,81 @@ FtSkeenReplica::FtSkeenReplica(const Topology& topo, ProcessId pid,
 
 void FtSkeenReplica::on_start(Context& ctx) {
     paxos_.start(ctx);
+    const bool restarted = cfg_.wal && !cfg_.wal->recovered().empty();
+    if (restarted) replay_wal(ctx);
     elector_.start(ctx);
     tick_timer_ = ctx.set_timer(cfg_.retry_interval);
     if (cfg_.paxos_gc_enabled)
         paxos_gc_timer_ = ctx.set_timer(cfg_.paxos_gc_interval);
+    // The elector's trust callback fires only on change, and a restarted
+    // initial leader boots already trusting itself: re-establish leadership
+    // explicitly (with a fresh ballot above the restored promise).
+    if (restarted && cfg_.election_enabled && elector_.trusts_self(ctx))
+        paxos_.maybe_lead(ctx);
+}
+
+void FtSkeenReplica::replay_wal(Context& ctx) {
+    wal::Log& log = *cfg_.wal;
+    // Pass 1: the last durable watermark. Restoring it before the records
+    // replay suppresses re-delivery of everything the pre-crash process
+    // already delivered and made durable (try_deliver's watermark guard).
+    for (const wal::Record& r : log.recovered())
+        if (r.type == wal::tag(wal::RecordType::watermark))
+            max_delivered_gts_ =
+                std::max(max_delivered_gts_, wal::decode_watermark(r.body));
+    // Pass 2: feed the paxos engine in log order. The apply callbacks
+    // rebuild the application log deterministically; sends are muted (the
+    // pre-crash process already sent the originals, and the retry/catch-up
+    // machinery re-syncs whatever peers still miss).
+    wal::MuteContext mute(ctx);
+    paxos_.begin_restore();
+    log.replay([&](std::uint8_t type, const BufferSlice& body) {
+        switch (static_cast<wal::RecordType>(type)) {
+            case wal::RecordType::paxos_promised:
+                paxos_.restore_promised(wal::decode_promised(body));
+                break;
+            case wal::RecordType::paxos_accepted: {
+                const wal::AcceptedRecord rec = wal::decode_accepted(body);
+                paxos_.restore_accepted(
+                    rec.slot, rec.ballot,
+                    paxos::Command{rec.about, rec.payload});
+                break;
+            }
+            case wal::RecordType::paxos_chosen: {
+                const wal::ChosenRecord rec = wal::decode_chosen(body);
+                paxos_.restore_chosen(mute, rec.slot,
+                                      paxos::Command{rec.about, rec.payload});
+                break;
+            }
+            case wal::RecordType::paxos_snapshot: {
+                const wal::SnapshotRecord rec = wal::decode_snapshot(body);
+                paxos_.restore_snapshot(mute, rec.snap_upto, rec.state);
+                break;
+            }
+            default:
+                break;  // watermarks were folded in during pass 1
+        }
+    });
+    paxos_.finish_restore();
+    log::info("ftskeen p", pid_, " replayed ", log.recovered().size(),
+              " wal records, watermark ", to_string(max_delivered_gts_));
 }
 
 void FtSkeenReplica::on_message(Context& ctx, ProcessId from,
                       const BufferSlice& bytes) {
-    if (!cfg_.batching_enabled) {
+    if (!cfg_.batching_enabled && cfg_.wal == nullptr) {
         dispatch_message(ctx, from, bytes);
         return;
     }
     // Coalesce same-destination sends (the paxos phase-2 fan-out in
-    // particular) into batch frames flushed at handler exit.
+    // particular) into batch frames flushed at handler exit. With a WAL
+    // attached the flush point doubles as the group-commit point: every
+    // record this handler appended is durable (one fsync per batch in
+    // group_commit mode) before any message it produced leaves.
     BatchingContext batched(ctx, cfg_.batch_max_bytes);
     dispatch_message(batched, from, bytes);
+    if (cfg_.wal) cfg_.wal->commit();
+    batched.flush();
 }
 
 void FtSkeenReplica::dispatch_message(Context& ctx, ProcessId from,
@@ -225,8 +288,17 @@ void FtSkeenReplica::try_deliver(Context& ctx) {
         const auto& [gts, id] = *committed_by_gts_.begin();
         if (!pending_by_lts_.empty() && pending_by_lts_.begin()->first <= gts)
             break;
+        if (gts <= max_delivered_gts_) {
+            // At-or-below the restored watermark during WAL replay: the
+            // pre-crash process already delivered it.
+            committed_by_gts_.erase(committed_by_gts_.begin());
+            continue;
+        }
         Entry& e = entries_.at(id);
         max_delivered_gts_ = gts;
+        if (cfg_.wal)
+            cfg_.wal->append(wal::tag(wal::RecordType::watermark),
+                             wal::encode_watermark(max_delivered_gts_));
         sink_(ctx, g0_, e.msg);
         committed_by_gts_.erase(committed_by_gts_.begin());
     }
@@ -367,18 +439,23 @@ void FtSkeenReplica::install_state(Context& ctx, const BufferSlice& state) {
     for (const auto& [gts, id] : replay) {
         if (gts <= max_delivered_gts_) continue;  // delivered before the gap
         max_delivered_gts_ = gts;
+        if (cfg_.wal)
+            cfg_.wal->append(wal::tag(wal::RecordType::watermark),
+                             wal::encode_watermark(max_delivered_gts_));
         sink_(ctx, g0_, entries_.at(id).msg);
     }
     log::info("ftskeen p", pid_, " installed state snapshot (", n, " entries)");
 }
 
 void FtSkeenReplica::on_timer(Context& ctx, TimerId id) {
-    if (!cfg_.batching_enabled) {
+    if (!cfg_.batching_enabled && cfg_.wal == nullptr) {
         dispatch_timer(ctx, id);
         return;
     }
     BatchingContext batched(ctx, cfg_.batch_max_bytes);
     dispatch_timer(batched, id);
+    if (cfg_.wal) cfg_.wal->commit();
+    batched.flush();
 }
 
 void FtSkeenReplica::dispatch_timer(Context& ctx, TimerId id) {
@@ -392,6 +469,12 @@ void FtSkeenReplica::dispatch_timer(Context& ctx, TimerId id) {
     if (id != tick_timer_) return;
     tick_timer_ = ctx.set_timer(cfg_.retry_interval);
     paxos_.on_tick(ctx);
+    // Trusted group-wide but not leading and not mid-phase-1: a nacked
+    // leadership attempt (restart with a stale promise) backed off and the
+    // elector will not re-fire — without this retry nobody ever leads.
+    if (cfg_.election_enabled && elector_.trusts_self(ctx) &&
+        !paxos_.is_leader() && !paxos_.establishing())
+        paxos_.maybe_lead(ctx);
     if (!paxos_.is_leader()) return;
     // Re-drive everything that may have been lost across leader changes.
     for (auto& [mid, e] : entries_) {

@@ -205,6 +205,8 @@ private:
     void maybe_submit_commit(Context& ctx, MsgId id);
     void try_deliver(Context& ctx);
     void submit_propose(Context& ctx, const AppMessage& m);
+    // Boot-time WAL restore (two passes: watermark, then paxos records).
+    void replay_wal(Context& ctx);
 
     Topology topo_;
     ProcessId pid_;

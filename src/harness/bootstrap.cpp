@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "wal/log.hpp"
+
 namespace wbam::harness {
 
 namespace {
@@ -77,6 +79,13 @@ std::optional<NodeOptions> parse_node_args(int argc, const char* const* argv,
             o.topology_file = v;
         } else if ((v = flag_value(argv[i], "--out"))) {
             o.out = v;
+        } else if ((v = flag_value(argv[i], "--wal-dir"))) {
+            o.wal_dir = v;
+        } else if ((v = flag_value(argv[i], "--wal-sync"))) {
+            if (!wal::parse_sync_mode(v))
+                return bad(std::string("unknown --wal-sync=") + v +
+                           " (off|group|always)");
+            o.wal_sync = v;
         } else if (std::strcmp(argv[i], "--bench") == 0) {
             o.bench = true;
         } else if (std::strcmp(argv[i], "-v") == 0) {

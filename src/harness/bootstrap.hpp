@@ -36,6 +36,12 @@ struct NodeOptions {
     int msgs = 25;
     int payload = 32;
     std::string out;
+    // Durability: directory for this replica's write-ahead log (empty =
+    // volatile). A restarted replica replays <wal_dir>/p<pid>.wal and
+    // rejoins with its pre-crash state. `wal_sync` is the fsync policy:
+    // "off", "group" (one fsync per handler batch) or "always".
+    std::string wal_dir;
+    std::string wal_sync = "group";
     bool verbose = false;
 };
 

@@ -100,9 +100,8 @@ Cluster::Cluster(ClusterConfig cfg)
     const Topology topo = topo_;
     DeliveryLog* log = &log_;
     DeliverySink extra = cfg_.extra_sink;
-    DeliverySink sink = [log, send_acks, topo, extra](Context& ctx,
-                                                      GroupId group,
-                                                      const AppMessage& m) {
+    sink_ = [log, send_acks, topo, extra](Context& ctx, GroupId group,
+                                          const AppMessage& m) {
         log->note_delivery(ctx.now(), ctx.self(), group, m);
         if (extra) extra(ctx, group, m);
         if (!send_acks) return;
@@ -112,8 +111,8 @@ Cluster::Cluster(ClusterConfig cfg)
     };
 
     for (ProcessId p = 0; p < topo_.num_replicas(); ++p)
-        world_->add_process(p, make_replica(cfg_.kind, topo_, p, sink,
-                                            cfg_.replica));
+        world_->add_process(p, make_replica(cfg_.kind, topo_, p, sink_,
+                                            replica_config_for(p)));
     for (int c = 0; c < topo_.num_clients(); ++c) {
         auto client = std::make_unique<ScriptedClient>(topo_, &log_,
                                                        cfg_.client_retry);
@@ -121,6 +120,32 @@ Cluster::Cluster(ClusterConfig cfg)
         world_->add_process(topo_.client(c), std::move(client));
     }
     world_->start();
+}
+
+ReplicaConfig Cluster::replica_config_for(ProcessId p) const {
+    ReplicaConfig rc = cfg_.replica;
+    if (cfg_.tune_replica) cfg_.tune_replica(p, rc);
+    return rc;
+}
+
+void Cluster::restart_replica(ProcessId p) {
+    // Replay suppresses deliveries at-or-below the durable watermark but
+    // re-emits anything above it (at-least-once). Skip each message the
+    // pre-crash incarnation already recorded exactly once: a replayed
+    // duplicate passes silently, a genuine protocol double-delivery still
+    // reaches the log and fails the integrity check.
+    auto seen = std::make_shared<std::unordered_set<MsgId>>();
+    const auto it = log_.deliveries().find(p);
+    if (it != log_.deliveries().end())
+        for (const DeliveryEvent& ev : it->second) seen->insert(ev.msg);
+    DeliverySink base = sink_;
+    DeliverySink sink = [seen, base](Context& ctx, GroupId group,
+                                     const AppMessage& m) {
+        if (seen->erase(m.id)) return;
+        base(ctx, group, m);
+    };
+    world_->restart(p, make_replica(cfg_.kind, topo_, p, std::move(sink),
+                                    replica_config_for(p)));
 }
 
 ScriptedClient& Cluster::client(int idx) {

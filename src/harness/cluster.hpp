@@ -94,6 +94,9 @@ struct ClusterConfig {
     // Optional application layered over delivery (e.g. the kv store): runs
     // after the log/ack bookkeeping, on the delivering replica.
     DeliverySink extra_sink;
+    // Per-replica config override, applied after copying `replica` — the
+    // crash-restart tests use it to hand each process its own wal::Log.
+    std::function<void(ProcessId, ReplicaConfig&)> tune_replica;
 };
 
 class Cluster {
@@ -114,6 +117,15 @@ public:
     void run_for(Duration d) { world_->run_for(d); }
     void run_until(TimePoint t) { world_->run_until(t); }
 
+    // Boots a fresh incarnation of a crashed replica (crash-recovery: the
+    // replacement replays its WAL via ReplicaConfig::wal from tune_replica).
+    // Replay may legitimately re-emit deliveries above the durable
+    // watermark (at-least-once); the restart sink skips each pre-crash
+    // recorded message once so the exactly-once checker still applies to
+    // everything else. Must be called from outside a simulator event or
+    // via world().at(...).
+    void restart_replica(ProcessId p);
+
     // correct[] vector derived from crashes injected into the world.
     std::vector<bool> correct_vector() const;
     // Runs the full specification checker over the recorded run.
@@ -121,12 +133,15 @@ public:
     CheckResult check_genuine() const;
 
 private:
+    ReplicaConfig replica_config_for(ProcessId p) const;
+
     ClusterConfig cfg_;
     Topology topo_;
     DeliveryLog log_;
     std::unique_ptr<sim::World> world_;
     std::vector<ScriptedClient*> clients_;
     std::unordered_map<ProcessId, std::uint32_t> next_seq_;
+    DeliverySink sink_;  // the log/ack sink handed to every replica
 };
 
 }  // namespace wbam::harness

@@ -12,6 +12,10 @@
 #include "common/topology.hpp"
 #include "multicast/message.hpp"
 
+namespace wbam::wal {
+class Log;
+}  // namespace wbam::wal
+
 namespace wbam {
 
 // Called by a replica protocol at the moment it delivers m. The sink may
@@ -94,6 +98,16 @@ struct ReplicaConfig {
     // a real deployment, it would also require an extra round trip to make
     // recovery safe — this is exactly what the white-box trick removes).
     bool wbcast_speculative_clock = true;
+
+    // Durability: per-replica write-ahead log (nullptr = volatile, the
+    // default). The log must outlive the replica. When set, every handler
+    // runs under a BatchingContext whose flush point doubles as the WAL
+    // group-commit point: records are made durable (one fsync per batch in
+    // SyncMode::group_commit) BEFORE the handler's sends leave the process,
+    // so no acknowledged delivery can be lost to a crash. On construction
+    // the replica replays the log and rejoins via floor/catch-up
+    // (docs/ARCHITECTURE.md, "Durability & recovery").
+    wal::Log* wal = nullptr;
 };
 
 }  // namespace wbam

@@ -108,21 +108,29 @@ inline DataHeader make_data_header(std::uint64_t seq,
 // --- handshake ---------------------------------------------------------------
 
 inline constexpr std::uint32_t hello_magic = 0x5742414d;  // "WBAM"
-inline constexpr std::uint8_t wire_version = 2;
+inline constexpr std::uint8_t wire_version = 3;
 
 struct Hello {
     ProcessId from = invalid_process;  // the dialling process
     ProcessId to = invalid_process;    // the local endpoint it wants
+    // Boot nonce of the dialling PROCESS (not the connection): a changed
+    // incarnation tells the receiver the peer restarted, so its data
+    // channel begins again at seq 1 and the receive cursor must reset —
+    // otherwise every frame the new incarnation sends is dropped as a
+    // retransmit duplicate of the old one's acked history.
+    std::uint64_t incarnation = 0;
 };
 
 // Encodes the full frame payload (type byte included).
-inline Buffer encode_hello(ProcessId from, ProcessId to) {
+inline Buffer encode_hello(ProcessId from, ProcessId to,
+                           std::uint64_t incarnation) {
     codec::Writer w;
     w.u8(static_cast<std::uint8_t>(FrameType::hello));
     w.u32(hello_magic);
     w.u8(wire_version);
     w.u32(static_cast<std::uint32_t>(from));
     w.u32(static_cast<std::uint32_t>(to));
+    w.u64(incarnation);
     return std::move(w).take_buffer();
 }
 
@@ -135,6 +143,7 @@ inline std::optional<Hello> decode_hello(const BufferSlice& body) {
         Hello h;
         h.from = static_cast<ProcessId>(r.u32());
         h.to = static_cast<ProcessId>(r.u32());
+        h.incarnation = r.u64();
         r.expect_done();
         return h;
     } catch (const codec::DecodeError&) {

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <deque>
 #include <queue>
+#include <random>
 #include <thread>
 #include <unordered_set>
 
@@ -52,6 +53,8 @@ struct NetWorld::Conn {
     bool connecting = false;  // nonblocking connect(2) in progress
     bool saw_hello = false;   // inbound: first frame pending
     bool handoff = false;     // inbound: the affinity owner is another loop
+    // The dialling process's boot nonce from its HELLO (inbound only).
+    std::uint64_t peer_incarnation = 0;
     FrameReassembler in;
     // Send side: the coalescing queue owns the channel sequence counter
     // and the unacked retransmit buffer (net/send_queue.hpp).
@@ -119,6 +122,10 @@ struct NetWorld::Loop {
     // retransmission dedup-able — and stays on this loop because the
     // affinity map is a pure function of the pair.
     std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> recv_next;
+    // Last HELLO incarnation seen per channel: a change means the peer
+    // process restarted (its channel restarts at seq 1), so the cursor and
+    // the reverse channel's cumulative-ack state must reset with it.
+    std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> recv_incarnation;
     std::priority_queue<TimerFlight, std::vector<TimerFlight>, std::greater<>>
         timers;
     std::uint64_t timer_seq = 0;
@@ -139,6 +146,7 @@ struct NetWorld::Loop {
     void run();
     void execute(Command& cmd);
     void install(std::unique_ptr<Conn> conn);
+    void note_incarnation(Conn& c);
     Conn* out_conn(ProcessId from, ProcessId to);
     void note_ack(ProcessId local, ProcessId remote, std::uint64_t upto);
     void flush_acks(bool draining);
@@ -199,6 +207,13 @@ NetWorld::NetWorld(Topology topo, std::uint64_t seed, NetConfig cfg)
       epoch_(cfg_.epoch == std::chrono::steady_clock::time_point{}
                  ? std::chrono::steady_clock::now()
                  : cfg_.epoch) {
+    std::random_device rd;
+    incarnation_ = (static_cast<std::uint64_t>(rd()) << 32) ^ rd() ^
+                   static_cast<std::uint64_t>(
+                       std::chrono::system_clock::now()
+                           .time_since_epoch()
+                           .count());
+    if (incarnation_ == 0) incarnation_ = 1;
     for (int i = 0; i < nshards_; ++i) {
         auto loop = std::make_unique<Loop>();
         loop->w = this;
@@ -429,7 +444,7 @@ void NetWorld::Loop::dial(Conn& c) {
     c.connecting = rc != 0;
     // A fresh connection always opens with the identity handshake (the
     // one control frame that carries a heap payload — once per dial).
-    Buffer hello = encode_hello(c.local, c.remote);
+    Buffer hello = encode_hello(c.local, c.remote, w->incarnation_);
     DataHeader hdr;
     put_frame_header(hdr.bytes.data(), static_cast<std::uint32_t>(hello.size()));
     hdr.len = frame_header_size;
@@ -539,6 +554,9 @@ void NetWorld::Loop::install(std::unique_ptr<Conn> conn) {
     replay.swap(conn->handoff_frames);
     Conn* raw = conn.get();
     conns.push_back(std::move(conn));
+    // The HELLO was consumed on the accepting loop; apply its incarnation
+    // here, where the channel's cursor lives.
+    note_incarnation(*raw);
     for (const BufferSlice& payload : replay) {
         if (raw->fd < 0) break;
         if (!on_frame(*raw, payload)) {
@@ -547,6 +565,31 @@ void NetWorld::Loop::install(std::unique_ptr<Conn> conn) {
             close_conn(*raw);
             break;
         }
+    }
+}
+
+// A peer's HELLO announced its boot incarnation for this channel. A
+// restarted process begins its data channel at seq 1 again, and the
+// frames the OLD incarnation had acked are pruned on its side forever —
+// so keeping the old cursor would drop everything the new incarnation
+// sends as retransmit duplicates, muting it permanently. Reset the
+// cursor, and with it the reverse channel's cumulative-ack high-water
+// mark (an old `ack_upto` would over-ack the new incarnation's stream
+// and could prune frames it still needs to retransmit).
+void NetWorld::Loop::note_incarnation(Conn& c) {
+    if (c.peer_incarnation == 0) return;  // pre-incarnation peer (tests)
+    const auto channel = std::make_pair(c.remote, c.local);
+    auto [it, fresh] =
+        recv_incarnation.try_emplace(channel, c.peer_incarnation);
+    if (fresh || it->second == c.peer_incarnation) return;
+    it->second = c.peer_incarnation;
+    log::info("net: peer p", c.remote, " restarted — resetting channel p",
+              c.remote, "->p", c.local);
+    recv_next.erase(channel);
+    const auto rev = out_by_pair.find(std::make_pair(c.local, c.remote));
+    if (rev != out_by_pair.end()) {
+        rev->second->ack_pending = false;
+        rev->second->ack_upto = 0;
     }
 }
 
@@ -575,6 +618,7 @@ bool NetWorld::Loop::on_frame(Conn& c, const BufferSlice& payload) {
             c.local = hello->to;
             c.remote = hello->from;
             c.saw_hello = true;
+            c.peer_incarnation = hello->incarnation;
             // The socket was accepted on the listener's home loop, but
             // the pair's affinity may name another: flag it for handoff —
             // the fd pass ships it whole, frames drained after this one
@@ -589,6 +633,7 @@ bool NetWorld::Loop::on_frame(Conn& c, const BufferSlice& payload) {
                     other->remote == c.remote && other->local == c.local)
                     close_conn(*other);
             }
+            note_incarnation(c);
             return true;
         }
     }

@@ -158,6 +158,10 @@ private:
     Topology topo_;
     NetConfig cfg_;
     int nshards_ = 1;
+    // Boot nonce carried in every HELLO: non-deterministic on purpose (the
+    // seed repeats across restarts of the same pid, and peers use an
+    // incarnation CHANGE to reset their receive cursors — see frame.hpp).
+    std::uint64_t incarnation_ = 0;
     Rng seed_rng_;
     std::chrono::steady_clock::time_point epoch_;
     ClusterMap cluster_;

@@ -2,6 +2,8 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "wal/log.hpp"
+#include "wal/records.hpp"
 
 namespace wbam::paxos {
 
@@ -100,7 +102,14 @@ void MultiPaxos::handle_p1a(Context& ctx, ProcessId from, const P1aMsg& m) {
                                               invalid_msg, NackMsg{promised_}));
         return;
     }
-    promised_ = m.ballot;
+    if (promised_ != m.ballot) {
+        promised_ = m.ballot;
+        // A promise is a pledge to ignore lower ballots forever; forgetting
+        // it across a restart could let an old leader choose a second value.
+        if (cfg_.wal)
+            cfg_.wal->append(wal::tag(wal::RecordType::paxos_promised),
+                             wal::encode_promised(promised_));
+    }
     if (m.ballot.leader() != self_) {
         leading_ = false;
         phase1_pending_ = false;
@@ -192,7 +201,12 @@ void MultiPaxos::handle_p2a(Context& ctx, ProcessId from, const P2aMsg& m) {
                                               invalid_msg, NackMsg{promised_}));
         return;
     }
-    promised_ = m.ballot;
+    if (promised_ != m.ballot) {
+        promised_ = m.ballot;
+        if (cfg_.wal)
+            cfg_.wal->append(wal::tag(wal::RecordType::paxos_promised),
+                             wal::encode_promised(promised_));
+    }
     if (m.ballot.leader() != self_) {
         leading_ = false;
         phase1_pending_ = false;
@@ -200,7 +214,17 @@ void MultiPaxos::handle_p2a(Context& ctx, ProcessId from, const P2aMsg& m) {
     // A retried P2a for an already-chosen slot is acked but not stored:
     // the acceptor entry would never be consulted (handle_p1a skips chosen
     // slots) and would re-pin the wire image mark_chosen released.
-    if (!chosen_.count(m.slot)) accepted_[m.slot] = {m.ballot, m.cmd};
+    if (!chosen_.count(m.slot)) {
+        accepted_[m.slot] = {m.ballot, m.cmd};
+        // An accept is durable before the P2b leaves (commit precedes the
+        // batch flush): a quorum that counted us must find us again. The
+        // command payload rides as a retained slice of the wire image.
+        if (cfg_.wal)
+            cfg_.wal->append(
+                wal::tag(wal::RecordType::paxos_accepted),
+                wal::encode_accepted_meta(m.slot, m.ballot, m.cmd.about),
+                m.cmd.data);
+    }
     ctx.send(from,
              codec::encode_envelope(mod, type_of(MsgType::p2b), m.cmd.about,
                                     P2bMsg{m.ballot, m.slot}));
@@ -249,6 +273,12 @@ void MultiPaxos::mark_chosen(Context& ctx, std::uint64_t slot, Command cmd,
     // when actually inserted.
     cmd.data = cmd.data.compact();
     const auto it = chosen_.emplace(slot, std::move(cmd)).first;
+    // Appended exactly once per slot (guarded by the emplace): replay
+    // re-learns the slot and re-drives the apply path deterministically.
+    if (cfg_.wal)
+        cfg_.wal->append(wal::tag(wal::RecordType::paxos_chosen),
+                         wal::encode_chosen_meta(slot, it->second.about),
+                         it->second.data);
     if (announce) {
         std::vector<ProcessId> others;
         others.reserve(members_.size() - 1);
@@ -273,6 +303,11 @@ void MultiPaxos::handle_nack(const NackMsg& m) {
     if (m.promised > my_ballot_ && m.promised.leader() != self_) {
         leading_ = false;
         phase1_pending_ = false;
+        // Fold the revealed round into our ballot: a restarted leader's
+        // promise can be arbitrarily stale (it slept through elections),
+        // and without this the next attempt would re-pick a ballot below
+        // the nacker's promise and be refused forever.
+        my_ballot_ = Ballot{m.promised.round, self_};
     }
 }
 
@@ -417,6 +452,12 @@ void MultiPaxos::handle_catchup_snapshot(Context& ctx,
     if (m.snap_upto > applied_upto_) {
         WBAM_ASSERT_MSG(install_, "paxos snapshot received without InstallFn");
         install_(ctx, m.state);
+        // The snapshot supersedes pruned history we never logged (we were
+        // below the floor): it must survive a restart or replay would hit
+        // the same unbridgeable gap.
+        if (cfg_.wal)
+            cfg_.wal->append(wal::tag(wal::RecordType::paxos_snapshot),
+                             wal::encode_snapshot_meta(m.snap_upto), m.state);
         applied_upto_ = m.snap_upto;
         // Everything at-or-below the snapshot point is superseded by it.
         chosen_.erase(chosen_.begin(), chosen_.upper_bound(m.snap_upto));
@@ -429,6 +470,66 @@ void MultiPaxos::handle_catchup_snapshot(Context& ctx,
     // The suffix rides the normal chosen path (compaction, in-order apply).
     for (const ChosenEntry& e : m.entries) mark_chosen(ctx, e.slot, e.cmd, false);
     apply_ready(ctx);
+}
+
+// --- WAL replay --------------------------------------------------------------
+
+void MultiPaxos::begin_restore() {
+    // Drop the bootstrap leadership start() granted members[0]: a restarted
+    // member rejoins as a follower (finish_restore keeps it that way), and
+    // apply callbacks that submit() during replay are refused instead of
+    // growing inflight_ with muted proposals.
+    leading_ = false;
+    phase1_pending_ = false;
+}
+
+void MultiPaxos::restore_promised(const Ballot& b) {
+    promised_ = std::max(promised_, b);
+}
+
+void MultiPaxos::restore_accepted(std::uint64_t slot, const Ballot& b,
+                                  Command cmd) {
+    if (slot <= pruned_upto_ || chosen_.count(slot)) return;
+    // The payload aliases the log's boot image, which the wal::Log pins for
+    // its own lifetime anyway; detaching here would only duplicate it.
+    accepted_[slot] = {b, std::move(cmd)};
+}
+
+void MultiPaxos::restore_chosen(Context& ctx, std::uint64_t slot, Command cmd) {
+    // The normal learn path: compaction, in-order apply through the host's
+    // ApplyFn — this is what rebuilds the application state.
+    mark_chosen(ctx, slot, std::move(cmd), false);
+}
+
+void MultiPaxos::restore_snapshot(Context& ctx, std::uint64_t snap_upto,
+                                  const BufferSlice& state) {
+    if (snap_upto <= applied_upto_) return;
+    WBAM_ASSERT_MSG(install_, "wal snapshot replay without InstallFn");
+    install_(ctx, state);
+    applied_upto_ = snap_upto;
+    chosen_.erase(chosen_.begin(), chosen_.upper_bound(snap_upto));
+    accepted_.erase(accepted_.begin(), accepted_.upper_bound(snap_upto));
+    pruned_upto_ = std::max(pruned_upto_, snap_upto);
+    next_slot_ = std::max(next_slot_, applied_upto_ + 1);
+}
+
+void MultiPaxos::finish_restore() {
+    std::uint64_t max_slot = std::max(applied_upto_, pruned_upto_);
+    if (!chosen_.empty()) max_slot = std::max(max_slot, chosen_.rbegin()->first);
+    if (!accepted_.empty())
+        max_slot = std::max(max_slot, accepted_.rbegin()->first);
+    next_slot_ = std::max(next_slot_, max_slot + 1);
+    // Never resume leadership silently: the pre-crash leader's ballot may
+    // have been superseded while we were down. The elector re-elects us if
+    // appropriate; maybe_lead then picks a ballot above the restored
+    // promise.
+    leading_ = false;
+    phase1_pending_ = false;
+    inflight_.clear();
+    queue_.clear();
+    log::info("paxos p", self_, " restored from wal: applied ", applied_upto_,
+              ", chosen ", chosen_.size(), ", accepted ", accepted_.size(),
+              ", promised ", to_string(promised_));
 }
 
 void MultiPaxos::on_tick(Context& ctx) {

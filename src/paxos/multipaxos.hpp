@@ -16,6 +16,10 @@
 #include "common/process.hpp"
 #include "paxos/messages.hpp"
 
+namespace wbam::wal {
+class Log;
+}  // namespace wbam::wal
+
 namespace wbam::paxos {
 
 struct PaxosConfig {
@@ -30,6 +34,13 @@ struct PaxosConfig {
     // and provide state handlers (set_state_handlers) when enabling.
     bool gc_enabled = false;
     Duration gc_interval = milliseconds(250);
+    // Durability (last field: hosts initialise this struct with designated
+    // initialisers in declaration order). When set, the engine appends its
+    // acceptor/learner transitions — promised ballots, accepted and chosen
+    // commands, installed catch-up snapshots — to the write-ahead log; the
+    // host owns the log, drives commit() at its flush points, and replays
+    // it through the restore_* API on boot.
+    wal::Log* wal = nullptr;
 };
 
 class MultiPaxos {
@@ -86,6 +97,26 @@ public:
     // over fresh reports from a quorum, prunes, and announces the floor.
     // Hosts drive this from their own GC timer.
     void on_gc_tick(Context& ctx);
+
+    // -- WAL replay (boot-time restore; see ReplicaConfig::wal). Call order:
+    // start(ctx), begin_restore(), one restore_* per log record in log
+    // order (under a wal::MuteContext), finish_restore(). restore_chosen
+    // runs the normal mark_chosen → apply path (so the host applier
+    // replays deterministically); the in-replay flag on the log keeps
+    // these calls from re-appending.
+    //
+    // Drops the bootstrap leadership start() granted members[0], so apply
+    // callbacks that submit during replay queue nothing and send nothing.
+    void begin_restore();
+    void restore_promised(const Ballot& b);
+    void restore_accepted(std::uint64_t slot, const Ballot& b, Command cmd);
+    void restore_chosen(Context& ctx, std::uint64_t slot, Command cmd);
+    void restore_snapshot(Context& ctx, std::uint64_t snap_upto,
+                          const BufferSlice& state);
+    // Recomputes next_slot_ and drops any leadership the pre-crash process
+    // held: a restarted member rejoins as a follower and re-leads only via
+    // the elector (maybe_lead picks a ballot above the restored promise).
+    void finish_restore();
 
     bool is_leader() const { return leading_; }
     bool establishing() const { return phase1_pending_; }

@@ -367,6 +367,20 @@ void World::crash(ProcessId p) {
     h.active_timers.clear();
 }
 
+void World::restart(ProcessId p, std::unique_ptr<Process> proc) {
+    WBAM_ASSERT_MSG(started_, "restart() models recovery after start()");
+    Host& h = host(p);
+    WBAM_ASSERT_MSG(h.crashed, "restart() requires a crashed process");
+    // The old incarnation is destroyed before the new one boots; messages
+    // already in flight to p are delivered to the new incarnation (the
+    // network does not know the host rebooted). Timers died with the crash.
+    h.proc = std::move(proc);
+    h.crashed = false;
+    h.active_timers.clear();
+    h.busy_until = now_;
+    h.proc->on_start(h.ctx);
+}
+
 bool World::is_crashed(ProcessId p) const { return host(p).crashed; }
 
 void World::block_link(ProcessId a, ProcessId b) {

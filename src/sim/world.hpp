@@ -85,6 +85,10 @@ public:
     // -- fault & schedule injection ----------------------------------------
     void crash(ProcessId p);
     bool is_crashed(ProcessId p) const;
+    // Replaces a crashed process with a fresh incarnation and boots it
+    // (crash-recovery model: the replacement typically replays a WAL).
+    // In-flight messages addressed to p reach the new incarnation.
+    void restart(ProcessId p, std::unique_ptr<Process> proc);
     // Bidirectional partition; messages sent while blocked are held and
     // released (with fresh delays) when the link heals.
     void block_link(ProcessId a, ProcessId b);

@@ -1,0 +1,54 @@
+// Software CRC-32 (reflected polynomial 0xEDB88320, the zlib/IEEE one)
+// used to frame write-ahead-log records. Incremental: a record's checksum
+// is accumulated across its header, meta and payload parts so the
+// zero-copy append path never has to concatenate them first.
+#ifndef WBAM_WAL_CRC32_HPP
+#define WBAM_WAL_CRC32_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace wbam::wal {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+}  // namespace detail
+
+// Feeds `n` bytes into a running checksum. Start from crc32_init(),
+// finish with crc32_final().
+inline std::uint32_t crc32_update(std::uint32_t crc, const std::uint8_t* data,
+                                  std::size_t n) {
+    const auto& table = detail::crc32_table();
+    for (std::size_t i = 0; i < n; ++i)
+        crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+    return crc;
+}
+
+inline constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+inline constexpr std::uint32_t crc32_final(std::uint32_t crc) {
+    return crc ^ 0xFFFFFFFFu;
+}
+
+// One-shot convenience for contiguous data.
+inline std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+    return crc32_final(crc32_update(crc32_init(), data, n));
+}
+
+}  // namespace wbam::wal
+
+#endif  // WBAM_WAL_CRC32_HPP

@@ -1,0 +1,195 @@
+#include "wal/log.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "wal/crc32.hpp"
+
+namespace wbam::wal {
+
+namespace {
+
+// A frame longer than this is treated as corruption, not data: it bounds
+// how much a flipped length byte in a torn tail can make recovery read.
+constexpr std::uint32_t max_record_len = 64u * 1024 * 1024;
+constexpr std::size_t frame_header_size = 8;  // len u32 + crc u32
+
+std::uint32_t load_u32le(const std::uint8_t* p) {
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_u32le(std::uint8_t* p, std::uint32_t v) {
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+std::optional<SyncMode> parse_sync_mode(std::string_view s) {
+    if (s == "off") return SyncMode::off;
+    if (s == "group") return SyncMode::group_commit;
+    if (s == "always") return SyncMode::always;
+    return std::nullopt;
+}
+
+const char* to_string(SyncMode mode) {
+    switch (mode) {
+        case SyncMode::off: return "off";
+        case SyncMode::group_commit: return "group";
+        case SyncMode::always: return "always";
+    }
+    return "?";
+}
+
+Log::Log(std::string path, SyncMode mode)
+    : path_(std::move(path)), mode_(mode) {
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) return;
+    recover();
+}
+
+Log::~Log() {
+    if (fd_ < 0) return;
+    commit();
+    ::close(fd_);
+}
+
+void Log::recover() {
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        return;
+    }
+    Bytes image(static_cast<std::size_t>(st.st_size));
+    std::size_t got = 0;
+    while (got < image.size()) {
+        const ssize_t n =
+            ::read(fd_, image.data() + got, image.size() - got);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;  // short file (concurrent truncate): scan what we have
+        got += static_cast<std::size_t>(n);
+    }
+    image.resize(got);
+    const std::size_t file_size = image.size();
+    boot_image_ = Buffer(std::move(image));
+
+    // Scan the valid record prefix; the first bad frame marks the torn tail.
+    std::size_t off = 0;
+    const std::uint8_t* base = boot_image_.data();
+    while (boot_image_.size() - off >= frame_header_size) {
+        const std::uint32_t len = load_u32le(base + off);
+        const std::uint32_t crc = load_u32le(base + off + 4);
+        if (len == 0 || len > max_record_len) break;
+        if (boot_image_.size() - off - frame_header_size < len) break;
+        const std::uint8_t* payload = base + off + frame_header_size;
+        if (crc32(payload, len) != crc) break;
+        recovered_.push_back(Record{
+            payload[0],
+            boot_image_.slice(off + frame_header_size + 1, len - 1)});
+        off += frame_header_size + len;
+    }
+    stats_.records_recovered = recovered_.size();
+    stats_.truncated_bytes = file_size - off;
+    if (off < file_size) {
+        // Torn/corrupt tail: drop it so the next append starts at a clean
+        // frame boundary instead of burying garbage mid-log.
+        while (::ftruncate(fd_, static_cast<off_t>(off)) != 0 &&
+               errno == EINTR) {
+        }
+    }
+    ::lseek(fd_, static_cast<off_t>(off), SEEK_SET);
+}
+
+void Log::append(std::uint8_t type, Bytes meta, BufferSlice payload) {
+    if (fd_ < 0 || in_replay_) return;
+    const std::size_t body_size = meta.size() + payload.size();
+    const std::uint32_t len = static_cast<std::uint32_t>(1 + body_size);
+
+    Bytes head(frame_header_size + 1 + meta.size());
+    store_u32le(head.data(), len);
+    head[frame_header_size] = type;
+    if (!meta.empty())  // empty vectors may hand out a null data()
+        std::memcpy(head.data() + frame_header_size + 1, meta.data(),
+                    meta.size());
+
+    std::uint32_t crc = crc32_init();
+    crc = crc32_update(crc, head.data() + frame_header_size, 1 + meta.size());
+    if (!payload.empty()) crc = crc32_update(crc, payload.data(), payload.size());
+    store_u32le(head.data() + 4, crc32_final(crc));
+
+    pending_.push_back(Pending{std::move(head), std::move(payload)});
+    ++stats_.appends;
+    if (mode_ == SyncMode::always) commit();
+}
+
+void Log::write_pending() {
+    // One bounded writev per batch of parts; partial writes resume from
+    // wherever the kernel stopped.
+    std::vector<iovec> iov;
+    iov.reserve(pending_.size() * 2);
+    for (const Pending& p : pending_) {
+        iov.push_back({const_cast<std::uint8_t*>(p.head.data()), p.head.size()});
+        if (!p.payload.empty())
+            iov.push_back({const_cast<std::uint8_t*>(p.payload.data()),
+                           p.payload.size()});
+    }
+    std::size_t start = 0;
+    while (start < iov.size()) {
+        const int count = static_cast<int>(
+            std::min<std::size_t>(iov.size() - start, IOV_MAX));
+        const ssize_t n = ::writev(fd_, iov.data() + start, count);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            // Out of disk / bad fd: drop durability rather than loop.
+            ::close(fd_);
+            fd_ = -1;
+            return;
+        }
+        stats_.bytes_written += static_cast<std::uint64_t>(n);
+        std::size_t left = static_cast<std::size_t>(n);
+        while (left > 0 && start < iov.size()) {
+            if (left >= iov[start].iov_len) {
+                left -= iov[start].iov_len;
+                ++start;
+            } else {
+                iov[start].iov_base =
+                    static_cast<std::uint8_t*>(iov[start].iov_base) + left;
+                iov[start].iov_len -= left;
+                left = 0;
+            }
+        }
+    }
+}
+
+void Log::commit() {
+    if (fd_ < 0 || pending_.empty()) return;
+    write_pending();
+    pending_.clear();
+    if (fd_ < 0) return;
+    ++stats_.commits;
+    if (mode_ != SyncMode::off) {
+        while (::fsync(fd_) != 0 && errno == EINTR) {
+        }
+        ++stats_.fsyncs;
+    }
+}
+
+void Log::replay(const std::function<void(std::uint8_t type,
+                                          const BufferSlice& body)>& fn) {
+    in_replay_ = true;
+    for (const Record& r : recovered_) fn(r.type, r.body);
+    in_replay_ = false;
+}
+
+}  // namespace wbam::wal

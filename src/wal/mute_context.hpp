@@ -1,0 +1,38 @@
+// Context wrapper that swallows every outbound send. WAL replay re-runs
+// the same apply paths that executed before the crash (paxos mark_chosen
+// → host apply → delivery sink), and those paths emit messages — retry
+// fan-outs, delivery acks — that must not hit the network a second time:
+// the pre-crash run already sent them, and the restarted process will
+// re-sync with its peers through the normal retry/catch-up machinery.
+// Timers set during replay are also dropped (the host re-arms its timers
+// after replay via on_start-equivalent wiring).
+#ifndef WBAM_WAL_MUTE_CONTEXT_HPP
+#define WBAM_WAL_MUTE_CONTEXT_HPP
+
+#include "common/process.hpp"
+
+namespace wbam::wal {
+
+class MuteContext final : public Context {
+public:
+    explicit MuteContext(Context& inner) : inner_(inner) {}
+
+    ProcessId self() const override { return inner_.self(); }
+    TimePoint now() const override { return inner_.now(); }
+
+    void send(ProcessId, BufferSlice) override {}
+    void send_many(const std::vector<ProcessId>&, BufferSlice) override {}
+
+    TimerId set_timer(Duration) override { return invalid_timer; }
+    void cancel_timer(TimerId) override {}
+
+    Rng& rng() override { return inner_.rng(); }
+    void charge(Duration) override {}
+
+private:
+    Context& inner_;
+};
+
+}  // namespace wbam::wal
+
+#endif  // WBAM_WAL_MUTE_CONTEXT_HPP

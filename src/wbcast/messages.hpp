@@ -27,6 +27,23 @@ enum class MsgType : std::uint8_t {
     newstate_ack = 6,  // member -> new leader
     gc_status = 7,     // member -> leader: delivery progress
     gc_prune = 8,      // leader -> own group: compaction floor
+    sync_req = 9,      // restarted member -> leader: resync request
+};
+
+// Restarted member -> leader: "I rebooted from my WAL; my durable delivery
+// watermark is this — re-establish me." The leader unicasts NEW_STATE
+// followed by every committed DELIVER above the watermark in gts order;
+// FIFO channels make the member's post-install delivery stream contiguous
+// (no fresh DELIVER can overtake the backfill and punch a gap).
+struct SyncReqMsg {
+    Timestamp watermark;
+
+    void encode(codec::Writer& w) const { codec::write_field(w, watermark); }
+    static SyncReqMsg decode(codec::Reader& r) {
+        SyncReqMsg m;
+        codec::read_field(r, m.watermark);
+        return m;
+    }
 };
 
 // The vector of ballots in which each destination group's local timestamp

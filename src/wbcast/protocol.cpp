@@ -3,6 +3,8 @@
 #include "common/assert.hpp"
 #include "common/batching.hpp"
 #include "common/log.hpp"
+#include "wal/log.hpp"
+#include "wal/records.hpp"
 
 namespace wbam::wbcast {
 
@@ -10,6 +12,83 @@ namespace {
 constexpr auto proto = codec::Module::proto;
 
 std::uint8_t type_of(MsgType t) { return static_cast<std::uint8_t>(t); }
+
+// --- WAL record bodies (wal::RecordType::wb_entry / wb_status) -------------
+// wb_entry carries one message's durable ordering facts plus the logical
+// clock at append time; the payload rides as the raw suffix so the hot
+// path appends the retained wire slice without copying (wal/records.hpp
+// convention). wb_status snapshots the ballots and clock at ballot
+// transitions; `reset` marks the quorum-recompute points where the whole
+// entry table was rebuilt, so replay clears before re-installing.
+
+Bytes encode_wb_entry_meta(std::uint64_t clock, const AppMessage& m,
+                           Phase phase, Timestamp lts, Timestamp gts,
+                           bool compacted) {
+    codec::Writer w;
+    w.u64(clock);
+    w.varint(static_cast<std::uint64_t>(phase));
+    w.u64(lts.time);
+    w.zigzag(lts.group);
+    w.u64(gts.time);
+    w.zigzag(gts.group);
+    w.varint(compacted ? 1 : 0);
+    w.u64(m.id);
+    codec::write_field(w, m.dests);
+    return std::move(w).take();
+}
+
+struct WbEntryRecord {
+    std::uint64_t clock = 0;
+    EntryState es;
+};
+
+WbEntryRecord decode_wb_entry(const BufferSlice& body) {
+    codec::Reader r(body);
+    WbEntryRecord rec;
+    rec.clock = r.u64();
+    rec.es.phase = static_cast<std::uint8_t>(r.varint());
+    rec.es.lts.time = r.u64();
+    rec.es.lts.group = static_cast<GroupId>(r.zigzag());
+    rec.es.gts.time = r.u64();
+    rec.es.gts.group = static_cast<GroupId>(r.zigzag());
+    rec.es.compacted = r.varint() != 0;
+    rec.es.msg.id = r.u64();
+    codec::read_field(r, rec.es.msg.dests);
+    rec.es.msg.payload = r.take_slice(r.remaining());
+    return rec;
+}
+
+Bytes encode_wb_status(const Ballot& cballot, const Ballot& ballot,
+                       std::uint64_t clock, bool reset) {
+    codec::Writer w;
+    w.u64(cballot.round);
+    w.zigzag(cballot.proc);
+    w.u64(ballot.round);
+    w.zigzag(ballot.proc);
+    w.u64(clock);
+    w.varint(reset ? 1 : 0);
+    return std::move(w).take();
+}
+
+struct WbStatusRecord {
+    Ballot cballot;
+    Ballot ballot;
+    std::uint64_t clock = 0;
+    bool reset = false;
+};
+
+WbStatusRecord decode_wb_status(const BufferSlice& body) {
+    codec::Reader r(body);
+    WbStatusRecord rec;
+    rec.cballot.round = r.u64();
+    rec.cballot.proc = static_cast<ProcessId>(r.zigzag());
+    rec.ballot.round = r.u64();
+    rec.ballot.proc = static_cast<ProcessId>(r.zigzag());
+    rec.clock = r.u64();
+    rec.reset = r.varint() != 0;
+    r.expect_done();
+    return rec;
+}
 }  // namespace
 
 WbcastReplica::WbcastReplica(const Topology& topo, ProcessId pid,
@@ -32,22 +111,36 @@ WbcastReplica::WbcastReplica(const Topology& topo, ProcessId pid,
 }
 
 void WbcastReplica::on_start(Context& ctx) {
+    // A non-empty WAL means this is a crash-recovery restart: rebuild the
+    // pre-crash state before any timer or message can observe it. A fresh
+    // boot (empty log) keeps the constructor's bootstrap leadership.
+    if (cfg_.wal && !cfg_.wal->recovered().empty()) replay_wal(ctx);
     elector_.start(ctx);
     retry_timer_ = ctx.set_timer(cfg_.retry_interval);
     if (cfg_.gc_enabled) gc_timer_ = ctx.set_timer(cfg_.gc_interval);
+    // A restarted leader re-announces its undelivered commits; every
+    // receiver (including our own self channel) dedups by watermark. A
+    // restarted member instead asks the leader to re-establish it.
+    if (status_ == Status::leader && cfg_.wal) try_deliver(ctx);
+    if (awaiting_resync_) send_sync_req(ctx);
 }
 
 void WbcastReplica::on_message(Context& ctx, ProcessId from,
                                const BufferSlice& bytes) {
-    if (!cfg_.batching_enabled) {
+    if (!cfg_.batching_enabled && cfg_.wal == nullptr) {
         dispatch_message(ctx, from, bytes);
         return;
     }
     // Same-destination sends made while handling this message (the leader's
     // ACCEPT/DELIVER fan-out in particular) coalesce into batch frames,
-    // flushed when the decorator goes out of scope at handler exit.
+    // flushed when the decorator goes out of scope at handler exit. The WAL
+    // group-commit rides the same point: records land (and fsync, in group
+    // mode) before any message of this handler leaves, so nothing
+    // externalized is ever lost to a crash.
     BatchingContext batched(ctx, cfg_.batch_max_bytes);
     dispatch_message(batched, from, bytes);
+    if (cfg_.wal) cfg_.wal->commit();
+    batched.flush();
 }
 
 void WbcastReplica::dispatch_message(Context& ctx, ProcessId from,
@@ -90,6 +183,9 @@ void WbcastReplica::dispatch_message(Context& ctx, ProcessId from,
         case MsgType::gc_prune:
             handle_gc_prune(GcPruneMsg::decode(env.body));
             return;
+        case MsgType::sync_req:
+            handle_sync_req(ctx, from, SyncReqMsg::decode(env.body));
+            return;
     }
 }
 
@@ -109,6 +205,10 @@ void WbcastReplica::handle_multicast(Context& ctx, const AppMessage& m) {
         e.phase = Phase::proposed;
         const bool fresh = pending_by_lts_.emplace(e.lts, m.id).second;
         WBAM_ASSERT_MSG(fresh, "local timestamps must be unique at a process");
+        // The assignment is externalized by the ACCEPT below; persisting it
+        // (with the advanced clock) keeps a restarted leader from re-issuing
+        // the same local timestamp for a different message (Invariant 1).
+        log_entry(e);
     }
     // Line 9. On a duplicate MULTICAST (retry path) the stored timestamp is
     // re-sent unchanged, preserving Invariant 1 within this ballot.
@@ -163,6 +263,7 @@ void WbcastReplica::handle_accept(Context& ctx, ProcessId, const AcceptMsg& a) {
     WBAM_ASSERT(own != e.accepts.end());
     if (own->second.first != cballot_) return;
 
+    bool accepted_now = false;
     if (e.phase == Phase::start || e.phase == Phase::proposed) {
         // Lines 12-13: adopt our group's timestamp for m.
         drop_pending(e);
@@ -170,6 +271,7 @@ void WbcastReplica::handle_accept(Context& ctx, ProcessId, const AcceptMsg& a) {
         e.phase = Phase::accepted;
         const bool fresh = pending_by_lts_.emplace(e.lts, e.msg.id).second;
         WBAM_ASSERT_MSG(fresh, "accepted local timestamps must be unique");
+        accepted_now = true;
     }
     // Line 14: speculative clock advance past the future global timestamp.
     // Safe even if some proposals come from deposed leaders: the clock may
@@ -182,6 +284,11 @@ void WbcastReplica::handle_accept(Context& ctx, ProcessId, const AcceptMsg& a) {
         vec.emplace_back(g, bal_lts.first);
     }
     if (cfg_.wbcast_speculative_clock) clock_ = std::max(clock_, max_lts.time);
+    // Persist the acceptance before the ack leaves: a quorum that counted
+    // our ACCEPT_ACK must find the entry again after we restart, or the
+    // NEWLEADER recompute could lose a committed message. Logged after the
+    // speculative advance so the record's clock covers the future gts.
+    if (accepted_now) log_entry(e);
     // Lines 15-16: acknowledge to every proposing leader.
     std::vector<ProcessId> leaders;
     leaders.reserve(e.accepts.size());
@@ -242,6 +349,7 @@ void WbcastReplica::check_commit(Context& ctx, Entry& e) {
     clock_ = std::max(clock_, gts.time);
     const bool unique = committed_by_gts_.emplace(gts, e.msg.id).second;
     WBAM_ASSERT_MSG(unique, "Invariant 4: global timestamps are unique");
+    log_entry(e);
     log::debug("wbcast p", pid_, " commits ", e.msg.id, " gts ", to_string(gts));
     try_deliver(ctx);
 }
@@ -281,6 +389,13 @@ void WbcastReplica::handle_deliver(Context& ctx, const DeliverMsg& d) {
     committed_by_gts_.erase(d.gts);
     clock_ = std::max(clock_, d.gts.time);  // line 29
     max_delivered_gts_ = d.gts;
+    // Commit fact + delivery watermark, durable before the handler's
+    // group-commit releases any message (and before the app ever acks):
+    // replay re-emits exactly the deliveries above the last watermark.
+    log_entry(e);
+    if (cfg_.wal)
+        cfg_.wal->append(wal::tag(wal::RecordType::watermark),
+                         wal::encode_watermark(max_delivered_gts_));
     sink_(ctx, g0_, e.msg);  // line 31
 }
 
@@ -325,6 +440,9 @@ void WbcastReplica::handle_newleader(Context& ctx, ProcessId from,
     ballot_ = m.ballot;
     status_ = Status::recovering;  // stops normal processing (lines 11/18/25)
     if (recovery_ && recovery_->b < m.ballot) recovery_.reset();
+    // The ack below promises this ballot; the promise must survive a
+    // restart or we could ack a conflicting older candidate.
+    log_status(/*reset=*/false);
     ctx.send(from, codec::encode_envelope(
                        proto, type_of(MsgType::newleader_ack), invalid_msg,
                        NewLeaderAckMsg{m.ballot, cballot_, clock_,
@@ -418,6 +536,12 @@ void WbcastReplica::handle_newleader_ack(Context& ctx, ProcessId from,
         clock_ = std::max(clock_, ack.clock);
     cballot_ = recovery_->b;  // line 55
     recovery_->state_sent = true;
+    // The recompute replaced the whole entry table: checkpoint it (reset
+    // marker, then every surviving entry) before NEW_STATE externalizes it.
+    if (cfg_.wal) {
+        log_status(/*reset=*/true);
+        for (const auto& [id, e] : entries_) log_entry(e);
+    }
 
     // Line 56: bring a quorum of followers in sync before resuming.
     const Buffer wire = codec::encode_envelope(
@@ -431,8 +555,16 @@ void WbcastReplica::handle_newleader_ack(Context& ctx, ProcessId from,
 
 void WbcastReplica::handle_new_state(Context& ctx, ProcessId from,
                                      const NewStateMsg& m) {
-    if (status_ != Status::recovering || ballot_ != m.ballot) return;  // line 58
+    // Line 58 requires ballot_ == m.ballot within a NEWLEADER round. A
+    // resyncing restarted member may instead receive the CURRENT leader's
+    // established state under a cballot it never promised (it was down for
+    // that round); learning an established state is always safe, so only
+    // states older than our own promise are rejected.
+    if (status_ != Status::recovering || m.ballot < ballot_) return;
     status_ = Status::follower;
+    awaiting_resync_ = false;
+    sync_attempts_ = 0;
+    ballot_ = m.ballot;
     cballot_ = m.ballot;
     clock_ = m.clock;
     entries_.clear();
@@ -441,6 +573,11 @@ void WbcastReplica::handle_new_state(Context& ctx, ProcessId from,
     compacted_count_ = 0;
     for (const EntryState& es : m.entries) install_entry(es);
     recovery_.reset();
+    // Same checkpoint as the new leader's: the table was rebuilt wholesale.
+    if (cfg_.wal) {
+        log_status(/*reset=*/true);
+        for (const auto& [id, e] : entries_) log_entry(e);
+    }
     ctx.send(from, codec::encode_envelope(proto, type_of(MsgType::newstate_ack),
                                           invalid_msg,
                                           NewStateAckMsg{m.ballot}));
@@ -458,6 +595,7 @@ void WbcastReplica::handle_newstate_ack(Context& ctx, ProcessId from,
 
     status_ = Status::leader;  // line 65
     recovery_.reset();
+    awaiting_resync_ = false;  // leading supersedes any pending resync
     log::info("wbcast p", pid_, " is leader of ", to_string(cballot_));
     // Lines 66-68: re-deliver every unblocked committed message from the
     // beginning; followers (and our own upcall path) deduplicate via
@@ -505,6 +643,8 @@ void WbcastReplica::retry_stuck(Context& ctx) {
 
 void WbcastReplica::handle_gc_status(ProcessId from, const GcStatusMsg& m) {
     delivered_floor_.note(from, m.max_delivered_gts);
+    auto& prog = member_progress_[from];
+    if (m.max_delivered_gts > prog.first) prog = {m.max_delivered_gts, 0};
 }
 
 void WbcastReplica::handle_gc_prune(const GcPruneMsg& m) {
@@ -517,6 +657,7 @@ void WbcastReplica::handle_gc_prune(const GcPruneMsg& m) {
 
 void WbcastReplica::run_gc(Context& ctx) {
     delivered_floor_.note(pid_, max_delivered_gts_);
+    repair_lagging(ctx);
     const Timestamp floor = delivered_floor_.floor();
     if (floor == bottom_ts) return;
     for (auto& [id, e] : entries_) {
@@ -533,6 +674,77 @@ void WbcastReplica::run_gc(Context& ctx) {
         if (p != pid_) ctx.send(p, wire);
 }
 
+void WbcastReplica::repair_lagging(Context& ctx) {
+    // A member whose delivery watermark stalls below ours across two GC
+    // rounds stopped receiving DELIVERs; re-send everything above its
+    // watermark, in gts order (handle_deliver relies on in-order arrival
+    // per leader). Receivers deduplicate by max_delivered_gts; healthy
+    // members reset the stall counter with every advancing report, so
+    // steady-state load never triggers this. (Crash-recovery restarts do
+    // not rely on this path: they resync via SYNC_REQ before accepting
+    // any DELIVER.)
+    for (const ProcessId p : topo_.members(g0_)) {
+        if (p == pid_) continue;
+        auto& [known, stale] = member_progress_[p];
+        if (known >= max_delivered_gts_) {
+            stale = 0;
+            continue;
+        }
+        if (++stale < 2) continue;
+        resend_deliveries(ctx, p, known);
+    }
+}
+
+void WbcastReplica::resend_deliveries(Context& ctx, ProcessId to,
+                                      Timestamp above) {
+    std::map<Timestamp, MsgId> resend;
+    for (const auto& [id, e] : entries_) {
+        if (e.phase != Phase::committed || e.compacted || !e.deliver_sent)
+            continue;
+        if (e.gts > above) resend.emplace(e.gts, id);
+    }
+    for (const auto& [gts, id] : resend) {
+        const Entry& e = entries_.at(id);
+        ctx.send(to, codec::encode_envelope(
+                         proto, type_of(MsgType::deliver), id,
+                         DeliverMsg{e.msg, cballot_, e.lts, e.gts}));
+    }
+}
+
+void WbcastReplica::send_sync_req(Context& ctx) {
+    last_sync_req_ = ctx.now();
+    ++sync_attempts_;
+    const Buffer wire =
+        codec::encode_envelope(proto, type_of(MsgType::sync_req), invalid_msg,
+                               SyncReqMsg{max_delivered_gts_});
+    if (sync_attempts_ <= 2) {
+        ctx.send(cballot_.leader(), wire);
+    } else {
+        // The durable cballot's leader may itself be dead or deposed; fall
+        // back to asking the whole group — whoever leads now answers.
+        for (const ProcessId p : topo_.members(g0_))
+            if (p != pid_) ctx.send(p, wire);
+    }
+}
+
+void WbcastReplica::handle_sync_req(Context& ctx, ProcessId from,
+                                    const SyncReqMsg& m) {
+    if (status_ != Status::leader || from == pid_) return;
+    // Unicast the established state, then every committed DELIVER above
+    // the member's durable watermark in gts order. FIFO channels make the
+    // member install the state first and then apply a contiguous delivery
+    // stream: fresh DELIVERs broadcast before this handler ran arrive at
+    // the member while it is still recovering (dropped, and subsumed by
+    // the backfill); ones broadcast after it arrive after the backfill.
+    // Entries above the member's watermark are never compacted — the GC
+    // floor is capped by the member's own durable report — so the backfill
+    // always carries its payloads.
+    ctx.send(from, codec::encode_envelope(
+                       proto, type_of(MsgType::new_state), invalid_msg,
+                       NewStateMsg{cballot_, clock_, snapshot_entries()}));
+    resend_deliveries(ctx, from, m.watermark);
+}
+
 void WbcastReplica::compact(Entry& e) {
     // A message delivered by every member of the group can drop its payload
     // and vote bookkeeping; the ordering facts (lts/gts/phase) stay, so
@@ -543,15 +755,127 @@ void WbcastReplica::compact(Entry& e) {
     e.acks.clear();
     e.compacted = true;
     ++compacted_count_;
+    // Durable stub: replay must not resurrect the payload-bearing record
+    // as the live entry (the delivered floor proved everyone has it).
+    log_entry(e);
+}
+
+// --- durability --------------------------------------------------------------
+
+void WbcastReplica::log_entry(const Entry& e) {
+    if (!cfg_.wal) return;
+    cfg_.wal->append(wal::tag(wal::RecordType::wb_entry),
+                     encode_wb_entry_meta(clock_, e.msg, e.phase, e.lts, e.gts,
+                                          e.compacted),
+                     e.msg.payload);
+}
+
+void WbcastReplica::log_status(bool reset) {
+    if (!cfg_.wal) return;
+    cfg_.wal->append(wal::tag(wal::RecordType::wb_status),
+                     encode_wb_status(cballot_, ballot_, clock_, reset));
+}
+
+void WbcastReplica::restore_entry(const EntryState& es) {
+    Entry& e = entries_[es.msg.id];
+    // A later record supersedes an earlier one for the same message
+    // (proposed -> accepted -> committed -> compacted stub).
+    drop_pending(e);
+    if (e.phase == Phase::committed && !e.compacted)
+        committed_by_gts_.erase(e.gts);
+    if (e.compacted) --compacted_count_;
+    e.msg = es.msg;
+    e.phase = static_cast<Phase>(es.phase);
+    e.lts = es.lts;
+    e.gts = es.gts;
+    e.compacted = es.compacted;
+    if (e.compacted) {
+        ++compacted_count_;
+        e.deliver_sent = true;  // the floor proved full group delivery
+    }
+    if (e.phase == Phase::proposed || e.phase == Phase::accepted) {
+        const bool fresh = pending_by_lts_.emplace(e.lts, es.msg.id).second;
+        WBAM_ASSERT_MSG(fresh, "replayed local timestamps must be unique");
+    } else if (e.phase == Phase::committed && !e.compacted) {
+        const bool unique = committed_by_gts_.emplace(e.gts, es.msg.id).second;
+        WBAM_ASSERT_MSG(unique, "replayed global timestamps must be unique");
+    }
+}
+
+void WbcastReplica::replay_wal(Context&) {
+    wal::Log& log = *cfg_.wal;
+    // Pass 1: the delivery watermark, so re-installed commits at-or-below
+    // it are recognized as already delivered.
+    log.replay([&](std::uint8_t type, const BufferSlice& body) {
+        if (type != wal::tag(wal::RecordType::watermark)) return;
+        max_delivered_gts_ =
+            std::max(max_delivered_gts_, wal::decode_watermark(body));
+    });
+    // Pass 2: ballots, clock and entries, in log order. Appends are muted
+    // while replaying (wal::Log::replay), so re-running the mutations does
+    // not re-log them.
+    log.replay([&](std::uint8_t type, const BufferSlice& body) {
+        if (type == wal::tag(wal::RecordType::wb_status)) {
+            const WbStatusRecord st = decode_wb_status(body);
+            cballot_ = st.cballot;
+            ballot_ = st.ballot;
+            clock_ = std::max(clock_, st.clock);
+            if (st.reset) {
+                entries_.clear();
+                pending_by_lts_.clear();
+                committed_by_gts_.clear();
+                compacted_count_ = 0;
+            }
+        } else if (type == wal::tag(wal::RecordType::wb_entry)) {
+            const WbEntryRecord rec = decode_wb_entry(body);
+            clock_ = std::max(clock_, rec.clock);
+            restore_entry(rec.es);
+        }
+    });
+    // Delivered commits are not pending DELIVERs; their announcement was
+    // externalized (we only deliver on a received DELIVER), so they are
+    // eligible for the delivered-floor compaction again.
+    clock_ = std::max(clock_, max_delivered_gts_.time);
+    for (auto it = committed_by_gts_.begin();
+         it != committed_by_gts_.end() && it->first <= max_delivered_gts_;) {
+        entries_.at(it->second).deliver_sent = true;
+        it = committed_by_gts_.erase(it);
+    }
+    // A promise above cballot means a leader change was in flight: stay
+    // out of normal processing until its NEW_STATE (or a fresh NEWLEADER)
+    // arrives. Otherwise resume leadership only when no competing ballot
+    // can exist (elections off); with elections on, a restarted leader
+    // rejoins as a member and re-leads through the NEWLEADER round.
+    // A restarted member must NOT rejoin as a plain follower: DELIVERs it
+    // missed while down are gone, and the first fresh DELIVER would jump
+    // its watermark past the gap. It stays in recovering — dropping
+    // DELIVERs — and asks the leader for a resync (send_sync_req): the
+    // leader's NEW_STATE + in-order backfill restore a contiguous stream.
+    if (ballot_ > cballot_) {
+        status_ = Status::recovering;
+    } else if (!cfg_.election_enabled && cballot_.leader() == pid_) {
+        status_ = Status::leader;
+    } else {
+        status_ = Status::recovering;
+        awaiting_resync_ = true;
+    }
+    log::info("wbcast p", pid_, " replayed WAL: ", log.recovered().size(),
+              " records, ", entries_.size(), " entries, watermark ",
+              to_string(max_delivered_gts_), ", resumes as ",
+              status_ == Status::leader ? "leader"
+              : awaiting_resync_        ? "resyncing member"
+                                        : "recovering");
 }
 
 void WbcastReplica::on_timer(Context& ctx, TimerId id) {
-    if (!cfg_.batching_enabled) {
+    if (!cfg_.batching_enabled && cfg_.wal == nullptr) {
         dispatch_timer(ctx, id);
         return;
     }
     BatchingContext batched(ctx, cfg_.batch_max_bytes);
     dispatch_timer(batched, id);
+    if (cfg_.wal) cfg_.wal->commit();
+    batched.flush();
 }
 
 void WbcastReplica::dispatch_timer(Context& ctx, TimerId id) {
@@ -564,6 +888,11 @@ void WbcastReplica::dispatch_timer(Context& ctx, TimerId id) {
             status_ != Status::leader &&
             ctx.now() - last_recover_attempt_ >= 2 * cfg_.retry_interval)
             recover(ctx);
+        // An unanswered resync request (leader busy, dead or deposed) is
+        // retried until some leader re-establishes us.
+        if (awaiting_resync_ && status_ == Status::recovering &&
+            ctx.now() - last_sync_req_ >= cfg_.retry_interval)
+            send_sync_req(ctx);
         retry_stuck(ctx);
         return;
     }
@@ -572,10 +901,12 @@ void WbcastReplica::dispatch_timer(Context& ctx, TimerId id) {
         if (status_ == Status::leader) {
             run_gc(ctx);
         } else if (status_ == Status::follower && cballot_.leader() != pid_ &&
-                   max_delivered_gts_ > bottom_ts) {
-            // A member that has delivered nothing pins the floor at ⊥
-            // either way, so the report would be a no-op: skip it and keep
-            // idle clusters free of GC traffic.
+                   (max_delivered_gts_ > bottom_ts || !entries_.empty())) {
+            // A member with no entries and no deliveries pins the floor at
+            // ⊥ either way, so the report would be a no-op: skip it and
+            // keep idle clusters free of GC traffic. A member holding
+            // entries reports even at ⊥ — its stalled watermark is what
+            // triggers the leader's DELIVER repair after a restart.
             ctx.send(cballot_.leader(),
                      codec::encode_envelope(proto, type_of(MsgType::gc_status),
                                             invalid_msg,

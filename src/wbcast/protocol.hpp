@@ -112,7 +112,17 @@ private:
     void handle_gc_status(ProcessId from, const GcStatusMsg& m);
     void handle_gc_prune(const GcPruneMsg& m);
     void run_gc(Context& ctx);
+    void repair_lagging(Context& ctx);
+    void resend_deliveries(Context& ctx, ProcessId to, Timestamp above);
     void compact(Entry& e);
+
+    // -- durability (ReplicaConfig::wal)
+    void log_entry(const Entry& e);
+    void log_status(bool reset);
+    void replay_wal(Context& ctx);
+    void restore_entry(const EntryState& es);
+    void send_sync_req(Context& ctx);
+    void handle_sync_req(Context& ctx, ProcessId from, const SyncReqMsg& m);
 
     ProcessId leader_guess(GroupId g) const;
     void drop_pending(Entry& e);
@@ -139,10 +149,20 @@ private:
 
     std::optional<Recovery> recovery_;
     TimePoint last_recover_attempt_ = 0;
+    // Crash-recovery resync: a restarted follower stays in recovering
+    // (DELIVERs dropped) until the leader answers its SYNC_REQ with
+    // NEW_STATE + a DELIVER backfill; retried until answered.
+    bool awaiting_resync_ = false;
+    TimePoint last_sync_req_ = 0;
+    int sync_attempts_ = 0;
 
     // GC: leader-side view of each member's delivery progress.
     DeliveredFloor delivered_floor_;
     std::size_t compacted_count_ = 0;
+    // Last reported watermark per member and how many GC rounds it has
+    // stalled below ours — a stall means lost DELIVERs (crash-recovery
+    // restart), repaired by re-sending them in gts order.
+    std::map<ProcessId, std::pair<Timestamp, int>> member_progress_;
 
     std::unordered_map<GroupId, ProcessId> remote_leader_hint_;
     TimerId retry_timer_ = invalid_timer;

@@ -40,7 +40,8 @@ TEST(NetFrameTest, HeaderRoundTrip) {
 }
 
 TEST(NetFrameTest, HelloRoundTrip) {
-    const Buffer wire = encode_hello(7, 42);  // full payload: [type][body]
+    const Buffer wire =  // full payload: [type][body]
+        encode_hello(7, 42, 0xfeedf00dcafebabeull);
     ASSERT_FALSE(wire.empty());
     EXPECT_EQ(wire.data()[0], static_cast<std::uint8_t>(FrameType::hello));
     const BufferSlice body = BufferSlice(wire).subslice(1, wire.size() - 1);
@@ -48,6 +49,7 @@ TEST(NetFrameTest, HelloRoundTrip) {
     ASSERT_TRUE(hello.has_value());
     EXPECT_EQ(hello->from, 7);
     EXPECT_EQ(hello->to, 42);
+    EXPECT_EQ(hello->incarnation, 0xfeedf00dcafebabeull);
     // Garbage and truncations are rejected, never thrown.
     EXPECT_FALSE(decode_hello(Bytes{1, 2, 3}).has_value());
     EXPECT_FALSE(decode_hello(body.subslice(0, 5)).has_value());
