@@ -5,6 +5,8 @@
 //               [--measure-ms=3000] [--sample-ms=250] [--seed=1]
 //               [--batching] [--epoch-ns=T] [--net-shards=N]
 //               [--deadline-ms=120000]
+//               [--workload=bytes|kv] [--kv-keys=1000] [--kv-theta=0.99]
+//               [--kv-read-pct=50] [--kv-cross-pct=10]
 //               [--fig=7] [--out=BENCH_fig7.json] [-v]
 //
 //     Takes the coordinator seat (the LAST client pid of the topology
@@ -64,6 +66,12 @@ struct CtlOptions {
     std::uint64_t seed = 1;
     bool batching = false;
     std::int64_t epoch_ns = 0;
+    // Scale-out KV workload (run only; the sim path keeps opaque payloads)
+    ctrl::WorkloadKind workload = ctrl::WorkloadKind::bytes;
+    int kv_keys = 1000;
+    double kv_theta = 0.99;
+    int kv_read_pct = 50;
+    int kv_cross_pct = 10;
     int net_shards = 0;  // coordinator-side NetWorld shards; 0 = auto
     int fig = 7;
     bool verbose = false;
@@ -129,7 +137,28 @@ bool parse_flags(int argc, char** argv, int first, CtlOptions& o) {
         } else if ((v = flag_value(argv[i], "--epoch-ns"))) {
             o.epoch_ns = static_cast<std::int64_t>(
                 std::strtoull(v, nullptr, 10));
-        } else if (int_flag("--dest-groups", &o.dest_groups, 1, 4096) ||
+        } else if ((v = flag_value(argv[i], "--workload"))) {
+            if (std::strcmp(v, "bytes") == 0) {
+                o.workload = ctrl::WorkloadKind::bytes;
+            } else if (std::strcmp(v, "kv") == 0) {
+                o.workload = ctrl::WorkloadKind::kv;
+            } else {
+                std::fprintf(stderr, "wbamctl: unknown --workload=%s\n", v);
+                return false;
+            }
+        } else if ((v = flag_value(argv[i], "--kv-theta"))) {
+            char* end = nullptr;
+            o.kv_theta = std::strtod(v, &end);
+            if (end == v || *end != '\0' || o.kv_theta < 0 ||
+                o.kv_theta >= 1) {
+                std::fprintf(stderr,
+                             "wbamctl: --kv-theta must be in [0,1)\n");
+                std::exit(2);
+            }
+        } else if (int_flag("--kv-keys", &o.kv_keys, 2, 100'000'000) ||
+                   int_flag("--kv-read-pct", &o.kv_read_pct, 0, 100) ||
+                   int_flag("--kv-cross-pct", &o.kv_cross_pct, 0, 100) ||
+                   int_flag("--dest-groups", &o.dest_groups, 1, 4096) ||
                    int_flag("--sessions", &o.sessions, 1, 1 << 16) ||
                    int_flag("--clients", &o.clients, 0, 1 << 20) ||
                    int_flag("--payload", &o.payload, 0, 4 << 20) ||
@@ -170,6 +199,11 @@ ctrl::BenchSpec spec_from(const CtlOptions& o) {
     spec.seed = o.seed;
     spec.batching_enabled = o.batching;
     spec.net_shards = static_cast<std::uint32_t>(o.net_shards);
+    spec.workload = o.workload;
+    spec.kv_keys = static_cast<std::uint32_t>(o.kv_keys);
+    spec.kv_theta_milli = static_cast<std::uint32_t>(o.kv_theta * 1000.0);
+    spec.kv_read_pct = static_cast<std::uint32_t>(o.kv_read_pct);
+    spec.kv_cross_pct = static_cast<std::uint32_t>(o.kv_cross_pct);
     return spec;
 }
 
@@ -187,6 +221,14 @@ harness::FigReport report_skeleton(const CtlOptions& o,
                   std::to_string(spec.groups) + "x" +
                   std::to_string(spec.group_size) + " replicas, " +
                   std::to_string(spec.regions) + " regions";
+    if (o.workload == ctrl::WorkloadKind::kv) {
+        report.workload = "kv";
+        report.kv_keys = static_cast<std::uint32_t>(o.kv_keys);
+        report.kv_theta = o.kv_theta;
+        report.kv_read_pct = static_cast<std::uint32_t>(o.kv_read_pct);
+        report.kv_cross_pct = static_cast<std::uint32_t>(o.kv_cross_pct);
+        report.name += ", kv zipf " + std::to_string(o.kv_theta);
+    }
     return report;
 }
 
@@ -199,6 +241,12 @@ std::string default_out(const CtlOptions& o) {
 int cmd_run(const CtlOptions& o) {
     if (o.topology_file.empty()) {
         std::fprintf(stderr, "wbamctl run: --topology=FILE is required\n");
+        return 2;
+    }
+    if (o.kv_read_pct + o.kv_cross_pct > 100) {
+        std::fprintf(stderr,
+                     "wbamctl run: --kv-read-pct + --kv-cross-pct "
+                     "must not exceed 100\n");
         return 2;
     }
     std::string error;
@@ -275,6 +323,13 @@ int cmd_run(const CtlOptions& o) {
 int cmd_sim(const CtlOptions& o) {
     if (o.topology_file.empty()) {
         std::fprintf(stderr, "wbamctl sim: --topology=FILE is required\n");
+        return 2;
+    }
+    if (o.workload == ctrl::WorkloadKind::kv) {
+        std::fprintf(stderr,
+                     "wbamctl sim: --workload=kv is only supported by "
+                     "'run' (the sim sweep drives opaque payloads; the KV "
+                     "conservation tests cover the simulated store)\n");
         return 2;
     }
     std::string error;

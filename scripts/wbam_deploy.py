@@ -330,6 +330,11 @@ def launch_cluster(args, layout, topo_path, exec_in_region, outdir):
            f"--net-shards={args.net_shards}", f"--out={args.out}"]
     if args.batching:
         ctl.append("--batching")
+    if getattr(args, "workload", "bytes") == "kv":
+        ctl += [f"--workload=kv", f"--kv-keys={args.kv_keys}",
+                f"--kv-theta={args.kv_theta}",
+                f"--kv-read-pct={args.kv_read_pct}",
+                f"--kv-cross-pct={args.kv_cross_pct}"]
     injector = None
     try:
         coord = subprocess.Popen(exec_in_region(
@@ -557,6 +562,14 @@ def main():
         m.add_argument("--net-shards", type=int, default=0,
                        help="transport event-loop shards per process "
                             "(0 = auto: hardware concurrency)")
+        m.add_argument("--workload", default="bytes",
+                       choices=("bytes", "kv"),
+                       help="bytes = opaque-payload microbenchmark; kv = "
+                            "zipfian partitioned-store scale-out workload")
+        m.add_argument("--kv-keys", type=int, default=1000)
+        m.add_argument("--kv-theta", type=float, default=0.99)
+        m.add_argument("--kv-read-pct", type=int, default=50)
+        m.add_argument("--kv-cross-pct", type=int, default=10)
         m.add_argument("--fig", type=int, default=7)
         m.add_argument("--out", default="BENCH_fig7.json")
         m.add_argument("--expect-min-p50-ms", type=float, default=None,

@@ -76,6 +76,9 @@ void NodeShim::handle_ctrl(Context& ctx, const codec::EnvelopeView& env) {
             codec::Reader body = env.body;
             const BenchSpec spec = BenchSpec::decode(body);
             if (!inner_) {
+                if (spec.workload == WorkloadKind::kv && !kv_state_)
+                    kv_state_ = std::make_unique<kv::ShardState>(
+                        topo_.group_of(self_), topo_.num_groups());
                 DeliverySink sink = [this](Context& c, GroupId group,
                                            const AppMessage& m) {
                     {
@@ -84,6 +87,19 @@ void NodeShim::handle_ctrl(Context& ctx, const codec::EnvelopeView& env) {
                         if (!replayed_.erase(m.id)) {
                             deliveries_.push_back(m.id);
                             digest_ = fold_delivery_digest(digest_, m.id);
+                            // KV workload: payloads are encoded KvOps; apply
+                            // in delivery order so state_hash proves every
+                            // replica of the group applied the same sequence.
+                            if (kv_state_) {
+                                try {
+                                    codec::Reader r(m.payload);
+                                    kv_state_->apply(kv::KvOp::decode(r));
+                                } catch (const codec::DecodeError&) {
+                                    // Undecodable payload: counted in the
+                                    // delivery digest but not applied (same
+                                    // divergence-detection either way).
+                                }
+                            }
                             // Rides the inner replica's commit batch (the
                             // protocols commit at their dispatch exits);
                             // a no-op while its WAL replay re-emits.
@@ -130,6 +146,7 @@ void NodeShim::handle_ctrl(Context& ctx, const codec::EnvelopeView& env) {
                 const std::lock_guard<std::mutex> guard(deliveries_mutex_);
                 done.delivered = deliveries_.size();
                 done.digest = digest_;
+                done.app_hash = kv_state_ ? kv_state_->state_hash() : 0;
                 reported_ = deliveries_;
                 report_answered_ = true;
             }
@@ -227,6 +244,15 @@ void BenchDriver::begin(Context& ctx, const StartMsg& start) {
     started_ = true;
     workload_rng_ = Rng(spec_.seed * 1000003 +
                         static_cast<std::uint64_t>(ctx.self()));
+    if (spec_.workload == WorkloadKind::kv) {
+        kv::WorkloadConfig wc;
+        wc.num_groups = topo_.num_groups();
+        wc.keys = spec_.kv_keys;
+        wc.theta = static_cast<double>(spec_.kv_theta_milli) / 1000.0;
+        wc.read_pct = spec_.kv_read_pct;
+        wc.cross_pct = spec_.kv_cross_pct;
+        kv_workload_ = std::make_unique<kv::KvWorkload>(wc);
+    }
     if (start.window_open > 0) {
         // Shared clock epoch: every driver measures the same wall-clock
         // window the coordinator computed.
@@ -243,19 +269,32 @@ void BenchDriver::begin(Context& ctx, const StartMsg& start) {
 }
 
 void BenchDriver::issue(Context& ctx) {
-    const int k = topo_.num_groups();
-    const int d = std::min(static_cast<int>(spec_.dest_groups), k);
     std::vector<GroupId> dests;
-    dests.reserve(static_cast<std::size_t>(d));
-    std::unordered_set<GroupId> chosen;
-    while (static_cast<int>(dests.size()) < d) {
-        const auto g = static_cast<GroupId>(
-            workload_rng_.next_below(static_cast<std::uint64_t>(k)));
-        if (chosen.insert(g).second) dests.push_back(g);
+    BufferSlice payload;
+    if (kv_workload_) {
+        // Scale-out workload: the op's key placement decides the involved
+        // shards — single-shard gets/puts go to one group, cross-shard
+        // transfers to exactly the two owning groups (genuineness is what
+        // makes adding groups add capacity).
+        kv::KvRequest req = kv_workload_->next(workload_rng_);
+        dests = std::move(req.dests);
+        codec::Writer w;
+        req.op.encode(w);
+        payload = std::move(w).take();
+    } else {
+        const int k = topo_.num_groups();
+        const int d = std::min(static_cast<int>(spec_.dest_groups), k);
+        dests.reserve(static_cast<std::size_t>(d));
+        std::unordered_set<GroupId> chosen;
+        while (static_cast<int>(dests.size()) < d) {
+            const auto g = static_cast<GroupId>(
+                workload_rng_.next_below(static_cast<std::uint64_t>(k)));
+            if (chosen.insert(g).second) dests.push_back(g);
+        }
+        payload = Bytes(spec_.payload, 0x77);
     }
     const MsgId id = make_msg_id(ctx.self(), seq_++);
-    AppMessage m =
-        make_app_message(id, std::move(dests), Bytes(spec_.payload, 0x77));
+    AppMessage m = make_app_message(id, std::move(dests), std::move(payload));
     sampler_.note_multicast(id, ctx.now(), m.dests.size());
     const Buffer wire = encode_multicast_request(m);
     for (const GroupId g : m.dests) ctx.send(topo_.initial_leader(g), wire);
@@ -452,14 +491,15 @@ bool Coordinator::validate_groups(std::string* why) const {
         for (const ProcessId p : members) {
             const auto& done = replica_done_.at(p);
             if (done.delivered != first.delivered ||
-                done.digest != first.digest) {
+                done.digest != first.digest ||
+                done.app_hash != first.app_hash) {
                 if (why != nullptr)
                     *why = "group " + std::to_string(g) +
                            ": replica p" + std::to_string(p) + " delivered " +
                            std::to_string(done.delivered) +
                            " vs p" + std::to_string(members.front()) + "'s " +
                            std::to_string(first.delivered) +
-                           " (or diverging order digests)";
+                           " (or diverging order/app digests)";
                 return false;
             }
         }

@@ -46,6 +46,8 @@
 #include "client/latency_sampler.hpp"
 #include "ctrl/messages.hpp"
 #include "harness/fig_report.hpp"
+#include "kvstore/shard.hpp"
+#include "kvstore/workload.hpp"
 #include "wal/log.hpp"
 
 namespace wbam::ctrl {
@@ -105,6 +107,11 @@ private:
     std::vector<MsgId> reported_;  // deliveries_ at the last REPORT
     bool report_answered_ = false;
     std::uint64_t digest_ = 0;
+    // KV workload only (spec.workload == kv): this replica's shard of the
+    // partitioned store. Built at RUN_SPEC (the group/shard mapping needs
+    // the spec's word that payloads are KvOps); guarded by
+    // deliveries_mutex_ like the delivery record it rides along with.
+    std::unique_ptr<kv::ShardState> kv_state_;
 };
 
 // --- driver side -------------------------------------------------------------
@@ -150,6 +157,9 @@ private:
     // RNG), so wbamctl --seed reproduces the same workload shape across
     // runs and deployments.
     Rng workload_rng_{1};
+    // KV workload only: the zipfian op generator. Destinations come from
+    // key placement (shard_of) instead of the uniform dest_groups draw.
+    std::unique_ptr<kv::KvWorkload> kv_workload_;
     std::uint32_t seq_ = 0;
     std::unordered_map<MsgId, PendingOp> pending_;
     TimerId sample_timer_ = invalid_timer;

@@ -41,6 +41,16 @@ enum class CtrlMsgType : std::uint8_t {
     shutdown = 8,
 };
 
+// What the drivers generate: opaque byte payloads multicast to random
+// destination sets (the microbenchmark), or KV-store operations drawn
+// from the YCSB-style zipfian workload (the scale-out benchmark, where
+// each group is one shard and replicas run a kv::ShardState apply sink).
+enum class WorkloadKind : std::uint8_t { bytes = 0, kv = 1 };
+
+inline const char* to_string(WorkloadKind k) {
+    return k == WorkloadKind::kv ? "kv" : "bytes";
+}
+
 // The distributable subset of harness::ExperimentConfig: everything a
 // node needs to build its replica stack or drive its share of the load.
 struct BenchSpec {
@@ -62,6 +72,14 @@ struct BenchSpec {
     // NetWorld before the spec arrives, so this is recorded metadata for
     // the report, not a knob the spec can change remotely; 0 = auto).
     std::uint32_t net_shards = 0;
+    // Scale-out KV workload (ignored when workload == bytes): zipfian key
+    // popularity over kv_keys keys, theta in permille (990 = YCSB's 0.99;
+    // 0 = uniform), op mix read/cross-shard-transfer/add percentages.
+    WorkloadKind workload = WorkloadKind::bytes;
+    std::uint32_t kv_keys = 1000;
+    std::uint32_t kv_theta_milli = 990;
+    std::uint32_t kv_read_pct = 50;
+    std::uint32_t kv_cross_pct = 10;
 
     ReplicaConfig replica_config() const {
         ReplicaConfig cfg;
@@ -87,6 +105,11 @@ struct BenchSpec {
         w.zigzag(retry_interval);
         w.boolean(batching_enabled);
         w.varint(net_shards);
+        w.u8(static_cast<std::uint8_t>(workload));
+        w.varint(kv_keys);
+        w.varint(kv_theta_milli);
+        w.varint(kv_read_pct);
+        w.varint(kv_cross_pct);
     }
     static BenchSpec decode(codec::Reader& r) {
         BenchSpec s;
@@ -107,9 +130,21 @@ struct BenchSpec {
         s.retry_interval = r.zigzag();
         s.batching_enabled = r.boolean();
         codec::read_field(r, s.net_shards);
+        const std::uint8_t wl = r.u8();
+        if (wl > static_cast<std::uint8_t>(WorkloadKind::kv))
+            throw codec::DecodeError("unknown workload kind");
+        s.workload = static_cast<WorkloadKind>(wl);
+        codec::read_field(r, s.kv_keys);
+        codec::read_field(r, s.kv_theta_milli);
+        codec::read_field(r, s.kv_read_pct);
+        codec::read_field(r, s.kv_cross_pct);
         if (s.dest_groups == 0 || s.sessions == 0 || s.measure <= 0 ||
             s.sample_interval <= 0)
             throw codec::DecodeError("degenerate bench spec");
+        if (s.workload == WorkloadKind::kv &&
+            (s.kv_keys < 2 || s.kv_theta_milli >= 1000 ||
+             s.kv_read_pct + s.kv_cross_pct > 100))
+            throw codec::DecodeError("degenerate kv workload");
         return s;
     }
 };
@@ -205,15 +240,22 @@ struct DriverDoneMsg {
 struct ReplicaDoneMsg {
     std::uint64_t delivered = 0;
     std::uint64_t digest = 0;  // order-sensitive FNV-1a over the sequence
+    // KV workload only: the shard's order-sensitive application-state hash
+    // (kv::ShardState::state_hash). Zero for the bytes workload. Stronger
+    // than the delivery digest: it also proves every replica APPLIED the
+    // same ops in the same order, not just delivered the same ids.
+    std::uint64_t app_hash = 0;
 
     void encode(codec::Writer& w) const {
         w.varint(delivered);
         w.u64(digest);
+        w.u64(app_hash);
     }
     static ReplicaDoneMsg decode(codec::Reader& r) {
         ReplicaDoneMsg m;
         m.delivered = r.varint();
         m.digest = r.u64();
+        m.app_hash = r.u64();
         return m;
     }
 };

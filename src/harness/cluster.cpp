@@ -45,13 +45,24 @@ void ScriptedClient::on_start(Context& ctx) {
 
 void ScriptedClient::multicast(const AppMessage& m) {
     WBAM_ASSERT_MSG(ctx_ != nullptr, "multicast before start");
-    if (note_) note_(ctx_->now(), ctx_->self(), m);
-    auto& pending = pending_[m.id];
-    pending.msg = m;
+    // Normalize the destination set HERE, at the boundary where a message
+    // enters the protocol. A same-group transfer naturally produces
+    // duplicate destinations ({shard_of(from), shard_of(to)} landing on
+    // one group); unnormalized, the wire encoding is rejected by every
+    // replica's AppMessage::decode (dests must be sorted/unique), nothing
+    // ever delivers, and the completion check below — acked GROUPS vs
+    // dests entries — could never balance anyway: the client would retry
+    // forever.
+    AppMessage normalized = make_app_message(m.id, m.dests, m.payload);
+    WBAM_ASSERT_MSG(!normalized.dests.empty(), "multicast with no dests");
+    if (note_) note_(ctx_->now(), ctx_->self(), normalized);
+    auto& pending = pending_[normalized.id];
     pending.last_send = ctx_->now();
     // First attempt goes to the initial-leader guess of each group.
-    const Buffer wire = encode_multicast_request(m);
-    for (const GroupId g : m.dests) ctx_->send(topo_.initial_leader(g), wire);
+    const Buffer wire = encode_multicast_request(normalized);
+    for (const GroupId g : normalized.dests)
+        ctx_->send(topo_.initial_leader(g), wire);
+    pending.msg = std::move(normalized);
 }
 
 void ScriptedClient::on_message(Context&, ProcessId, const BufferSlice& bytes) {
@@ -155,6 +166,7 @@ ScriptedClient& Cluster::client(int idx) {
 
 MsgId Cluster::multicast_at(TimePoint t, int client_idx,
                             std::vector<GroupId> dests, BufferSlice payload) {
+    WBAM_ASSERT_MSG(!dests.empty(), "multicast with no dests");
     const ProcessId pid = topo_.client(client_idx);
     const MsgId id = make_msg_id(pid, next_seq_[pid]++);
     AppMessage m = make_app_message(id, std::move(dests), std::move(payload));

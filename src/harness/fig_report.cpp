@@ -48,6 +48,13 @@ std::string FigReport::to_json() const {
         out << "  \"distributed\": {\"driver_processes\": " << driver_processes
             << ", \"samples_streamed\": " << samples_streamed << "},\n";
     }
+    if (workload == "kv") {
+        out << "  \"workload\": {\"kind\": \"kv\", \"keys\": " << kv_keys
+            << ", \"theta\": ";
+        append_double(out, kv_theta);
+        out << ", \"read_pct\": " << kv_read_pct
+            << ", \"cross_pct\": " << kv_cross_pct << "},\n";
+    }
     out << "  \"series\": [\n";
     for (std::size_t s = 0; s < series.size(); ++s) {
         const FigSeries& sr = series[s];

@@ -43,6 +43,14 @@ struct FigReport {
     // spread across OS processes and how many raw samples were streamed.
     int driver_processes = 0;
     std::uint64_t samples_streamed = 0;
+    // Workload shape. "bytes" is the opaque-payload microbenchmark; "kv"
+    // is the partitioned-store scale-out workload, in which case the
+    // zipfian/mix parameters below are emitted as a "workload" object.
+    std::string workload = "bytes";
+    std::uint32_t kv_keys = 0;
+    double kv_theta = 0;
+    std::uint32_t kv_read_pct = 0;
+    std::uint32_t kv_cross_pct = 0;
 
     std::vector<FigSeries> series;
 

@@ -1,5 +1,7 @@
 #include "kvstore/kv_cluster.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace wbam::kv {
@@ -19,6 +21,12 @@ KvCluster::KvCluster(harness::ClusterConfig base) : groups_(base.groups) {
 
 MsgId KvCluster::submit(TimePoint t, int client, const KvOp& op,
                         std::vector<GroupId> dests) {
+    // A transfer whose two keys hash to the same shard yields duplicate
+    // destinations; normalize before the op enters the multicast layer so
+    // the message is addressed to exactly the involved groups, once each.
+    std::sort(dests.begin(), dests.end());
+    dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+    WBAM_ASSERT_MSG(!dests.empty(), "kv op with no destination shard");
     codec::Writer w;
     op.encode(w);
     return cluster_->multicast_at(t, client, std::move(dests),
@@ -34,6 +42,11 @@ MsgId KvCluster::put_at(TimePoint t, int client, const std::string& key,
 MsgId KvCluster::add_at(TimePoint t, int client, const std::string& key,
                         std::int64_t amount) {
     return submit(t, client, KvOp{OpKind::add, key, "", amount},
+                  {shard_of(key, groups_)});
+}
+
+MsgId KvCluster::get_at(TimePoint t, int client, const std::string& key) {
+    return submit(t, client, KvOp{OpKind::get, key, "", 0},
                   {shard_of(key, groups_)});
 }
 

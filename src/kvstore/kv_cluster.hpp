@@ -22,6 +22,9 @@ public:
                  std::int64_t value);
     MsgId add_at(TimePoint t, int client, const std::string& key,
                  std::int64_t amount);
+    // Ordered read: multicast to the owning shard like a write, so it is
+    // serialized against them; the delivery ack is the read receipt.
+    MsgId get_at(TimePoint t, int client, const std::string& key);
     MsgId transfer_at(TimePoint t, int client, const std::string& from_key,
                       const std::string& to_key, std::int64_t amount);
     // Store opaque bytes under a key. The blob travels zero-copy through

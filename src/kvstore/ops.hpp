@@ -14,11 +14,11 @@
 namespace wbam::kv {
 
 enum class OpKind : std::uint8_t { put = 0, add = 1, transfer = 2,
-                                   put_blob = 3 };
+                                   put_blob = 3, get = 4 };
 
 struct KvOp {
     OpKind kind = OpKind::put;
-    std::string key;        // put/add/put_blob: target; transfer: debit side
+    std::string key;        // put/add/get/put_blob: target; transfer: debit
     std::string to_key;     // transfer only: credit side
     std::int64_t value = 0; // put: new value; add/transfer: amount
     // put_blob only: opaque value bytes. Decoding from a backed Reader
@@ -36,15 +36,24 @@ struct KvOp {
     static KvOp decode(codec::Reader& r) {
         KvOp op;
         const std::uint8_t k = r.u8();
-        if (k > static_cast<std::uint8_t>(OpKind::put_blob))
+        if (k > static_cast<std::uint8_t>(OpKind::get))
             throw codec::DecodeError("unknown kv op");
         op.kind = static_cast<OpKind>(k);
         codec::read_field(r, op.key);
         codec::read_field(r, op.to_key);
         codec::read_field(r, op.value);
         codec::read_field(r, op.blob);
+        // Hostile-input hardening: an empty key has no shard placement and
+        // a transfer needs both sides named. Ops like that can only come
+        // off a malformed/forged wire, so reject at decode.
+        if (op.key.empty()) throw codec::DecodeError("kv op with empty key");
+        if (op.kind == OpKind::transfer && op.to_key.empty())
+            throw codec::DecodeError("transfer with empty to_key");
         return op;
     }
+    // Defaulted == is CONTENT equality, including the blob: BufferSlice
+    // compares bytes, not backing storage, so two equal-bytes ops decoded
+    // from different wire buffers compare equal (kvstore_test proves it).
     friend bool operator==(const KvOp&, const KvOp&) = default;
 };
 

@@ -1,8 +1,14 @@
 #include "kvstore/shard.hpp"
 
+#include "common/assert.hpp"
+
 namespace wbam::kv {
 
 GroupId shard_of(const std::string& key, int num_groups) {
+    // A non-positive group count would divide by zero below; it can only
+    // arise from a mis-built topology, never from wire input (hostile keys
+    // are rejected in KvOp::decode), so it is an invariant, not an error.
+    WBAM_ASSERT_MSG(num_groups > 0, "shard_of needs a positive group count");
     // FNV-1a.
     std::uint64_t h = 0xcbf29ce484222325ULL;
     for (const char c : key) {
@@ -42,6 +48,13 @@ void ShardState::apply(const KvOp& op) {
                 data_[op.to_key] += op.value;
                 mix(4);
             }
+            break;
+        case OpKind::get:
+            // Ordered read: delivered (and hashed) like any op so every
+            // replica observes it at the same point in the total order,
+            // but mutates nothing. The client-visible effect is the
+            // delivery ack itself — a linearizable read receipt.
+            if (shard_of(op.key, num_groups_) == shard_) mix(6);
             break;
         case OpKind::put_blob:
             if (shard_of(op.key, num_groups_) == shard_) {

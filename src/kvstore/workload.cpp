@@ -1,0 +1,90 @@
+#include "kvstore/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace wbam::kv {
+
+namespace {
+
+double zeta(std::uint64_t n, double theta) {
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+    WBAM_ASSERT_MSG(n >= 1, "zipfian needs a non-empty item space");
+    WBAM_ASSERT_MSG(theta >= 0.0 && theta < 1.0, "zipfian theta in [0,1)");
+    alpha_ = 1.0 / (1.0 - theta_);
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(std::min<std::uint64_t>(n_, 2), theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+    half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+}
+
+std::uint64_t ZipfianGenerator::next(Rng& rng) const {
+    if (n_ == 1) return 0;
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < half_pow_theta_) return 1;
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    // Floating-point slop can land exactly on n; clamp into range.
+    return std::min(rank, n_ - 1);
+}
+
+KvWorkload::KvWorkload(WorkloadConfig cfg)
+    : cfg_(cfg), zipf_(cfg.keys, cfg.theta) {
+    WBAM_ASSERT_MSG(cfg_.num_groups > 0, "workload needs groups");
+    WBAM_ASSERT_MSG(cfg_.keys >= 2, "workload needs at least two keys");
+    WBAM_ASSERT_MSG(cfg_.read_pct + cfg_.cross_pct <= 100,
+                    "op mix percentages exceed 100");
+    WBAM_ASSERT_MSG(cfg_.max_amount >= 1, "max_amount must be positive");
+}
+
+std::string KvWorkload::key_name(std::uint64_t rank) {
+    return "k" + std::to_string(rank);
+}
+
+KvRequest KvWorkload::next(Rng& rng) const {
+    KvRequest req;
+    const std::uint64_t pick = rng.next_below(100);
+    if (pick < cfg_.read_pct) {
+        req.op.kind = OpKind::get;
+        req.op.key = key_name(zipf_.next(rng));
+    } else if (pick < cfg_.read_pct + cfg_.cross_pct) {
+        // Two-key transfer between distinct keys. The keys may still land
+        // on the same shard — that is the same-group-transfer case, and
+        // the dedup below collapses it to a single destination.
+        req.op.kind = OpKind::transfer;
+        const std::uint64_t from = zipf_.next(rng);
+        std::uint64_t to = zipf_.next(rng);
+        if (to == from) to = (to + 1) % cfg_.keys;
+        req.op.key = key_name(from);
+        req.op.to_key = key_name(to);
+        req.op.value = rng.next_range(1, cfg_.max_amount);
+    } else {
+        req.op.kind = OpKind::add;
+        req.op.key = key_name(zipf_.next(rng));
+        req.op.value = rng.next_range(1, cfg_.max_amount);
+    }
+    req.dests.push_back(shard_of(req.op.key, cfg_.num_groups));
+    if (req.op.kind == OpKind::transfer)
+        req.dests.push_back(shard_of(req.op.to_key, cfg_.num_groups));
+    std::sort(req.dests.begin(), req.dests.end());
+    req.dests.erase(std::unique(req.dests.begin(), req.dests.end()),
+                    req.dests.end());
+    req.cross_shard = req.dests.size() > 1;
+    return req;
+}
+
+}  // namespace wbam::kv

@@ -1,0 +1,84 @@
+// YCSB-style workload generator for the partitioned KV store: zipfian key
+// popularity (tunable theta — 0 is uniform, 0.99 is the classic YCSB
+// skew) over a fixed keyspace, with a configurable read / write /
+// cross-shard-transfer mix. Used by the distributed bench plane
+// (ctrl::BenchDriver with BenchSpec::workload == kv) and by the sim-side
+// conservation/agreement tests, so the deployed scale-out benchmark and
+// the deterministic tests draw from the same key distribution.
+//
+// Skewed popularity is what makes the same-group-transfer path common:
+// under theta 0.99 the two keys of a transfer frequently hash to the same
+// shard, which is exactly the duplicate-destination case the multicast
+// boundary must normalize (see KvCluster::submit).
+#ifndef WBAM_KVSTORE_WORKLOAD_HPP
+#define WBAM_KVSTORE_WORKLOAD_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kvstore/ops.hpp"
+
+namespace wbam::kv {
+
+// Zipfian rank generator over [0, n) (Gray et al.'s rejection-free
+// formula, as used by YCSB): rank 0 is the most popular item. theta in
+// [0, 1); theta == 0 degenerates to the uniform distribution. Draws cost
+// O(1); construction costs O(n) to accumulate the zeta normalizer.
+class ZipfianGenerator {
+public:
+    ZipfianGenerator(std::uint64_t n, double theta);
+
+    std::uint64_t next(Rng& rng) const;
+
+    std::uint64_t n() const { return n_; }
+    double theta() const { return theta_; }
+
+private:
+    std::uint64_t n_ = 1;
+    double theta_ = 0;
+    double alpha_ = 1;
+    double zetan_ = 1;
+    double eta_ = 1;
+    double half_pow_theta_ = 1;  // 0.5^theta, the rank-1 threshold
+};
+
+struct WorkloadConfig {
+    int num_groups = 1;
+    std::uint32_t keys = 1000;   // keyspace size (>= 2 when cross_pct > 0)
+    double theta = 0.99;         // zipfian skew; 0 = uniform
+    std::uint32_t read_pct = 50;   // % ordered reads (OpKind::get)
+    std::uint32_t cross_pct = 10;  // % two-key transfers (cross-shard when
+                                   // the keys place on different groups)
+    std::int64_t max_amount = 100;  // add/transfer amounts in [1, max]
+};
+
+// One generated request: the op plus its destination groups (sorted,
+// unique, non-empty — exactly the involved shards).
+struct KvRequest {
+    KvOp op;
+    std::vector<GroupId> dests;
+    bool cross_shard = false;  // touches more than one group
+};
+
+class KvWorkload {
+public:
+    explicit KvWorkload(WorkloadConfig cfg);
+
+    // Draws the next request from `rng`. Deterministic: equal configs fed
+    // equal rng streams produce identical request sequences.
+    KvRequest next(Rng& rng) const;
+
+    // Stable key naming shared by generator and tests: rank -> key string.
+    static std::string key_name(std::uint64_t rank);
+
+    const WorkloadConfig& config() const { return cfg_; }
+
+private:
+    WorkloadConfig cfg_;
+    ZipfianGenerator zipf_;
+};
+
+}  // namespace wbam::kv
+
+#endif  // WBAM_KVSTORE_WORKLOAD_HPP

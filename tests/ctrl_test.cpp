@@ -69,6 +69,54 @@ TEST(CtrlCodecTest, BenchSpecRoundTrip) {
     EXPECT_TRUE(rc.batching_enabled);
 }
 
+TEST(CtrlCodecTest, BenchSpecKvWorkloadRoundTrip) {
+    BenchSpec spec;
+    spec.workload = ctrl::WorkloadKind::kv;
+    spec.kv_keys = 5000;
+    spec.kv_theta_milli = 850;
+    spec.kv_read_pct = 60;
+    spec.kv_cross_pct = 25;
+
+    const BenchSpec out = reencode(spec);
+    EXPECT_EQ(out.workload, ctrl::WorkloadKind::kv);
+    EXPECT_EQ(out.kv_keys, 5000u);
+    EXPECT_EQ(out.kv_theta_milli, 850u);
+    EXPECT_EQ(out.kv_read_pct, 60u);
+    EXPECT_EQ(out.kv_cross_pct, 25u);
+}
+
+TEST(CtrlCodecTest, DegenerateKvWorkloadRejected) {
+    BenchSpec spec;
+    spec.workload = ctrl::WorkloadKind::kv;
+    spec.kv_read_pct = 70;
+    spec.kv_cross_pct = 40;  // mix over 100%
+    codec::Writer w;
+    spec.encode(w);
+    const Buffer buf = std::move(w).take_buffer();
+    codec::Reader r{BufferSlice(buf)};
+    EXPECT_THROW(BenchSpec::decode(r), codec::DecodeError);
+
+    BenchSpec theta;
+    theta.workload = ctrl::WorkloadKind::kv;
+    theta.kv_theta_milli = 1000;  // theta must stay below 1
+    codec::Writer w2;
+    theta.encode(w2);
+    const Buffer buf2 = std::move(w2).take_buffer();
+    codec::Reader r2{BufferSlice(buf2)};
+    EXPECT_THROW(BenchSpec::decode(r2), codec::DecodeError);
+}
+
+TEST(CtrlCodecTest, ReplicaDoneCarriesAppHash) {
+    ctrl::ReplicaDoneMsg msg;
+    msg.delivered = 12;
+    msg.digest = 0xfeed;
+    msg.app_hash = 0xbeef;
+    const ctrl::ReplicaDoneMsg out = reencode(msg);
+    EXPECT_EQ(out.delivered, 12u);
+    EXPECT_EQ(out.digest, 0xfeedu);
+    EXPECT_EQ(out.app_hash, 0xbeefu);
+}
+
 TEST(CtrlCodecTest, DegenerateSpecRejected) {
     BenchSpec spec;
     spec.sessions = 0;  // a driver with zero sessions can never finish
@@ -254,6 +302,27 @@ TEST(CtrlPlaneTest, DistributedRunProducesMergedValidatedResult) {
                       first)
                 << "replica p" << p << " diverges in group " << g;
     }
+}
+
+// The scale-out workload end to end: drivers issue zipfian KV ops whose
+// destinations come from key placement, replicas apply them into their
+// shard, and the coordinator's REPLICA_DONE check now certifies the
+// APPLICATION state hash per group on top of the delivery digest.
+TEST(CtrlPlaneTest, KvWorkloadRunValidatesAppState) {
+    ctrl::CoordinatorConfig ccfg = quick_config();
+    ccfg.spec.workload = ctrl::WorkloadKind::kv;
+    ccfg.spec.kv_keys = 100;
+    ccfg.spec.kv_theta_milli = 990;
+    ccfg.spec.kv_read_pct = 40;
+    ccfg.spec.kv_cross_pct = 20;
+    BenchFixture fx(ccfg, 229);
+    ASSERT_TRUE(fx.await_finished(seconds(90)))
+        << "coordinator stuck: " << fx.coordinator->error();
+    fx.shutdown();
+    ASSERT_TRUE(fx.coordinator->succeeded()) << fx.coordinator->error();
+    const harness::FigPoint pt = fx.coordinator->result_point();
+    EXPECT_GT(pt.ops, 0u);
+    EXPECT_GT(pt.throughput_ops_s, 0.0);
 }
 
 TEST(CtrlPlaneTest, RelativeWindowsWorkWithoutSharedEpoch) {

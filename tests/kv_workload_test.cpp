@@ -1,0 +1,201 @@
+// Tests of the YCSB-style KV workload generator: zipfian shape at the
+// uniform and skewed ends, deterministic replay, destination-set
+// invariants (sorted/unique/non-empty — the contract the multicast
+// boundary relies on), and balance conservation when a generated
+// multi-group schedule is driven through the replicated store.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "kvstore/kv_cluster.hpp"
+#include "kvstore/workload.hpp"
+
+namespace wbam::kv {
+namespace {
+
+TEST(ZipfianTest, ThetaZeroIsUniform) {
+    const std::uint64_t n = 100;
+    ZipfianGenerator zipf(n, 0.0);
+    Rng rng(42);
+    const int draws = 100'000;
+    std::vector<int> freq(n, 0);
+    for (int i = 0; i < draws; ++i) {
+        const std::uint64_t r = zipf.next(rng);
+        ASSERT_LT(r, n);
+        ++freq[static_cast<std::size_t>(r)];
+    }
+    // Every rank hit, and no rank far from the uniform share (1%).
+    const double expect = static_cast<double>(draws) / static_cast<double>(n);
+    for (std::uint64_t r = 0; r < n; ++r) {
+        EXPECT_GT(freq[r], 0) << "rank " << r;
+        EXPECT_NEAR(static_cast<double>(freq[r]), expect, expect * 0.25)
+            << "rank " << r;
+    }
+}
+
+TEST(ZipfianTest, ThetaYcsbIsHeavilySkewed) {
+    const std::uint64_t n = 1000;
+    ZipfianGenerator zipf(n, 0.99);
+    Rng rng(7);
+    const int draws = 100'000;
+    std::vector<int> freq(n, 0);
+    for (int i = 0; i < draws; ++i) {
+        const std::uint64_t r = zipf.next(rng);
+        ASSERT_LT(r, n);
+        ++freq[static_cast<std::size_t>(r)];
+    }
+    // Rank 0's analytic share is 1/zeta(1000, 0.99) ~= 12%; uniform would
+    // be 0.1%. Assert well inside that gap, and that popularity decays.
+    EXPECT_GT(freq[0], draws / 20);
+    EXPECT_GT(freq[0], freq[10]);
+    EXPECT_GT(freq[10], freq[500] - draws / 200);
+    int head = 0;
+    for (int r = 0; r < 10; ++r) head += freq[static_cast<std::size_t>(r)];
+    EXPECT_GT(head, draws / 3);  // top-1% of keys draw >1/3 of the load
+}
+
+TEST(KvWorkloadTest, DeterministicAcrossEqualSeeds) {
+    WorkloadConfig wc;
+    wc.num_groups = 4;
+    wc.keys = 50;
+    wc.theta = 0.9;
+    wc.read_pct = 40;
+    wc.cross_pct = 30;
+    const KvWorkload wl(wc);
+    Rng a(123), b(123), c(124);
+    bool diverged = false;
+    for (int i = 0; i < 500; ++i) {
+        const KvRequest ra = wl.next(a);
+        const KvRequest rb = wl.next(b);
+        EXPECT_EQ(ra.op, rb.op) << "draw " << i;
+        EXPECT_EQ(ra.dests, rb.dests) << "draw " << i;
+        const KvRequest rc = wl.next(c);
+        if (!(rc.op == ra.op)) diverged = true;
+    }
+    EXPECT_TRUE(diverged);  // a different seed is a different schedule
+}
+
+TEST(KvWorkloadTest, DestinationsAreSortedUniqueAndMatchPlacement) {
+    WorkloadConfig wc;
+    wc.num_groups = 3;
+    wc.keys = 40;
+    wc.theta = 0.99;
+    wc.read_pct = 20;
+    wc.cross_pct = 50;  // lots of transfers: exercise the same-shard case
+    const KvWorkload wl(wc);
+    Rng rng(9);
+    int same_shard_transfers = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const KvRequest req = wl.next(rng);
+        ASSERT_FALSE(req.dests.empty());
+        ASSERT_TRUE(std::is_sorted(req.dests.begin(), req.dests.end()));
+        ASSERT_TRUE(std::adjacent_find(req.dests.begin(), req.dests.end()) ==
+                    req.dests.end());
+        ASSERT_FALSE(req.op.key.empty());
+        EXPECT_EQ(req.cross_shard, req.dests.size() > 1);
+        if (req.op.kind == OpKind::transfer) {
+            EXPECT_NE(req.op.key, req.op.to_key);
+            // Destinations are exactly the owning shards of the two keys.
+            std::vector<GroupId> expect{shard_of(req.op.key, wc.num_groups),
+                                        shard_of(req.op.to_key,
+                                                 wc.num_groups)};
+            std::sort(expect.begin(), expect.end());
+            expect.erase(std::unique(expect.begin(), expect.end()),
+                         expect.end());
+            EXPECT_EQ(req.dests, expect);
+            if (req.dests.size() == 1) ++same_shard_transfers;
+        } else {
+            ASSERT_EQ(req.dests.size(), 1u);
+            EXPECT_EQ(req.dests[0], shard_of(req.op.key, wc.num_groups));
+        }
+    }
+    // The skewed keyspace makes same-shard transfers common — the exact
+    // case the duplicate-destination fix exists for.
+    EXPECT_GT(same_shard_transfers, 0);
+}
+
+TEST(KvWorkloadTest, MixRespectsPercentages) {
+    WorkloadConfig wc;
+    wc.num_groups = 2;
+    wc.keys = 10;
+    wc.theta = 0.0;
+    Rng rng(31);
+
+    wc.read_pct = 100;
+    wc.cross_pct = 0;
+    const KvWorkload reads(wc);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(reads.next(rng).op.kind, OpKind::get);
+
+    wc.read_pct = 0;
+    wc.cross_pct = 100;
+    const KvWorkload transfers(wc);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(transfers.next(rng).op.kind, OpKind::transfer);
+
+    wc.read_pct = 0;
+    wc.cross_pct = 0;
+    const KvWorkload writes(wc);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(writes.next(rng).op.kind, OpKind::add);
+}
+
+// A generated schedule driven through the real replicated store over a
+// randomized multi-group topology: money moves between shards but the
+// cluster-wide balance is conserved on every replica, and every shard's
+// replicas agree bit-for-bit.
+TEST(KvWorkloadClusterTest, GeneratedScheduleConservesBalance) {
+    harness::ClusterConfig cfg;
+    cfg.kind = harness::ProtocolKind::wbcast;
+    cfg.groups = 3;
+    cfg.group_size = 3;
+    cfg.clients = 2;
+    cfg.seed = 17;
+    cfg.delta = milliseconds(1);
+    KvCluster kv(cfg);
+
+    WorkloadConfig wc;
+    wc.num_groups = cfg.groups;
+    wc.keys = 20;
+    wc.theta = 0.9;
+    wc.read_pct = 20;
+    wc.cross_pct = 40;
+    const KvWorkload wl(wc);
+
+    std::int64_t expected = 0;
+    for (std::uint64_t rank = 0; rank < wc.keys; ++rank) {
+        kv.put_at(static_cast<TimePoint>(rank) * microseconds(100), 0,
+                  KvWorkload::key_name(rank), 100);
+        expected += 100;
+    }
+    Rng rng(5);
+    TimePoint t = milliseconds(20);
+    for (int i = 0; i < 80; ++i) {
+        const KvRequest req = wl.next(rng);
+        const int client = static_cast<int>(rng.next_below(2));
+        switch (req.op.kind) {
+            case OpKind::get:
+                kv.get_at(t, client, req.op.key);
+                break;
+            case OpKind::add:
+                kv.add_at(t, client, req.op.key, req.op.value);
+                expected += req.op.value;  // adds mint; transfers only move
+                break;
+            default:
+                kv.transfer_at(t, client, req.op.key, req.op.to_key,
+                               req.op.value);
+                break;
+        }
+        t += microseconds(250);
+    }
+    kv.run_for(milliseconds(500));
+    EXPECT_TRUE(kv.cluster().check().ok()) << kv.cluster().check().summary();
+    EXPECT_TRUE(kv.replicas_agree());
+    EXPECT_EQ(kv.cluster().client(0).pending_count(), 0u);
+    EXPECT_EQ(kv.cluster().client(1).pending_count(), 0u);
+    for (int r = 0; r < cfg.group_size; ++r)
+        EXPECT_EQ(kv.total_balance(r), expected) << "replica index " << r;
+}
+
+}  // namespace
+}  // namespace wbam::kv

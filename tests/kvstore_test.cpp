@@ -190,6 +190,124 @@ TEST(KvClusterTest, BlobValuesSurviveOriginatingBufferRelease) {
     }
 }
 
+// Two distinct keys that hash to the same shard (found by scanning
+// numbered keys — FNV-1a's odd multiplier makes some fixed-suffix walks
+// never change placement, so never search by appending one character).
+std::pair<std::string, std::string> same_shard_pair(int groups, GroupId g) {
+    std::vector<std::string> found;
+    for (int i = 0; found.size() < 2 && i < 10'000; ++i) {
+        std::string key = "acct-" + std::to_string(i);
+        if (shard_of(key, groups) == g) found.push_back(std::move(key));
+    }
+    EXPECT_EQ(found.size(), 2u);
+    return {found[0], found[1]};
+}
+
+// REGRESSION (the headline bug): a multicast whose destination list names
+// the same group twice — exactly what a same-group transfer produces —
+// must be normalized at the client boundary. Unnormalized, the duplicate
+// survives onto the wire, AppMessage::decode rejects the request at every
+// replica, nothing ever delivers, and the client retries forever. This
+// test drives the raw ScriptedClient boundary, so on pre-fix code it
+// fails (fully_acked stays false and the op never applies).
+TEST(KvClusterTest, DuplicateDestinationMulticastCompletes) {
+    harness::ClusterConfig cfg;
+    cfg.kind = harness::ProtocolKind::wbcast;
+    cfg.groups = 2;
+    cfg.clients = 1;
+    cfg.client_retry = milliseconds(20);
+    harness::Cluster c(cfg);
+    const GroupId g = 1;
+    const MsgId id = make_msg_id(c.topo().client(0), 0);
+    c.world().at(microseconds(10), [&c, id, g] {
+        c.client(0).multicast(AppMessage{id, {g, g}, {}});
+    });
+    c.run_for(milliseconds(200));
+    EXPECT_TRUE(c.client(0).fully_acked(id));
+    EXPECT_EQ(c.client(0).pending_count(), 0u);
+    EXPECT_TRUE(c.check().ok()) << c.check().summary();
+    // Delivered exactly once per replica of the one involved group, and
+    // nowhere else (dedup must not widen the destination set either).
+    for (ProcessId p = 0; p < c.topo().num_replicas(); ++p) {
+        std::size_t n = 0;
+        const auto it = c.log().deliveries().find(p);
+        if (it != c.log().deliveries().end())
+            for (const auto& ev : it->second)
+                if (ev.msg == id) ++n;
+        EXPECT_EQ(n, c.topo().group_of(p) == g ? 1u : 0u) << "replica " << p;
+    }
+}
+
+// Same bug at the application layer: a transfer between two keys of the
+// SAME shard must complete (client ack path unblocks) and apply exactly
+// once — debit and credit both land, no double-apply from a duplicated
+// destination entry.
+TEST(KvClusterTest, SameGroupTransferCompletesAndAppliesOnce) {
+    const int groups = 3;
+    KvCluster kv(kv_config(ProtocolKind::wbcast, groups, 1));
+    const auto [from, to] = same_shard_pair(groups, 1);
+    kv.put_at(0, 0, from, 100);
+    kv.put_at(microseconds(100), 0, to, 100);
+    const MsgId id = kv.transfer_at(milliseconds(1), 0, from, to, 30);
+    kv.run_for(milliseconds(200));
+    EXPECT_TRUE(kv.cluster().client(0).fully_acked(id));
+    EXPECT_EQ(kv.cluster().client(0).pending_count(), 0u);
+    EXPECT_TRUE(kv.cluster().check().ok()) << kv.cluster().check().summary();
+    EXPECT_TRUE(kv.replicas_agree());
+    for (const ProcessId p : kv.topo().members(1)) {
+        EXPECT_EQ(kv.read(p, from), 70) << "replica " << p;
+        EXPECT_EQ(kv.read(p, to), 130) << "replica " << p;
+    }
+    EXPECT_EQ(kv.total_balance(), 200);
+}
+
+// Ordered reads ride the same total order as writes: a get delivered
+// after a put observes it on every replica of the owning shard, and the
+// get itself changes no state.
+TEST(KvClusterTest, GetIsOrderedAndReadOnly) {
+    KvCluster kv(kv_config(ProtocolKind::wbcast, 2, 1));
+    kv.put_at(0, 0, "alpha", 42);
+    const MsgId id = kv.get_at(milliseconds(5), 0, "alpha");
+    kv.run_for(milliseconds(100));
+    EXPECT_TRUE(kv.cluster().client(0).fully_acked(id));
+    EXPECT_TRUE(kv.replicas_agree());
+    const GroupId g = shard_of("alpha", 2);
+    for (const ProcessId p : kv.topo().members(g))
+        EXPECT_EQ(kv.read(p, "alpha"), 42) << "replica " << p;
+    EXPECT_EQ(kv.total_balance(), 42);
+}
+
+// KvOp equality is CONTENT equality, including the blob: two ops decoded
+// from different wire buffers (different backing storage) compare equal
+// when their bytes match, and unequal the moment any byte differs.
+TEST(KvOpTest, EqualityComparesBlobContentsNotStorage) {
+    const KvOp original{OpKind::put_blob, "photo", "", 0,
+                        BufferSlice{Bytes{10, 20, 30}}};
+    codec::Writer w1;
+    original.encode(w1);
+    const Buffer wire1 = std::move(w1).take_buffer();
+    codec::Writer w2;
+    original.encode(w2);
+    const Buffer wire2 = std::move(w2).take_buffer();
+
+    codec::Reader r1{BufferSlice(wire1)};
+    const KvOp a = KvOp::decode(r1);
+    codec::Reader r2{BufferSlice(wire2)};
+    const KvOp b = KvOp::decode(r2);
+    // Distinct storage (each aliases its own wire image)…
+    ASSERT_FALSE(same_storage(a.blob, b.blob));
+    // …but equal content means equal ops.
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, original);
+
+    KvOp c = original;
+    c.blob = BufferSlice{Bytes{10, 20, 31}};
+    EXPECT_NE(a, c);
+    KvOp d = original;
+    d.value = 1;
+    EXPECT_NE(a, d);
+}
+
 TEST(KvClusterTest, SurvivesLeaderCrash) {
     ClusterConfig cfg = kv_config(ProtocolKind::wbcast, 3, 2, 21);
     cfg.replica.heartbeat_interval = milliseconds(5);

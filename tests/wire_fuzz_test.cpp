@@ -7,6 +7,7 @@
 #include "fastcast/fastcast.hpp"
 #include "ftskeen/ftskeen.hpp"
 #include "harness/cluster.hpp"
+#include "kvstore/ops.hpp"
 #include "paxos/messages.hpp"
 #include "skeen/skeen.hpp"
 #include "wbcast/messages.hpp"
@@ -70,6 +71,47 @@ TEST(WireRoundTripTest, BaselineMessages) {
     expect_roundtrip(fastcast::ProposeCmd{sample_msg(), Timestamp{1, 0}});
     expect_roundtrip(fastcast::CommitCmd{
         7, {{0, Timestamp{1, 0}}, {2, Timestamp{2, 2}}}});
+}
+
+TEST(WireRoundTripTest, KvOps) {
+    expect_roundtrip(kv::KvOp{kv::OpKind::put, "alpha", "", 42});
+    expect_roundtrip(kv::KvOp{kv::OpKind::add, "k7", "", -3});
+    expect_roundtrip(kv::KvOp{kv::OpKind::get, "hot", "", 0});
+    expect_roundtrip(kv::KvOp{kv::OpKind::transfer, "from", "to", 100});
+    expect_roundtrip(kv::KvOp{kv::OpKind::put_blob, "b", "", 0,
+                              BufferSlice{Bytes{1, 2, 3}}});
+}
+
+// KvOps come off the same hostile wire as protocol messages, so decode
+// must reject ops the store could not place or apply: unknown kinds,
+// empty keys (no shard placement), transfers missing their credit side.
+TEST(WireRoundTripTest, KvOpMalformedRejected) {
+    Bytes wire =
+        codec::encode_to_bytes(kv::KvOp{kv::OpKind::put, "k", "", 1});
+    wire[0] = 9;  // kind is the first byte; 9 is out of range
+    EXPECT_THROW(codec::decode_from_bytes<kv::KvOp>(wire),
+                 codec::DecodeError);
+
+    const Bytes empty_key =
+        codec::encode_to_bytes(kv::KvOp{kv::OpKind::put, "", "", 1});
+    EXPECT_THROW(codec::decode_from_bytes<kv::KvOp>(empty_key),
+                 codec::DecodeError);
+
+    const Bytes half_transfer =
+        codec::encode_to_bytes(kv::KvOp{kv::OpKind::transfer, "from", "", 5});
+    EXPECT_THROW(codec::decode_from_bytes<kv::KvOp>(half_transfer),
+                 codec::DecodeError);
+}
+
+TEST(WireRoundTripTest, KvOpTruncationsRejected) {
+    const Bytes wire = codec::encode_to_bytes(
+        kv::KvOp{kv::OpKind::transfer, "acct-a", "acct-b", 17});
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+        Bytes prefix(wire.begin(), wire.begin() + static_cast<long>(cut));
+        EXPECT_THROW(codec::decode_from_bytes<kv::KvOp>(prefix),
+                     codec::DecodeError)
+            << "cut at " << cut;
+    }
 }
 
 // Truncations of valid encodings must throw, never crash.
