@@ -29,6 +29,8 @@
 #include "common/topology.hpp"
 #include "multicast/message.hpp"
 #include "net/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stage.hpp"
 #include "sim/network.hpp"
 #include "sim/world.hpp"
 #include "stats/histogram.hpp"
@@ -793,6 +795,51 @@ void write_bench_json() {
     std::fprintf(stderr, "wrote %s\n", path);
 }
 
+// White-box stage breakdown of whatever protocol rounds the benchmarks
+// drove (BM_WbcastDeliveryRoundTrip fills stage/wbcast/* in the global
+// registry; on the sim runtime the durations are virtual time). Same
+// table shape as `wbamctl run`, one per protocol seen.
+void print_stage_tables() {
+    const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+    std::vector<std::string> protos;
+    for (const auto& [name, hist] : snap.histograms) {
+        if (name.rfind("stage/", 0) != 0 || hist.count() == 0) continue;
+        const std::size_t slash = name.find('/', 6);
+        if (slash == std::string::npos) continue;
+        const std::string proto = name.substr(6, slash - 6);
+        if (std::find(protos.begin(), protos.end(), proto) == protos.end())
+            protos.push_back(proto);
+    }
+    const auto find_hist =
+        [&snap](const std::string& name) -> const stats::Histogram* {
+        for (const auto& [n, h] : snap.histograms)
+            if (n == name && h.count() > 0) return &h;
+        return nullptr;
+    };
+    for (const std::string& proto : protos) {
+        std::fprintf(stderr,
+                     "stage breakdown (%s, cumulative from submit):\n",
+                     proto.c_str());
+        std::fprintf(stderr, "  %-16s %10s %10s %10s %10s\n", "stage",
+                     "count", "p50_ms", "segment", "p99_ms");
+        double prev_p50 = 0;
+        for (int s = 0; s < obs::num_stages; ++s) {
+            const char* stage_name =
+                obs::to_string(static_cast<obs::Stage>(s));
+            const stats::Histogram* h =
+                find_hist("stage/" + proto + "/" + stage_name);
+            if (h == nullptr) continue;
+            const double p50 = static_cast<double>(h->percentile(0.50)) / 1e6;
+            const double p99 = static_cast<double>(h->percentile(0.99)) / 1e6;
+            std::fprintf(stderr, "  %-16s %10llu %10.3f %10.3f %10.3f\n",
+                         stage_name,
+                         static_cast<unsigned long long>(h->count()), p50,
+                         p50 - prev_p50, p99);
+            prev_p50 = p50;
+        }
+    }
+}
+
 // A ring of processes forwarding a token: measures raw event overhead of
 // the discrete-event scheduler (heap ops + dispatch + FIFO bookkeeping).
 class RingProcess final : public Process {
@@ -942,6 +989,7 @@ int main(int argc, char** argv) {
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    wbam::print_stage_tables();
     wbam::write_bench_json();
     return 0;
 }

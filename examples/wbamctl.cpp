@@ -7,6 +7,7 @@
 //               [--deadline-ms=120000]
 //               [--workload=bytes|kv] [--kv-keys=1000] [--kv-theta=0.99]
 //               [--kv-read-pct=50] [--kv-cross-pct=10]
+//               [--metrics-dump=FILE]
 //               [--fig=7] [--out=BENCH_fig7.json] [-v]
 //
 //     Takes the coordinator seat (the LAST client pid of the topology
@@ -42,6 +43,7 @@
 #include "common/log.hpp"
 #include "ctrl/bench_plane.hpp"
 #include "harness/experiment.hpp"
+#include "obs/stage.hpp"
 #include "harness/topology_spec.hpp"
 #include "net/world.hpp"
 
@@ -53,6 +55,7 @@ struct CtlOptions {
     std::string topology_file;
     std::string check_file;
     std::string out;
+    std::string metrics_dump;  // run only: cluster-merged metrics JSON
     harness::ProtocolKind proto = harness::ProtocolKind::wbcast;
     int dest_groups = 1;
     int sessions = 4;
@@ -123,6 +126,8 @@ bool parse_flags(int argc, char** argv, int first, CtlOptions& o) {
             o.check_file = v;
         } else if ((v = flag_value(argv[i], "--out"))) {
             o.out = v;
+        } else if ((v = flag_value(argv[i], "--metrics-dump"))) {
+            o.metrics_dump = v;
         } else if ((v = flag_value(argv[i], "--proto"))) {
             const auto kind = harness::parse_protocol_kind(v);
             if (!kind) {
@@ -306,6 +311,42 @@ int cmd_run(const CtlOptions& o) {
     series.points.push_back(coord->result_point());
     report.series.push_back(std::move(series));
 
+    // White-box stage breakdown: cumulative-from-submit latency per
+    // protocol phase, bucket-merged across every replica (exact
+    // percentiles), plus an e2e row from the driver-side sample merge.
+    // Consecutive p50 deltas (segment_ms) telescope to the delivered
+    // median; the e2e segment is the deliver -> client-ack return hop.
+    const std::string stage_prefix =
+        std::string("stage/") + harness::protocol_id(o.proto) + "/";
+    double prev_p50 = 0;
+    for (int s = 0; s < obs::num_stages; ++s) {
+        const char* stage_name = obs::to_string(static_cast<obs::Stage>(s));
+        const auto it =
+            coord->merged_histograms().find(stage_prefix + stage_name);
+        if (it == coord->merged_histograms().end() ||
+            it->second.count() == 0)
+            continue;
+        harness::FigStage row;
+        row.name = stage_name;
+        row.count = it->second.count();
+        row.p50_ms = to_millis(it->second.percentile(0.50));
+        row.p99_ms = to_millis(it->second.percentile(0.99));
+        row.segment_ms = row.p50_ms - prev_p50;
+        prev_p50 = row.p50_ms;
+        report.stages.push_back(std::move(row));
+    }
+    if (!report.stages.empty() && coord->merged_latency().count() > 0) {
+        harness::FigStage e2e;
+        e2e.name = "e2e";
+        e2e.count = coord->merged_latency().count();
+        e2e.p50_ms = to_millis(coord->merged_latency().percentile(0.50));
+        e2e.p99_ms = to_millis(coord->merged_latency().percentile(0.99));
+        e2e.segment_ms = e2e.p50_ms - prev_p50;
+        report.stages.push_back(std::move(e2e));
+    }
+    for (const auto& [name, value] : coord->merged_counters())
+        report.metrics.emplace_back(name, value);
+
     const std::string out = default_out(o);
     if (!report.write(out)) return 1;
     const harness::FigPoint& pt = report.series[0].points[0];
@@ -317,6 +358,36 @@ int cmd_run(const CtlOptions& o) {
         pt.p50_ms, pt.p99_ms, static_cast<unsigned long long>(pt.ops),
         static_cast<unsigned long long>(coord->samples_streamed()),
         topo.num_replicas(), out.c_str());
+    if (!report.stages.empty()) {
+        std::printf("wbamctl run: stage breakdown (%s, cluster-merged):\n",
+                    harness::to_string(o.proto));
+        std::printf("  %-16s %10s %10s %10s %10s\n", "stage", "count",
+                    "p50_ms", "segment", "p99_ms");
+        for (const harness::FigStage& st : report.stages)
+            std::printf("  %-16s %10llu %10.2f %10.2f %10.2f\n",
+                        st.name.c_str(),
+                        static_cast<unsigned long long>(st.count), st.p50_ms,
+                        st.segment_ms, st.p99_ms);
+    }
+    if (!o.metrics_dump.empty()) {
+        obs::MetricsSnapshot merged;
+        merged.counters.assign(coord->merged_counters().begin(),
+                               coord->merged_counters().end());
+        merged.histograms.assign(coord->merged_histograms().begin(),
+                                 coord->merged_histograms().end());
+        std::FILE* f = std::fopen(o.metrics_dump.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "wbamctl run: cannot write %s\n",
+                         o.metrics_dump.c_str());
+            return 1;
+        }
+        const std::string json = merged.to_json();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wbamctl run: cluster-merged metrics -> %s\n",
+                    o.metrics_dump.c_str());
+    }
     return 0;
 }
 

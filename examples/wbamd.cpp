@@ -9,7 +9,8 @@
 //   wbamd --pid=N [--proto=wbcast] [--groups=2] [--group-size=3]
 //         [--clients=1] (--base-port=P | --peers=host:port,... |
 //         --topology=FILE) [--bench] [--epoch-ns=T] [--net-shards=N]
-//         [--run-ms=6000] [--msgs=25] [--payload=32] [--out=FILE] [-v]
+//         [--run-ms=6000] [--msgs=25] [--payload=32] [--out=FILE]
+//         [--metrics-dump=FILE] [--metrics-interval-ms=1000] [-v]
 //
 // Self-driving mode (default): replica pids run the selected protocol
 // and, at exit, write their delivery sequence (one message id per line)
@@ -26,8 +27,10 @@
 // orders SHUTDOWN (or at the --run-ms safety deadline, with exit 1).
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -37,6 +40,7 @@
 #include "ctrl/bench_plane.hpp"
 #include "harness/bootstrap.hpp"
 #include "net/world.hpp"
+#include "obs/metrics.hpp"
 #include "wal/log.hpp"
 
 using namespace wbam;
@@ -81,6 +85,7 @@ public:
                 ctx.self(), static_cast<std::uint32_t>(issued_++));
             AppMessage m = make_app_message(mid, topo_.all_groups(),
                                             Bytes(payload_, 0x77));
+            m.submit_ts = ctx.now();
             auto& p = pending_[mid];
             p.msg = m;
             p.sent_at = ctx.now();
@@ -119,6 +124,58 @@ private:
     int issued_ = 0;
     int completed_ = 0;
     std::unordered_map<MsgId, PendingOp> pending_;
+};
+
+// --metrics-dump sink: one JSON line per --metrics-interval-ms holding the
+// registry delta since the previous line, plus full-registry snapshot lines
+// on SIGUSR1 and at exit. Each line is wrapped with a "kind" tag so
+// consumers can separate the incremental stream from the totals
+// (docs/OBSERVABILITY.md).
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void on_sigusr1(int) { g_dump_requested = 1; }
+
+class MetricsDumper {
+public:
+    MetricsDumper(const std::string& path, ProcessId pid) : pid_(pid) {
+        f_ = std::fopen(path.c_str(), "w");
+        if (f_ == nullptr)
+            std::fprintf(stderr, "wbamd: cannot write metrics dump %s\n",
+                         path.c_str());
+        else
+            base_ = obs::metrics().snapshot();
+    }
+    ~MetricsDumper() {
+        if (f_ != nullptr) std::fclose(f_);
+    }
+
+    MetricsDumper(const MetricsDumper&) = delete;
+    MetricsDumper& operator=(const MetricsDumper&) = delete;
+
+    bool ok() const { return f_ != nullptr; }
+
+    // The per-interval line: activity since the previous line only.
+    void delta_line() {
+        obs::MetricsSnapshot snap = obs::metrics().snapshot();
+        write_line("delta", snap.delta_since(base_));
+        base_ = std::move(snap);
+    }
+
+    // On-demand (SIGUSR1) and exit lines: everything since process start.
+    void snapshot_line(const char* kind) {
+        write_line(kind, obs::metrics().snapshot());
+    }
+
+private:
+    void write_line(const char* kind, const obs::MetricsSnapshot& s) {
+        std::fprintf(f_, "{\"kind\": \"%s\", \"pid\": %d, \"metrics\": %s}\n",
+                     kind, pid_, s.to_json().c_str());
+        std::fflush(f_);
+    }
+
+    ProcessId pid_;
+    std::FILE* f_ = nullptr;
+    obs::MetricsSnapshot base_;
 };
 
 int write_sequence(const std::string& path, const std::vector<MsgId>& ids) {
@@ -190,6 +247,34 @@ int main(int argc, char** argv) {
                          wal_log->stats().records_recovered),
                      static_cast<unsigned long long>(
                          wal_log->stats().truncated_bytes));
+        // Fold the WAL's counters into the registry as read-only adapters
+        // (snapshot-time reads; the log keeps owning the stats), and record
+        // the open-time recovery outcome in the event ring.
+        obs::metrics().register_adapter(
+            "wal/appends", [&wal_log] { return wal_log->stats().appends; });
+        obs::metrics().register_adapter(
+            "wal/commits", [&wal_log] { return wal_log->stats().commits; });
+        obs::metrics().register_adapter(
+            "wal/fsyncs", [&wal_log] { return wal_log->stats().fsyncs; });
+        obs::metrics().register_adapter("wal/bytes_written", [&wal_log] {
+            return wal_log->stats().bytes_written;
+        });
+        obs::metrics().register_adapter("wal/records_recovered", [&wal_log] {
+            return wal_log->stats().records_recovered;
+        });
+        obs::metrics().register_adapter("wal/truncated_bytes", [&wal_log] {
+            return wal_log->stats().truncated_bytes;
+        });
+        if (wal_log->stats().records_recovered > 0 ||
+            wal_log->stats().truncated_bytes > 0) {
+            obs::events().note(
+                "wal_recovery",
+                path + ": " +
+                    std::to_string(wal_log->stats().records_recovered) +
+                    " records replayed, " +
+                    std::to_string(wal_log->stats().truncated_bytes) +
+                    " torn bytes truncated");
+        }
     }
 
     net::NetWorld world(topo, static_cast<std::uint64_t>(o.pid) + 1,
@@ -259,15 +344,33 @@ int main(int argc, char** argv) {
     world.set_cluster(boot->map);
     world.start();
 
+    // --metrics-dump: periodic delta lines from the slice loop below, a
+    // full snapshot whenever SIGUSR1 arrives, and a final one at exit.
+    std::optional<MetricsDumper> dumper;
+    if (!o.metrics_dump.empty()) {
+        dumper.emplace(o.metrics_dump, o.pid);
+        if (!dumper->ok()) return 2;
+        std::signal(SIGUSR1, on_sigusr1);
+    }
+
     // Replicas serve for the full --run-ms; clients (and every bench-mode
     // process) exit as soon as their done flag flips.
     const bool exits_on_done = o.bench || topo.is_client(o.pid);
     const int slices = o.run_ms / 10;
+    const int slices_per_dump = o.metrics_interval_ms / 10;
     for (int s = 0; s < slices; ++s) {
         world.run_for(milliseconds(10));
+        if (dumper) {
+            if (g_dump_requested != 0) {
+                g_dump_requested = 0;
+                dumper->snapshot_line("snapshot");
+            }
+            if ((s + 1) % slices_per_dump == 0) dumper->delta_line();
+        }
         if (exits_on_done && done.load()) break;
     }
     world.shutdown();
+    if (dumper) dumper->snapshot_line("final");
 
     if (o.bench) {
         const bool ok = done.load();

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""check_metrics.py — CI gate for the white-box telemetry pipeline.
+
+Validates the observability outputs of one distributed benchmark run
+(docs/OBSERVABILITY.md):
+
+  1. The fig JSON's `stages` section exists, carries every protocol stage
+     (leader_receipt, ts_agreed, gts_known, delivered) plus the synthetic
+     e2e row, all with non-zero sample counts, and the cumulative medians
+     are monotone in stage order.
+  2. Telescoping: the per-stage segment_ms values sum to the delivered
+     median exactly (they are consecutive-median differences by
+     construction), and the delivered median accounts for the end-to-end
+     p50 within tolerance — e2e may exceed it by at most the
+     deliver -> client-ack return hop (--max-return-hop-ms, which on an
+     emulated WAN includes one cross-region one-way delay), and may fall
+     below it only by bucket quantization (--rel-tol).
+  3. Every per-process --metrics-dump file is well-formed JSONL (each
+     line a {kind, pid, metrics} object) ending in a full "final"
+     snapshot, and at least one replica's final snapshot has non-zero
+     stage histogram samples.
+  4. The coordinator's cluster-merged dump parses and its stage
+     histograms carry the merged sample counts.
+
+Usage:
+  scripts/check_metrics.py --fig=BENCH_fig7.json --proto=wbcast \
+      --metrics-dir=DIR [--max-return-hop-ms=45] [--rel-tol=0.15]
+
+Exit 0 on pass; exit 1 with a diagnostic on the first violated check.
+Stdlib-only python3.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+PROTO_STAGES = ["leader_receipt", "ts_agreed", "gts_known", "delivered"]
+
+
+def fail(msg):
+    print(f"[check_metrics] FAIL: {msg}", file=sys.stderr, flush=True)
+    sys.exit(1)
+
+
+def ok(msg):
+    print(f"[check_metrics] {msg}", flush=True)
+
+
+def check_stages(report, args):
+    stages = report.get("stages")
+    if not stages:
+        fail(f"{args.fig} has no 'stages' section — stage tracing never "
+             f"reached the coordinator")
+    by_name = {s["name"]: s for s in stages}
+    missing = [n for n in PROTO_STAGES + ["e2e"] if n not in by_name]
+    if missing:
+        fail(f"stage rows missing from {args.fig}: {missing}")
+    for s in stages:
+        if s["count"] <= 0:
+            fail(f"stage '{s['name']}' has zero samples")
+        if s["p50_ms"] <= 0:
+            fail(f"stage '{s['name']}' has a zero median")
+    # Cumulative-from-submit medians must be monotone in stage order
+    # (tiny bucket-rounding inversions excluded by construction: later
+    # stages dominate earlier ones sample-by-sample).
+    prev = 0.0
+    for name in PROTO_STAGES:
+        p50 = by_name[name]["p50_ms"]
+        if p50 + 1e-9 < prev:
+            fail(f"stage medians not monotone: {name} p50 {p50:.3f} ms < "
+                 f"previous stage {prev:.3f} ms")
+        prev = p50
+
+    # Telescoping: segments are consecutive-median differences, so they
+    # sum back to the delivered median exactly (float round-off only).
+    seg_sum = sum(by_name[n]["segment_ms"] for n in PROTO_STAGES)
+    delivered = by_name["delivered"]["p50_ms"]
+    if abs(seg_sum - delivered) > 0.01:
+        fail(f"stage segments sum to {seg_sum:.3f} ms, delivered median is "
+             f"{delivered:.3f} ms — the breakdown does not telescope")
+
+    # The white-box accounting gate: the delivered median explains the
+    # end-to-end p50 up to the return hop and bucket quantization.
+    e2e = by_name["e2e"]["p50_ms"]
+    if delivered > e2e * (1.0 + args.rel_tol):
+        fail(f"delivered median {delivered:.3f} ms exceeds e2e p50 "
+             f"{e2e:.3f} ms beyond the {args.rel_tol:.0%} bucket tolerance")
+    gap = e2e - delivered
+    if gap > args.max_return_hop_ms:
+        fail(f"e2e p50 {e2e:.3f} ms is {gap:.3f} ms above the delivered "
+             f"median — more than the {args.max_return_hop_ms} ms return-hop "
+             f"budget; stage tracing is not accounting for the latency")
+    ok(f"stage breakdown OK: " +
+       " -> ".join(f"{n} {by_name[n]['p50_ms']:.2f}" for n in PROTO_STAGES) +
+       f" -> e2e {e2e:.2f} ms (return hop {gap:.2f} ms)")
+
+    metrics = report.get("metrics")
+    if not metrics:
+        fail(f"{args.fig} has no 'metrics' section")
+    if not any(k.startswith("net/") for k in metrics):
+        fail("merged metrics carry no transport counters")
+    ok(f"merged metrics OK: {len(metrics)} cluster-summed counters")
+
+
+def stage_samples(snapshot, proto):
+    hists = snapshot.get("histograms", {})
+    return sum(h.get("count", 0) for name, h in hists.items()
+               if name.startswith(f"stage/{proto}/"))
+
+
+def check_process_dumps(args):
+    paths = sorted(glob.glob(os.path.join(args.metrics_dir, "metrics_p*.jsonl")))
+    if not paths:
+        fail(f"no metrics_p*.jsonl dumps under {args.metrics_dir}")
+    replicas_with_samples = 0
+    for path in paths:
+        final = None
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{lineno}: not valid JSON ({e})")
+                for key in ("kind", "pid", "metrics"):
+                    if key not in rec:
+                        fail(f"{path}:{lineno}: record lacks '{key}'")
+                if rec["kind"] == "final":
+                    final = rec
+        if final is None:
+            fail(f"{path} has no final snapshot line — the daemon never "
+                 f"reached its exit dump")
+        if stage_samples(final["metrics"], args.proto) > 0:
+            replicas_with_samples += 1
+    if replicas_with_samples == 0:
+        fail(f"no process dump carries stage/{args.proto}/* samples")
+    ok(f"process dumps OK: {len(paths)} JSONL files, "
+       f"{replicas_with_samples} with {args.proto} stage samples")
+
+
+def check_merged_dump(args):
+    path = os.path.join(args.metrics_dir, "metrics_merged.json")
+    if not os.path.exists(path):
+        fail(f"{path} missing — wbamctl never wrote the cluster merge")
+    with open(path) as f:
+        merged = json.load(f)
+    samples = stage_samples(merged, args.proto)
+    if samples <= 0:
+        fail(f"cluster-merged dump has no stage/{args.proto}/* samples")
+    ok(f"cluster merge OK: {samples} stage samples across the cluster")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fig", required=True,
+                        help="merged fig JSON written by wbamctl run")
+    parser.add_argument("--proto", required=True,
+                        help="protocol row to validate (wbcast, ftskeen, ...)")
+    parser.add_argument("--metrics-dir", default=None,
+                        help="--metrics-dir of the deploy run; skips the "
+                             "dump-file checks when omitted")
+    parser.add_argument("--max-return-hop-ms", type=float, default=45.0,
+                        help="budget for e2e p50 minus the delivered median "
+                             "(the deliver -> client-ack hop; on an emulated "
+                             "WAN at least one cross-region one-way delay)")
+    parser.add_argument("--rel-tol", type=float, default=0.15,
+                        help="relative tolerance for bucket quantization")
+    args = parser.parse_args()
+
+    with open(args.fig) as f:
+        report = json.load(f)
+    check_stages(report, args)
+    if args.metrics_dir:
+        check_process_dumps(args)
+        check_merged_dump(args)
+    print(f"[check_metrics] PASS — {args.fig} ({args.proto})")
+
+
+if __name__ == "__main__":
+    main()

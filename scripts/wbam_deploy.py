@@ -299,6 +299,9 @@ def launch_cluster(args, layout, topo_path, exec_in_region, outdir):
             wal_dir = os.path.join(outdir, "wal")
     if wal_dir:
         os.makedirs(wal_dir, exist_ok=True)
+    metrics_dir = getattr(args, "metrics_dir", None)
+    if metrics_dir:
+        os.makedirs(metrics_dir, exist_ok=True)
     procs, names, cmds = [], [], []
     for p in range(layout.processes):
         if p == layout.coordinator:
@@ -308,6 +311,10 @@ def launch_cluster(args, layout, topo_path, exec_in_region, outdir):
                f"--net-shards={args.net_shards}"]
         if getattr(args, "verbose", False):
             cmd.append("-v")
+        if metrics_dir:
+            cmd += [f"--metrics-dump="
+                    f"{os.path.join(metrics_dir, f'metrics_p{p}.jsonl')}",
+                    f"--metrics-interval-ms={args.metrics_interval_ms}"]
         if p < layout.replicas:
             cmd.append(f"--out={os.path.join(outdir, f'replica_{p}.txt')}")
             if wal_dir:
@@ -330,6 +337,9 @@ def launch_cluster(args, layout, topo_path, exec_in_region, outdir):
            f"--net-shards={args.net_shards}", f"--out={args.out}"]
     if args.batching:
         ctl.append("--batching")
+    if metrics_dir:
+        ctl.append(f"--metrics-dump="
+                   f"{os.path.join(metrics_dir, 'metrics_merged.json')}")
     if getattr(args, "workload", "bytes") == "kv":
         ctl += [f"--workload=kv", f"--kv-keys={args.kv_keys}",
                 f"--kv-theta={args.kv_theta}",
@@ -500,6 +510,12 @@ def cmd_ssh(args):
             continue
         cmd = [wbamd, f"--pid={p}", "--bench", f"--topology={remote_topo}",
                f"--run-ms={run_ms}", f"--net-shards={args.net_shards}"]
+        if args.metrics_dir:
+            # The directory is on the REMOTE host and must already exist
+            # (same contract as the binaries and the topology file).
+            cmd += [f"--metrics-dump="
+                    f"{args.metrics_dir}/metrics_p{p}.jsonl",
+                    f"--metrics-interval-ms={args.metrics_interval_ms}"]
         procs.append(subprocess.Popen(["ssh", "-o", "BatchMode=yes",
                                        hosts[p]] + cmd))
         names.append(f"ssh_{hosts[p]}_p{p}")
@@ -511,6 +527,10 @@ def cmd_ssh(args):
            f"--measure-ms={args.measure_ms}", f"--deadline-ms={run_ms}",
            f"--fig={args.fig}", f"--net-shards={args.net_shards}",
            f"--out={args.out}"]
+    if args.metrics_dir:
+        os.makedirs(args.metrics_dir, exist_ok=True)  # wbamctl runs locally
+        ctl.append(f"--metrics-dump="
+                   f"{args.metrics_dir}/metrics_merged.json")
     try:
         coord_status = subprocess.Popen(ctl).wait(timeout=run_ms / 1000 + 120)
     except BaseException:
@@ -576,6 +596,14 @@ def main():
                        help="fail unless the merged p50 is at least this "
                             "(CI: the injected one-way delay)")
         m.add_argument("--workdir", default=None)
+        m.add_argument("--metrics-dir", default=None,
+                       help="white-box telemetry: every wbamd writes "
+                            "<dir>/metrics_p<pid>.jsonl (delta lines + final "
+                            "snapshot) and wbamctl writes "
+                            "<dir>/metrics_merged.json (ssh: the directory "
+                            "must already exist on the remote hosts)")
+        m.add_argument("--metrics-interval-ms", type=int, default=1000,
+                       help="cadence of the per-process delta lines")
         m.add_argument("--base-port", type=int, default=7100)
         m.add_argument("--topology", default=None)
         m.add_argument("--verbose", action="store_true",

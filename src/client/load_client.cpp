@@ -24,6 +24,7 @@ void LoadClient::issue(Context& ctx) {
     const MsgId id = make_msg_id(ctx.self(), seq_++);
     current_msg_ = make_app_message(id, std::move(dests),
                                     Bytes(pattern_.payload_size, 0x77));
+    current_msg_.submit_ts = ctx.now();
     current_ = id;
     acked_.clear();
     issued_at_ = ctx.now();

@@ -150,6 +150,7 @@ void NodeShim::handle_ctrl(Context& ctx, const codec::EnvelopeView& env) {
                 reported_ = deliveries_;
                 report_answered_ = true;
             }
+            done.metrics = obs::metrics().snapshot();
             ctx.send(coordinator_,
                      encode_ctrl(CtrlMsgType::replica_done, done));
             return;
@@ -295,6 +296,7 @@ void BenchDriver::issue(Context& ctx) {
     }
     const MsgId id = make_msg_id(ctx.self(), seq_++);
     AppMessage m = make_app_message(id, std::move(dests), std::move(payload));
+    m.submit_ts = ctx.now();
     sampler_.note_multicast(id, ctx.now(), m.dests.size());
     const Buffer wire = encode_multicast_request(m);
     for (const GroupId g : m.dests) ctx.send(topo_.initial_leader(g), wire);
@@ -510,6 +512,17 @@ bool Coordinator::validate_groups(std::string* why) const {
 void Coordinator::finish(Context& ctx) {
     phase_ = Phase::done;
     ok_ = true;
+    // Fold the final (digest-validated) snapshots: re-polled replicas
+    // overwrote their earlier REPLICA_DONE, so each replica contributes
+    // exactly once here.
+    for (const auto& [pid, done] : replica_done_) {
+        for (const auto& [name, v] : done.metrics.counters)
+            merged_counters_[name] += v;
+        for (const auto& [name, h] : done.metrics.histograms) {
+            const auto [it, fresh] = merged_histograms_.try_emplace(name, h);
+            if (!fresh) it->second.merge(h);
+        }
+    }
     broadcast(ctx, encode_ctrl(CtrlMsgType::shutdown));
     finished_.store(true);
 }

@@ -204,6 +204,16 @@ public:
     const stats::Histogram& merged_latency() const { return merged_; }
     std::uint64_t samples_streamed() const { return samples_streamed_; }
     int drivers() const { return drivers_; }
+    // Cluster-wide metrics, folded from the final REPLICA_DONE snapshots
+    // at finish: counters summed, histograms (the stage/<proto>/<stage>
+    // rows in particular) bucket-merged — percentiles over the merge are
+    // exact, not approximated from per-replica quantiles.
+    const std::map<std::string, std::uint64_t>& merged_counters() const {
+        return merged_counters_;
+    }
+    const std::map<std::string, stats::Histogram>& merged_histograms() const {
+        return merged_histograms_;
+    }
 
 private:
     enum class Phase {
@@ -243,6 +253,8 @@ private:
 
     stats::Histogram merged_;
     std::uint64_t samples_streamed_ = 0;
+    std::map<std::string, std::uint64_t> merged_counters_;
+    std::map<std::string, stats::Histogram> merged_histograms_;
 
     std::atomic<bool> finished_{false};
     bool ok_ = false;

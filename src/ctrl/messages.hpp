@@ -26,6 +26,7 @@
 
 #include "codec/wire.hpp"
 #include "harness/cluster.hpp"
+#include "obs/metrics.hpp"
 
 namespace wbam::ctrl {
 
@@ -245,17 +246,25 @@ struct ReplicaDoneMsg {
     // than the delivery digest: it also proves every replica APPLIED the
     // same ops in the same order, not just delivered the same ids.
     std::uint64_t app_hash = 0;
+    // White-box telemetry: the replica's full metrics snapshot (counters,
+    // per-stage latency histograms in sparse-bucket form, event ring) at
+    // REPORT time. The coordinator sums counters and bucket-merges the
+    // histograms across replicas, so the fig report's stage percentiles
+    // are exact over the whole cluster.
+    obs::MetricsSnapshot metrics;
 
     void encode(codec::Writer& w) const {
         w.varint(delivered);
         w.u64(digest);
         w.u64(app_hash);
+        metrics.encode(w);
     }
     static ReplicaDoneMsg decode(codec::Reader& r) {
         ReplicaDoneMsg m;
         m.delivered = r.varint();
         m.digest = r.u64();
         m.app_hash = r.u64();
+        m.metrics = obs::MetricsSnapshot::decode(r);
         return m;
     }
 };

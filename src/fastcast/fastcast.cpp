@@ -197,7 +197,14 @@ void FastCastReplica::run_app_gc(Context& ctx) {
     delivered_floor_.note(pid_, max_delivered_gts_);
     const Timestamp floor = delivered_floor_.floor();
     if (floor == bottom_ts) return;
+    const std::uint64_t before = compacted_count_;
     compact_below(floor);
+    if (compacted_count_ > before)
+        obs::events().note("gc_prune",
+                           "fastcast: compacted " +
+                               std::to_string(compacted_count_ - before) +
+                               " entries at floor " + to_string(floor),
+                           ctx.now());
     // Announce every round, not only on change: a member that missed an
     // earlier announcement (partition, snapshot heal) learns here.
     const Buffer wire = codec::encode_envelope(
@@ -215,16 +222,17 @@ bool FastCastReplica::compact_below(Timestamp floor) {
     // A message delivered by every member of the group drops its payload;
     // the ordering facts (lts/gts/phase/commit_vec) stay, so late CONFIRM
     // retries and leader recovery remain correct (mirrors wbcast::compact).
-    bool any = false;
+    std::uint64_t n = 0;
     for (auto& [id, e] : entries_) {
         if (e.phase != Phase::committed || e.compacted) continue;
         if (e.gts > floor || committed_by_gts_.count(e.gts)) continue;
         e.msg.payload = BufferSlice{};
         e.compacted = true;
         ++compacted_count_;
-        any = true;
+        ++n;
     }
-    return any;
+    if (n > 0) obs::metrics().counter("gc/compacted_entries").add(n);
+    return n > 0;
 }
 
 void FastCastReplica::handle_multicast(Context& ctx, const AppMessage& m) {
@@ -240,6 +248,7 @@ void FastCastReplica::start_speculation(Context& ctx, const AppMessage& m) {
     spec_clock_ = std::max(spec_clock_, clock_) + 1;
     const Timestamp lts{spec_clock_, g0_};
     tentative_[m.id] = lts;
+    stages_.record(obs::Stage::leader_receipt, m.submit_ts, ctx.now());
     spec_lts_[m.id][g0_] = lts;
     last_driven_[m.id] = ctx.now();
     paxos_.submit(ctx, make_cmd(CmdKind::propose, m.id, ProposeCmd{m, lts}));
@@ -326,6 +335,7 @@ void FastCastReplica::apply_propose(Context& ctx, const ProposeCmd& cmd) {
     const bool fresh = pending_by_lts_.emplace(e.lts, cmd.msg.id).second;
     WBAM_ASSERT_MSG(fresh, "local timestamps must be unique within a group");
     tentative_.erase(cmd.msg.id);
+    stages_.record(obs::Stage::ts_agreed, e.msg.submit_ts, ctx.now());
     if (paxos_.is_leader()) {
         // The timestamp is durable: confirm it to every destination leader
         // (including ourselves, directly).
@@ -385,6 +395,7 @@ void FastCastReplica::apply_commit(Context& ctx, const CommitCmd& cmd) {
     } else {
         pending_by_lts_.erase(e.lts);
         e.phase = Phase::committed;
+        stages_.record(obs::Stage::gts_known, e.msg.submit_ts, ctx.now());
     }
     e.gts = gts;
     e.commit_vec = cmd.lts_vec;
@@ -449,6 +460,7 @@ void FastCastReplica::try_deliver(Context& ctx) {
         if (cfg_.wal)
             cfg_.wal->append(wal::tag(wal::RecordType::watermark),
                              wal::encode_watermark(max_delivered_gts_));
+        stages_.record(obs::Stage::delivered, e.msg.submit_ts, ctx.now());
         sink_(ctx, g0_, e.msg);
     }
     if (floor > bottom_ts && floor == max_delivered_gts_) {
@@ -566,6 +578,8 @@ void FastCastReplica::deliver_upto(Context& ctx, Timestamp floor) {
         if (cfg_.wal)
             cfg_.wal->append(wal::tag(wal::RecordType::watermark),
                              wal::encode_watermark(max_delivered_gts_));
+        stages_.record(obs::Stage::delivered, entries_.at(id).msg.submit_ts,
+                       ctx.now());
         sink_(ctx, g0_, entries_.at(id).msg);
     }
 }

@@ -32,6 +32,7 @@
 #include "elect/elector.hpp"
 #include "multicast/api.hpp"
 #include "multicast/gc_floor.hpp"
+#include "obs/stage.hpp"
 #include "paxos/multipaxos.hpp"
 
 namespace wbam::fastcast {
@@ -267,6 +268,7 @@ private:
     GroupId g0_;
     DeliverySink sink_;
     ReplicaConfig cfg_;
+    obs::StageRecorder stages_{"fastcast"};
     paxos::MultiPaxos paxos_;
     elect::Elector elector_;
 

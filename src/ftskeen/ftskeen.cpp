@@ -164,8 +164,10 @@ void FtSkeenReplica::dispatch_message(Context& ctx, ProcessId from,
 
 void FtSkeenReplica::submit_propose(Context& ctx, const AppMessage& m) {
     if (propose_submitted_.count(m.id)) return;
-    if (paxos_.submit(ctx, make_cmd(CmdKind::propose, m.id, ProposeCmd{m})))
+    if (paxos_.submit(ctx, make_cmd(CmdKind::propose, m.id, ProposeCmd{m}))) {
         propose_submitted_[m.id] = Submitted{m, ctx.now()};
+        stages_.record(obs::Stage::leader_receipt, m.submit_ts, ctx.now());
+    }
 }
 
 void FtSkeenReplica::handle_multicast(Context& ctx, const AppMessage& m) {
@@ -251,6 +253,7 @@ void FtSkeenReplica::apply_propose(Context& ctx, const ProposeCmd& cmd) {
     e.phase = Phase::proposed;
     pending_by_lts_.emplace(e.lts, cmd.msg.id);
     propose_submitted_.erase(cmd.msg.id);
+    stages_.record(obs::Stage::ts_agreed, e.msg.submit_ts, ctx.now());
     if (paxos_.is_leader()) {
         // Now that the timestamp is persisted, exchange it with the other
         // destination groups (the Skeen PROPOSE step).
@@ -275,6 +278,7 @@ void FtSkeenReplica::apply_commit(Context& ctx, const CommitCmd& cmd) {
     clock_ = std::max(clock_, cmd.gts.time);
     const bool unique = committed_by_gts_.emplace(cmd.gts, cmd.id).second;
     WBAM_ASSERT_MSG(unique, "global timestamps must be unique");
+    stages_.record(obs::Stage::gts_known, e.msg.submit_ts, ctx.now());
     commit_submitted_.erase(cmd.id);
     collected_.erase(cmd.id);
     propose_ts_sent_.erase(cmd.id);
@@ -299,6 +303,7 @@ void FtSkeenReplica::try_deliver(Context& ctx) {
         if (cfg_.wal)
             cfg_.wal->append(wal::tag(wal::RecordType::watermark),
                              wal::encode_watermark(max_delivered_gts_));
+        stages_.record(obs::Stage::delivered, e.msg.submit_ts, ctx.now());
         sink_(ctx, g0_, e.msg);
         committed_by_gts_.erase(committed_by_gts_.begin());
     }
@@ -329,7 +334,14 @@ void FtSkeenReplica::run_app_gc(Context& ctx) {
     delivered_floor_.note(pid_, max_delivered_gts_);
     const Timestamp floor = delivered_floor_.floor();
     if (floor == bottom_ts) return;
+    const std::uint64_t before = compacted_count_;
     compact_below(floor);
+    if (compacted_count_ > before)
+        obs::events().note("gc_prune",
+                           "ftskeen: compacted " +
+                               std::to_string(compacted_count_ - before) +
+                               " entries at floor " + to_string(floor),
+                           ctx.now());
     // Announce every round, not only on change: a member that missed an
     // earlier announcement (partition, snapshot heal) learns here.
     const Buffer wire = codec::encode_envelope(
@@ -347,16 +359,17 @@ bool FtSkeenReplica::compact_below(Timestamp floor) {
     // A message delivered by every member of the group drops its payload;
     // the ordering facts (lts/gts/phase) stay, so late PROPOSE_TS retries
     // and leader recovery remain correct (mirrors wbcast::compact).
-    bool any = false;
+    std::uint64_t n = 0;
     for (auto& [id, e] : entries_) {
         if (e.phase != Phase::committed || e.compacted) continue;
         if (e.gts > floor || committed_by_gts_.count(e.gts)) continue;
         e.msg.payload = BufferSlice{};
         e.compacted = true;
         ++compacted_count_;
-        any = true;
+        ++n;
     }
-    return any;
+    if (n > 0) obs::metrics().counter("gc/compacted_entries").add(n);
+    return n > 0;
 }
 
 // --- consensus-log retention: state transfer --------------------------------

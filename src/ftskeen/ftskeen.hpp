@@ -19,6 +19,7 @@
 #include "elect/elector.hpp"
 #include "multicast/api.hpp"
 #include "multicast/gc_floor.hpp"
+#include "obs/stage.hpp"
 #include "paxos/multipaxos.hpp"
 
 namespace wbam::ftskeen {
@@ -213,6 +214,7 @@ private:
     GroupId g0_;
     DeliverySink sink_;
     ReplicaConfig cfg_;
+    obs::StageRecorder stages_{"ftskeen"};
     paxos::MultiPaxos paxos_;
     elect::Elector elector_;
 

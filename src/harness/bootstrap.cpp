@@ -79,6 +79,13 @@ std::optional<NodeOptions> parse_node_args(int argc, const char* const* argv,
             o.topology_file = v;
         } else if ((v = flag_value(argv[i], "--out"))) {
             o.out = v;
+        } else if ((v = flag_value(argv[i], "--metrics-dump"))) {
+            o.metrics_dump = v;
+        } else if ((r = int_flag("--metrics-interval-ms", 10, 3'600'000,
+                                 [&](long long x) {
+                                     o.metrics_interval_ms =
+                                         static_cast<int>(x);
+                                 })) != 0) {
         } else if ((v = flag_value(argv[i], "--wal-dir"))) {
             o.wal_dir = v;
         } else if ((v = flag_value(argv[i], "--wal-sync"))) {

@@ -42,6 +42,12 @@ struct NodeOptions {
     // "off", "group" (one fsync per handler batch) or "always".
     std::string wal_dir;
     std::string wal_sync = "group";
+    // Observability: path for the process's metrics dump. When set, wbamd
+    // appends one JSON line per --metrics-interval-ms with the delta since
+    // the previous line, writes a full snapshot at exit, and re-dumps on
+    // SIGUSR1 (docs/OBSERVABILITY.md).
+    std::string metrics_dump;
+    int metrics_interval_ms = 1000;
     bool verbose = false;
 };
 

@@ -15,6 +15,16 @@ const char* to_string(ProtocolKind kind) {
     return "?";
 }
 
+const char* protocol_id(ProtocolKind kind) {
+    switch (kind) {
+        case ProtocolKind::skeen: return "skeen";
+        case ProtocolKind::ftskeen: return "ftskeen";
+        case ProtocolKind::fastcast: return "fastcast";
+        case ProtocolKind::wbcast: return "wbcast";
+    }
+    return "?";
+}
+
 std::optional<ProtocolKind> parse_protocol_kind(std::string_view s) {
     if (s == "skeen") return ProtocolKind::skeen;
     if (s == "ftskeen") return ProtocolKind::ftskeen;
@@ -55,6 +65,10 @@ void ScriptedClient::multicast(const AppMessage& m) {
     // forever.
     AppMessage normalized = make_app_message(m.id, m.dests, m.payload);
     WBAM_ASSERT_MSG(!normalized.dests.empty(), "multicast with no dests");
+    // Stamp the submit time at the same boundary (callers that already
+    // stamped one keep theirs): stage watermarks measure from here.
+    normalized.submit_ts =
+        m.submit_ts > 0 ? m.submit_ts : ctx_->now();
     if (note_) note_(ctx_->now(), ctx_->self(), normalized);
     auto& pending = pending_[normalized.id];
     pending.last_send = ctx_->now();

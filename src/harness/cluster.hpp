@@ -24,6 +24,10 @@ namespace wbam::harness {
 enum class ProtocolKind { skeen, ftskeen, fastcast, wbcast };
 
 const char* to_string(ProtocolKind kind);
+// The lower-case CLI spelling ("wbcast", ...). Also the protocol segment
+// of the metrics-registry stage keys ("stage/<id>/<stage>") each
+// protocol's obs::StageRecorder registers under.
+const char* protocol_id(ProtocolKind kind);
 // Parses "skeen" / "ftskeen" / "fastcast" / "wbcast" (the CLI spelling of
 // the --proto / --protocol knobs).
 std::optional<ProtocolKind> parse_protocol_kind(std::string_view s);

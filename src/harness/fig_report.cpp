@@ -77,7 +77,32 @@ std::string FigReport::to_json() const {
         }
         out << "    ]}" << (s + 1 < series.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ]";
+    if (!stages.empty()) {
+        out << ",\n  \"stages\": [\n";
+        for (std::size_t i = 0; i < stages.size(); ++i) {
+            const FigStage& st = stages[i];
+            out << "    {\"name\": \"" << json_escape(st.name)
+                << "\", \"count\": " << st.count << ", \"p50_ms\": ";
+            append_double(out, st.p50_ms);
+            out << ", \"p99_ms\": ";
+            append_double(out, st.p99_ms);
+            out << ", \"segment_ms\": ";
+            append_double(out, st.segment_ms);
+            out << "}" << (i + 1 < stages.size() ? "," : "") << "\n";
+        }
+        out << "  ]";
+    }
+    if (!metrics.empty()) {
+        out << ",\n  \"metrics\": {";
+        for (std::size_t i = 0; i < metrics.size(); ++i) {
+            out << "\"" << json_escape(metrics[i].first)
+                << "\": " << metrics[i].second
+                << (i + 1 < metrics.size() ? ", " : "");
+        }
+        out << "}";
+    }
+    out << "\n}\n";
     return out.str();
 }
 

@@ -9,9 +9,23 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace wbam::harness {
+
+// One row of the white-box stage breakdown: cumulative latency from
+// client submit to the named protocol phase boundary, merged
+// bucket-exactly across every replica of the run. segment_ms is the p50
+// delta against the previous stage, so the segments telescope to the
+// delivered median (docs/OBSERVABILITY.md).
+struct FigStage {
+    std::string name;  // leader_receipt | ts_agreed | gts_known | delivered | e2e
+    std::uint64_t count = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double segment_ms = 0;
+};
 
 struct FigPoint {
     int clients = 0;  // closed-loop sessions driving the cluster
@@ -53,6 +67,12 @@ struct FigReport {
     std::uint32_t kv_cross_pct = 0;
 
     std::vector<FigSeries> series;
+
+    // White-box telemetry (distributed runs with stage tracing): the
+    // per-stage latency breakdown and the cluster-summed counter totals.
+    // Both empty on runs without telemetry — the sections are omitted.
+    std::vector<FigStage> stages;
+    std::vector<std::pair<std::string, std::uint64_t>> metrics;
 
     std::string to_json() const;
     // Writes to_json() to `path`; false (with a stderr note) on I/O error.

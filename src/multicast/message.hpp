@@ -23,6 +23,13 @@ struct AppMessage {
     MsgId id = invalid_msg;
     std::vector<GroupId> dests;  // sorted, unique
     BufferSlice payload;  // zero-copy view of the wire after decode
+    // Client-submit timestamp (the issuing runtime's clock; 0 = unknown).
+    // Rides every embedded re-encode of the message, so each replica can
+    // record white-box stage watermarks relative to the ORIGINAL submit
+    // (obs/stage.hpp). Measurement metadata, not content: excluded from
+    // equality, absent from WAL entry records (replayed deliveries are
+    // deliberately invisible to the stage histograms).
+    TimePoint submit_ts = 0;
 
     bool addressed_to(GroupId g) const {
         return std::binary_search(dests.begin(), dests.end(), g);
@@ -32,12 +39,14 @@ struct AppMessage {
         codec::write_field(w, id);
         codec::write_field(w, dests);
         codec::write_field(w, payload);
+        w.zigzag(submit_ts);
     }
     static AppMessage decode(codec::Reader& r) {
         AppMessage m;
         codec::read_field(r, m.id);
         codec::read_field(r, m.dests);
         codec::read_field(r, m.payload);
+        m.submit_ts = r.zigzag();
         if (m.dests.empty()) throw codec::DecodeError("message with no dests");
         if (!std::is_sorted(m.dests.begin(), m.dests.end()) ||
             std::adjacent_find(m.dests.begin(), m.dests.end()) != m.dests.end())
@@ -45,7 +54,9 @@ struct AppMessage {
         return m;
     }
 
-    friend bool operator==(const AppMessage&, const AppMessage&) = default;
+    friend bool operator==(const AppMessage& a, const AppMessage& b) {
+        return a.id == b.id && a.dests == b.dests && a.payload == b.payload;
+    }
 };
 
 // Builds a well-formed AppMessage (sorts and dedups the destinations).

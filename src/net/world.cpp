@@ -24,6 +24,7 @@
 #include "net/send_queue.hpp"
 #include "net/shard.hpp"
 #include "net/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace wbam::net {
 
@@ -465,6 +466,17 @@ void NetWorld::Loop::conn_dead(Conn& c) {
     }
     c.connecting = false;
     if (!c.outbound) return;  // reaped by the loop
+    // Post-mortem trail: only channels that had completed the handshake —
+    // the initial dial storm against peers still booting is expected and
+    // would drown the ring.
+    if (c.saw_hello) {
+        c.saw_hello = false;
+        obs::events().note("reconnect",
+                           "channel p" + std::to_string(c.local) + "->p" +
+                               std::to_string(c.remote) +
+                               " died; redialling with backoff",
+                           w->now());
+    }
     c.q.requeue_unacked();
     c.backoff = std::min(std::max(c.backoff * 2, w->cfg_.dial_backoff_min),
                          w->cfg_.dial_backoff_max);
@@ -585,6 +597,12 @@ void NetWorld::Loop::note_incarnation(Conn& c) {
     it->second = c.peer_incarnation;
     log::info("net: peer p", c.remote, " restarted — resetting channel p",
               c.remote, "->p", c.local);
+    obs::events().note("incarnation",
+                       "peer p" + std::to_string(c.remote) +
+                           " restarted; reset channel p" +
+                           std::to_string(c.remote) + "->p" +
+                           std::to_string(c.local),
+                       w->now());
     recv_next.erase(channel);
     const auto rev = out_by_pair.find(std::make_pair(c.local, c.remote));
     if (rev != out_by_pair.end()) {

@@ -1,0 +1,216 @@
+// Process-wide observability: a named-metric registry with a lock-free
+// hot path, and the structured event ring for post-mortem debugging.
+//
+// Three metric kinds, all pointer-stable once registered (handles are
+// resolved once, under the registration mutex, and then touched with
+// relaxed atomics only — protocols record stage latencies on the message
+// path without taking a lock):
+//
+//   Counter        monotonically increasing u64 (frames sent, prunes)
+//   Gauge          settable i64 (queue depths, watermarks)
+//   StageHistogram bounded-memory latency distribution — an atomic twin
+//                  of stats::Histogram's log-bucket array, snapshotting
+//                  into a real Histogram so distributions from many
+//                  processes MERGE EXACTLY (bucket-wise addition,
+//                  stats::Histogram::merge)
+//
+// Pre-existing scattered counters (wbam::buffer_stats, the
+// net::transport_stats syscall mirror, per-WAL LogStats) are absorbed as
+// read-only *adapters*: a snapshot calls the registered closure instead
+// of duplicating the counter on the hot path.
+//
+// MetricsSnapshot is the export unit: JSON for --metrics-dump files,
+// codec-encoded on the ctrl plane (REPLICA_DONE carries one to the
+// coordinator). delta_since() subtracts counters/gauges and histogram
+// buckets exactly, so periodic dump lines show per-interval activity.
+//
+// See docs/OBSERVABILITY.md for the stage model and dump formats.
+#ifndef WBAM_OBS_METRICS_HPP
+#define WBAM_OBS_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codec/fields.hpp"
+#include "common/time.hpp"
+#include "stats/histogram.hpp"
+
+namespace wbam::obs {
+
+class Counter {
+public:
+    void add(std::uint64_t n = 1) {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+public:
+    void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+    void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+    std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+// Lock-free latency histogram: the same log-bucket layout as
+// stats::Histogram (bucket_index is shared), each bucket a relaxed
+// atomic. record() is wait-free; snapshot() reads the buckets into a
+// plain Histogram. min/max are maintained with CAS loops; a snapshot
+// taken concurrently with records is a consistent-enough view (bucket
+// counts may trail the total by in-flight increments, never corrupt).
+class StageHistogram {
+public:
+    void record(Duration value);
+    stats::Histogram snapshot() const;
+
+private:
+    std::array<std::atomic<std::uint64_t>, stats::Histogram::num_buckets>
+        buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::int64_t> sum_ns_{0};
+    std::atomic<Duration> min_{INT64_MAX};
+    std::atomic<Duration> max_{INT64_MIN};
+};
+
+// One recovery-relevant happening: reconnects, incarnation changes, WAL
+// recovery/truncation, GC prunes. `at` is the runtime's TimePoint (ns on
+// the process clock; 0 when no clock was in reach at the call site) —
+// `seq` alone gives the process-local order.
+struct Event {
+    std::uint64_t seq = 0;
+    TimePoint at = 0;
+    std::string category;
+    std::string detail;
+
+    void encode(codec::Writer& w) const {
+        w.varint(seq);
+        w.zigzag(at);
+        w.str(category);
+        w.str(detail);
+    }
+    static Event decode(codec::Reader& r) {
+        Event e;
+        e.seq = r.varint();
+        e.at = r.zigzag();
+        e.category = r.str();
+        e.detail = r.str();
+        return e;
+    }
+};
+
+// Fixed-capacity in-memory ring of Events: O(capacity) memory forever,
+// newest entries win. Mutexed — event sites are rare (reconnects, GC
+// rounds), never the per-message path.
+class EventRing {
+public:
+    explicit EventRing(std::size_t capacity = 256) : capacity_(capacity) {}
+
+    void note(std::string category, std::string detail, TimePoint at = 0);
+    std::vector<Event> entries() const;
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::uint64_t next_seq_ = 1;
+    std::deque<Event> ring_;
+};
+
+// The wire/export image of the registry at one instant.
+struct MetricsSnapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, stats::Histogram>> histograms;
+    std::vector<Event> events;
+
+    void encode(codec::Writer& w) const;
+    static MetricsSnapshot decode(codec::Reader& r);
+
+    // One compact JSON object (counters/gauges maps, histograms summarised
+    // as count/mean/p50/p99/max in ms, events as an array).
+    std::string to_json() const;
+
+    // Per-interval view: counter/gauge differences, histogram buckets
+    // subtracted exactly (min/max of a difference are unknowable, so the
+    // delta reports 0 and the top non-empty bucket bound), events with
+    // seq beyond the base's last.
+    MetricsSnapshot delta_since(const MetricsSnapshot& base) const;
+
+    std::uint64_t counter(const std::string& name) const;
+};
+
+class MetricsRegistry {
+public:
+    // The process-wide instance. Construction registers adapters for the
+    // pre-existing global counters (buffer_stats, net::transport_stats).
+    static MetricsRegistry& instance();
+
+    // Resolve-or-create by name; the returned reference is pointer-stable
+    // for the registry's lifetime (cache it, then record lock-free).
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    StageHistogram& histogram(const std::string& name);
+
+    // Read-only view over a counter that lives elsewhere; called at
+    // snapshot time. Re-registering a name replaces the closure.
+    void register_adapter(const std::string& name,
+                          std::function<std::uint64_t()> read);
+
+    EventRing& events() { return events_; }
+
+    MetricsSnapshot snapshot() const;
+
+    MetricsRegistry();
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<StageHistogram>> histograms_;
+    std::map<std::string, std::function<std::uint64_t()>> adapters_;
+    EventRing events_;
+};
+
+inline MetricsRegistry& metrics() { return MetricsRegistry::instance(); }
+inline EventRing& events() { return MetricsRegistry::instance().events(); }
+
+// Scoped counter baseline for tests: the global counters
+// (transport_stats, buffer_stats, ...) are process-wide, so absolute
+// assertions bleed across tests sharing a binary (and across the net
+// runtime's background loop threads). Snapshot at construction, assert
+// on deltas.
+class CounterDelta {
+public:
+    explicit CounterDelta(MetricsRegistry& reg = metrics())
+        : reg_(&reg), base_(reg.snapshot()) {}
+
+    // Current value minus the value at construction (0 if the counter
+    // did not exist then).
+    std::uint64_t operator()(const std::string& name) const {
+        const std::uint64_t now = reg_->snapshot().counter(name);
+        const std::uint64_t then = base_.counter(name);
+        return now >= then ? now - then : 0;
+    }
+
+private:
+    MetricsRegistry* reg_;
+    MetricsSnapshot base_;
+};
+
+}  // namespace wbam::obs
+
+#endif  // WBAM_OBS_METRICS_HPP

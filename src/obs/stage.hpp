@@ -1,0 +1,82 @@
+// White-box stage tracing: the paper's point is that an atomic multicast
+// built OUT OF explicit Paxos phases lets you attribute latency to each
+// phase. Every AppMessage carries its client-submit timestamp
+// (AppMessage::submit_ts); each protocol records a watermark when a
+// message crosses one of its white-box phase boundaries:
+//
+//   leader_receipt   submit -> the destination group first processes it
+//   ts_agreed        submit -> the group's local timestamp / phase-2
+//                    value is agreed (wbcast ACCEPT quorum, ftskeen
+//                    propose decision, fastcast first consensus,
+//                    skeen's immediate local clock)
+//   gts_known        submit -> the global sequence (max of group
+//                    timestamps) is determined and committed
+//   delivered        submit -> the delivery upcall
+//
+// Stages are CUMULATIVE from submit, each a full latency distribution in
+// its own registry histogram ("stage/<proto>/<stage>"). The breakdown a
+// report prints is consecutive-median differences, which by construction
+// telescope to the delivered median — per-stage medians account for the
+// end-to-end p50 up to the final deliver->client ack hop (the tolerance
+// documented in docs/OBSERVABILITY.md).
+//
+// A watermark is recorded only when submit_ts > 0 and now >= submit_ts:
+// messages reconstructed without a submit time (WAL replay, state
+// transfer) and cross-host readings without a shared clock epoch
+// (--epoch-ns; ssh mode has none) are silently skipped rather than
+// polluting the distribution with garbage deltas.
+#ifndef WBAM_OBS_STAGE_HPP
+#define WBAM_OBS_STAGE_HPP
+
+#include <array>
+#include <string>
+
+#include "common/time.hpp"
+#include "obs/metrics.hpp"
+
+namespace wbam::obs {
+
+enum class Stage : int {
+    leader_receipt = 0,
+    ts_agreed = 1,
+    gts_known = 2,
+    delivered = 3,
+};
+
+inline constexpr int num_stages = 4;
+
+inline const char* to_string(Stage s) {
+    switch (s) {
+        case Stage::leader_receipt: return "leader_receipt";
+        case Stage::ts_agreed: return "ts_agreed";
+        case Stage::gts_known: return "gts_known";
+        case Stage::delivered: return "delivered";
+    }
+    return "?";
+}
+
+// Per-protocol stage watermarks. Handle resolution happens once at
+// construction (registry mutex); record() is the lock-free hot path.
+class StageRecorder {
+public:
+    explicit StageRecorder(const char* proto) {
+        for (int s = 0; s < num_stages; ++s)
+            hists_[static_cast<std::size_t>(s)] = &metrics().histogram(
+                std::string("stage/") + proto + "/" +
+                to_string(static_cast<Stage>(s)));
+    }
+
+    void record(Stage s, TimePoint submit_ts, TimePoint now) {
+        if (submit_ts <= 0) return;  // no submit time travelled with it
+        const Duration d = now - submit_ts;
+        if (d < 0) return;  // clocks without a shared epoch
+        hists_[static_cast<std::size_t>(s)]->record(d);
+    }
+
+private:
+    std::array<StageHistogram*, num_stages> hists_{};
+};
+
+}  // namespace wbam::obs
+
+#endif  // WBAM_OBS_STAGE_HPP

@@ -15,7 +15,9 @@ std::uint8_t type_of(MsgType t) { return static_cast<std::uint8_t>(t); }
 MultiPaxos::MultiPaxos(std::vector<ProcessId> members, int quorum, ApplyFn apply,
                        PaxosConfig cfg)
     : members_(std::move(members)), quorum_(static_cast<std::size_t>(quorum)),
-      apply_(std::move(apply)), cfg_(cfg) {
+      apply_(std::move(apply)), cfg_(cfg),
+      chosen_hist_(&obs::metrics().histogram("stage/paxos/chosen")),
+      applied_hist_(&obs::metrics().histogram("stage/paxos/applied")) {
     WBAM_ASSERT(!members_.empty());
     WBAM_ASSERT(quorum_ >= 1 && quorum_ <= members_.size());
 }
@@ -36,6 +38,7 @@ void MultiPaxos::start(Context& ctx) {
 
 bool MultiPaxos::submit(Context& ctx, Command cmd) {
     if (leading_) {
+        submitted_at_.emplace(next_slot_, ctx.now());
         propose_at(ctx, next_slot_++, std::move(cmd));
         return true;
     }
@@ -272,6 +275,9 @@ void MultiPaxos::mark_chosen(Context& ctx, std::uint64_t slot, Command cmd,
     // commands learned from CHOSEN/P1B wire messages copy once here, only
     // when actually inserted.
     cmd.data = cmd.data.compact();
+    if (const auto sub = submitted_at_.find(slot);
+        sub != submitted_at_.end() && ctx.now() >= sub->second)
+        chosen_hist_->record(ctx.now() - sub->second);
     const auto it = chosen_.emplace(slot, std::move(cmd)).first;
     // Appended exactly once per slot (guarded by the emplace): replay
     // re-learns the slot and re-drives the apply path deterministically.
@@ -296,7 +302,14 @@ void MultiPaxos::apply_ready(Context& ctx) {
          it = chosen_.find(applied_upto_ + 1)) {
         ++applied_upto_;
         if (!it->second.is_noop()) apply_(ctx, it->first, it->second);
+        if (const auto sub = submitted_at_.find(applied_upto_);
+            sub != submitted_at_.end() && ctx.now() >= sub->second)
+            applied_hist_->record(ctx.now() - sub->second);
     }
+    // Applied in slot order: everything at-or-below the apply point is
+    // settled (recorded or lost to a leader change) — keep the map bounded.
+    submitted_at_.erase(submitted_at_.begin(),
+                        submitted_at_.upper_bound(applied_upto_));
 }
 
 void MultiPaxos::handle_nack(const NackMsg& m) {

@@ -14,6 +14,7 @@
 
 #include "codec/wire.hpp"
 #include "common/process.hpp"
+#include "obs/metrics.hpp"
 #include "paxos/messages.hpp"
 
 namespace wbam::wal {
@@ -198,6 +199,14 @@ private:
     std::deque<Command> queue_;  // submitted while phase 1 runs
     std::map<ProcessId, P1bMsg> p1b_acks_;
     TimePoint phase1_started_ = 0;
+
+    // White-box engine tracing: submit times of commands this member
+    // proposed while leading, keyed by slot; folded into the process-wide
+    // stage/paxos/{chosen,applied} histograms when the slot is chosen and
+    // applied (the raw-consensus analogue of the multicast stage rows).
+    std::map<std::uint64_t, TimePoint> submitted_at_;
+    obs::StageHistogram* chosen_hist_;
+    obs::StageHistogram* applied_hist_;
 };
 
 }  // namespace wbam::paxos

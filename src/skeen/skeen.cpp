@@ -55,6 +55,10 @@ void SkeenReplica::handle_multicast(Context& ctx, const AppMessage& m) {
         e.lts = Timestamp{clock_, g0_};
         e.phase = Phase::proposed;
         pending_by_lts_.emplace(e.lts, m.id);
+        // Singleton groups: receipt and the local-timestamp assignment are
+        // one step, so both watermarks land here.
+        stages_.record(obs::Stage::leader_receipt, m.submit_ts, ctx.now());
+        stages_.record(obs::Stage::ts_agreed, m.submit_ts, ctx.now());
     }
     // Duplicate MULTICAST (client retry): re-send PROPOSE with the stored
     // timestamp; receivers treat repeats idempotently.
@@ -81,6 +85,7 @@ void SkeenReplica::handle_propose(Context& ctx, const ProposeMsg& p) {
     e.phase = Phase::committed;
     const bool inserted = committed_by_gts_.emplace(gts, e.msg.id).second;
     WBAM_ASSERT_MSG(inserted, "global timestamps must be unique");
+    stages_.record(obs::Stage::gts_known, e.msg.submit_ts, ctx.now());
     try_deliver(ctx);
 }
 
@@ -95,6 +100,7 @@ void SkeenReplica::try_deliver(Context& ctx) {
         e.delivered = true;
         log::debug("skeen p", ctx.self(), " delivers msg ", id, " gts ",
                    to_string(gts));
+        stages_.record(obs::Stage::delivered, e.msg.submit_ts, ctx.now());
         sink_(ctx, g0_, e.msg);
         // Delivered entries are never re-sent (processes are reliable in
         // Skeen's model): drop the payload so the retained entry stops

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "multicast/api.hpp"
+#include "obs/stage.hpp"
 
 namespace wbam::skeen {
 
@@ -75,6 +76,7 @@ private:
     GroupId g0_;
     DeliverySink sink_;
     ReplicaConfig cfg_;
+    obs::StageRecorder stages_{"skeen"};
 
     std::uint64_t clock_ = 0;
     std::unordered_map<MsgId, Entry> entries_;

@@ -67,6 +67,19 @@ void Histogram::clear() {
     min_ = max_ = 0;
 }
 
+Histogram Histogram::from_raw(std::vector<std::uint64_t> buckets,
+                              std::uint64_t count, double sum, Duration min,
+                              Duration max) {
+    WBAM_ASSERT(buckets.size() == num_buckets);
+    Histogram h;
+    h.buckets_ = std::move(buckets);
+    h.count_ = count;
+    h.sum_ = sum;
+    h.min_ = min;
+    h.max_ = max;
+    return h;
+}
+
 Duration Histogram::min() const { return min_; }
 Duration Histogram::max() const { return max_; }
 

@@ -13,6 +13,11 @@ namespace wbam::stats {
 
 class Histogram {
 public:
+    // 64 magnitude groups x 16 sub-buckets.
+    static constexpr int sub_bits = 4;
+    static constexpr int sub_count = 1 << sub_bits;
+    static constexpr std::size_t num_buckets = 64 * sub_count;
+
     Histogram();
 
     void record(Duration value);
@@ -27,13 +32,26 @@ public:
     // quantile.
     Duration percentile(double q) const;
 
+    // Raw-bucket access: the lock-free obs registry keeps an atomic twin
+    // of the bucket array (same bucket_index math) and snapshots it into
+    // a Histogram with from_raw; the metrics wire codec round-trips the
+    // sparse non-zero buckets so the coordinator reconstructs a Histogram
+    // and merges replicas' stage distributions EXACTLY (bucket addition).
+    static std::size_t bucket_index(Duration value) {
+        return bucket_of(value);
+    }
+    static Duration bucket_upper_bound(std::size_t bucket) {
+        return bucket_upper(bucket);
+    }
+    const std::vector<std::uint64_t>& raw_buckets() const { return buckets_; }
+    double sum() const { return sum_; }
+    static Histogram from_raw(std::vector<std::uint64_t> buckets,
+                              std::uint64_t count, double sum, Duration min,
+                              Duration max);
+
 private:
     static std::size_t bucket_of(Duration value);
     static Duration bucket_upper(std::size_t bucket);
-
-    // 64 magnitude groups x 16 sub-buckets.
-    static constexpr int sub_bits = 4;
-    static constexpr int sub_count = 1 << sub_bits;
 
     std::vector<std::uint64_t> buckets_;
     std::uint64_t count_ = 0;

@@ -200,6 +200,7 @@ void WbcastReplica::handle_multicast(Context& ctx, const AppMessage& m) {
         // Lines 5-8: assign the local timestamp under the current ballot.
         ctx.charge(cfg_.wbcast_multicast_cost);
         e.msg = m;
+        stages_.record(obs::Stage::leader_receipt, m.submit_ts, ctx.now());
         clock_ += 1;
         e.lts = Timestamp{clock_, g0_};
         e.phase = Phase::proposed;
@@ -288,7 +289,10 @@ void WbcastReplica::handle_accept(Context& ctx, ProcessId, const AcceptMsg& a) {
     // our ACCEPT_ACK must find the entry again after we restart, or the
     // NEWLEADER recompute could lose a committed message. Logged after the
     // speculative advance so the record's clock covers the future gts.
-    if (accepted_now) log_entry(e);
+    if (accepted_now) {
+        log_entry(e);
+        stages_.record(obs::Stage::ts_agreed, e.msg.submit_ts, ctx.now());
+    }
     // Lines 15-16: acknowledge to every proposing leader.
     std::vector<ProcessId> leaders;
     leaders.reserve(e.accepts.size());
@@ -350,6 +354,7 @@ void WbcastReplica::check_commit(Context& ctx, Entry& e) {
     const bool unique = committed_by_gts_.emplace(gts, e.msg.id).second;
     WBAM_ASSERT_MSG(unique, "Invariant 4: global timestamps are unique");
     log_entry(e);
+    stages_.record(obs::Stage::gts_known, e.msg.submit_ts, ctx.now());
     log::debug("wbcast p", pid_, " commits ", e.msg.id, " gts ", to_string(gts));
     try_deliver(ctx);
 }
@@ -396,6 +401,7 @@ void WbcastReplica::handle_deliver(Context& ctx, const DeliverMsg& d) {
     if (cfg_.wal)
         cfg_.wal->append(wal::tag(wal::RecordType::watermark),
                          wal::encode_watermark(max_delivered_gts_));
+    stages_.record(obs::Stage::delivered, e.msg.submit_ts, ctx.now());
     sink_(ctx, g0_, e.msg);  // line 31
 }
 
@@ -648,11 +654,15 @@ void WbcastReplica::handle_gc_status(ProcessId from, const GcStatusMsg& m) {
 }
 
 void WbcastReplica::handle_gc_prune(const GcPruneMsg& m) {
+    const std::uint64_t before = compacted_count_;
     for (auto& [id, e] : entries_) {
         if (e.phase != Phase::committed || e.compacted) continue;
         if (e.gts > m.floor || e.gts > max_delivered_gts_) continue;
         compact(e);
     }
+    if (compacted_count_ > before)
+        obs::metrics().counter("gc/compacted_entries")
+            .add(compacted_count_ - before);
 }
 
 void WbcastReplica::run_gc(Context& ctx) {
@@ -660,11 +670,21 @@ void WbcastReplica::run_gc(Context& ctx) {
     repair_lagging(ctx);
     const Timestamp floor = delivered_floor_.floor();
     if (floor == bottom_ts) return;
+    const std::uint64_t before = compacted_count_;
     for (auto& [id, e] : entries_) {
         if (e.phase != Phase::committed || e.compacted || !e.deliver_sent)
             continue;
         if (e.gts > floor) continue;
         compact(e);
+    }
+    if (compacted_count_ > before) {
+        obs::metrics().counter("gc/compacted_entries")
+            .add(compacted_count_ - before);
+        obs::events().note("gc_prune",
+                           "wbcast: compacted " +
+                               std::to_string(compacted_count_ - before) +
+                               " entries at floor " + to_string(floor),
+                           ctx.now());
     }
     // Announce every round, not only on change: a member that missed an
     // earlier announcement (partition, recovery) learns the floor here.

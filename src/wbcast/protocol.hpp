@@ -28,6 +28,7 @@
 
 #include "elect/elector.hpp"
 #include "multicast/api.hpp"
+#include "obs/stage.hpp"
 #include "wbcast/messages.hpp"
 
 namespace wbam::wbcast {
@@ -132,6 +133,7 @@ private:
     GroupId g0_;
     DeliverySink sink_;
     ReplicaConfig cfg_;
+    obs::StageRecorder stages_{"wbcast"};
     elect::Elector elector_;
 
     Status status_ = Status::follower;

@@ -22,6 +22,7 @@
 #include "net/send_queue.hpp"
 #include "net/shard.hpp"
 #include "net/world.hpp"
+#include "obs/metrics.hpp"
 
 namespace wbam::net {
 namespace {
@@ -192,6 +193,11 @@ TEST(SendQueueTest, BurstOfFramesFlushesInOneWritev) {
     ASSERT_GE(sp.a, 0);
     SendQueue q;
     constexpr int burst = 10;
+    // The per-queue counters also feed the process-global transport_stats
+    // mirror, which other tests (and the net runtime's background loop
+    // threads) touch concurrently: the global assertion below uses a
+    // scoped delta, never absolute values.
+    const obs::CounterDelta delta;
     for (int i = 0; i < burst; ++i)
         q.push_data(body_of(100, static_cast<std::uint8_t>(i)));
     EXPECT_EQ(q.pending_frames(), static_cast<std::size_t>(burst));
@@ -202,6 +208,8 @@ TEST(SendQueueTest, BurstOfFramesFlushesInOneWritev) {
     // The coalescing contract: >= 8 queued frames, ONE gathered write.
     EXPECT_EQ(q.writev_calls(), 1u);
     EXPECT_EQ(q.frames_sent(), static_cast<std::uint64_t>(burst));
+    EXPECT_GE(delta("net/writev_calls"), 1u);
+    EXPECT_GE(delta("net/frames_sent"), static_cast<std::uint64_t>(burst));
     EXPECT_TRUE(q.empty());
     EXPECT_EQ(q.unacked_frames(), static_cast<std::size_t>(burst));
 

@@ -1,0 +1,205 @@
+// Tests for the process-wide metrics registry (src/obs/): handle
+// stability, concurrent hot-path increments (exercised under TSan in the
+// sanitizer CI job), snapshot consistency, the delta/export paths, the
+// wire codec round trip, and the stage recorder's guard conditions.
+//
+// The registry under test is a LOCAL instance wherever possible — the
+// process-wide obs::metrics() singleton is shared with every other test
+// in this binary, so absolute assertions against it would bleed
+// (tested explicitly via CounterDelta below).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codec/fields.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stage.hpp"
+
+namespace wbam::obs {
+namespace {
+
+TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
+    MetricsRegistry reg;
+    Counter& a = reg.counter("x/one");
+    Counter& b = reg.counter("x/one");
+    EXPECT_EQ(&a, &b);  // resolve-or-create returns the same cell
+    a.add(3);
+    b.add(4);
+    EXPECT_EQ(reg.snapshot().counter("x/one"), 7u);
+    EXPECT_EQ(reg.snapshot().counter("x/never-registered"), 0u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrements) {
+    MetricsRegistry reg;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 20'000;
+    Counter& c = reg.counter("hot");
+    Gauge& g = reg.gauge("depth");
+    StageHistogram& h = reg.histogram("lat");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                c.add(1);
+                g.add(t % 2 ? 1 : -1);
+                h.record(static_cast<Duration>(1000 + i));
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("hot"),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(snap.gauges.at(0).second, 0);  // +1s and -1s cancel
+    EXPECT_EQ(snap.histograms.at(0).second.count(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotWhileRecording) {
+    // Snapshots taken concurrently with records must be internally sane:
+    // monotone counters, histogram bucket sums never ahead of the total.
+    MetricsRegistry reg;
+    Counter& c = reg.counter("c");
+    StageHistogram& h = reg.histogram("h");
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+            c.add(1);
+            h.record(static_cast<Duration>(i % 100000));
+        }
+    });
+    std::uint64_t last = 0;
+    for (int i = 0; i < 200; ++i) {
+        const MetricsSnapshot snap = reg.snapshot();
+        const std::uint64_t now = snap.counter("c");
+        EXPECT_GE(now, last);
+        last = now;
+        const stats::Histogram& hist = snap.histograms.at(0).second;
+        std::uint64_t bucket_sum = 0;
+        for (const std::uint64_t b : hist.raw_buckets()) bucket_sum += b;
+        EXPECT_LE(bucket_sum, hist.count() + 1000)
+            << "bucket counts ran wildly ahead of the total";
+    }
+    stop.store(true);
+    writer.join();
+}
+
+TEST(MetricsRegistryTest, AdapterReadsForeignCounter) {
+    MetricsRegistry reg;
+    std::uint64_t external = 41;
+    reg.register_adapter("ext/value", [&external] { return external; });
+    external = 42;
+    EXPECT_EQ(reg.snapshot().counter("ext/value"), 42u);
+    // Re-registration replaces the closure.
+    reg.register_adapter("ext/value", [] { return std::uint64_t{7}; });
+    EXPECT_EQ(reg.snapshot().counter("ext/value"), 7u);
+}
+
+TEST(MetricsRegistryTest, DeltaSinceSubtractsExactly) {
+    MetricsRegistry reg;
+    Counter& c = reg.counter("ops");
+    StageHistogram& h = reg.histogram("lat");
+    c.add(10);
+    h.record(milliseconds(1));
+    const MetricsSnapshot base = reg.snapshot();
+    c.add(5);
+    h.record(milliseconds(2));
+    h.record(milliseconds(2));
+    const MetricsSnapshot delta = reg.snapshot().delta_since(base);
+    EXPECT_EQ(delta.counter("ops"), 5u);
+    ASSERT_EQ(delta.histograms.size(), 1u);
+    const stats::Histogram& dh = delta.histograms.at(0).second;
+    EXPECT_EQ(dh.count(), 2u);  // only the two post-base samples
+    const std::size_t two_ms = stats::Histogram::bucket_index(milliseconds(2));
+    EXPECT_EQ(dh.raw_buckets().at(two_ms), 2u);
+    const std::size_t one_ms = stats::Histogram::bucket_index(milliseconds(1));
+    EXPECT_EQ(dh.raw_buckets().at(one_ms), 0u);  // pre-base sample removed
+}
+
+TEST(MetricsRegistryTest, SnapshotCodecRoundTrip) {
+    MetricsRegistry reg;
+    reg.counter("a").add(123);
+    reg.gauge("g").set(-5);
+    reg.histogram("h").record(milliseconds(3));
+    reg.histogram("h").record(milliseconds(30));
+    reg.events().note("test", "hello", 42);
+    const MetricsSnapshot before = reg.snapshot();
+
+    codec::Writer w;
+    before.encode(w);
+    const Bytes wire = std::move(w).take();
+    codec::Reader r(wire);
+    const MetricsSnapshot after = MetricsSnapshot::decode(r);
+
+    EXPECT_EQ(after.counter("a"), 123u);
+    ASSERT_EQ(after.gauges.size(), 1u);
+    EXPECT_EQ(after.gauges.at(0).second, -5);
+    ASSERT_EQ(after.histograms.size(), 1u);
+    const stats::Histogram& ha = after.histograms.at(0).second;
+    const stats::Histogram& hb = before.histograms.at(0).second;
+    EXPECT_EQ(ha.count(), hb.count());
+    EXPECT_EQ(ha.min(), hb.min());
+    EXPECT_EQ(ha.max(), hb.max());
+    EXPECT_EQ(ha.raw_buckets(), hb.raw_buckets());
+    ASSERT_EQ(after.events.size(), 1u);
+    EXPECT_EQ(after.events.at(0).category, "test");
+    EXPECT_EQ(after.events.at(0).detail, "hello");
+    EXPECT_EQ(after.events.at(0).at, 42);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsOneLine) {
+    MetricsRegistry reg;
+    reg.counter("a\"b").add(1);  // name needing escaping
+    reg.events().note("cat", "line1\nline2");
+    const std::string json = reg.snapshot().to_json();
+    EXPECT_EQ(json.find('\n'), std::string::npos)
+        << "dump lines must stay single-line JSONL records";
+    EXPECT_NE(json.find("\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\u000a"), std::string::npos);
+}
+
+TEST(EventRingTest, BoundedNewestWins) {
+    EventRing ring(4);
+    for (int i = 0; i < 10; ++i)
+        ring.note("cat", std::to_string(i), i);
+    const std::vector<Event> entries = ring.entries();
+    ASSERT_EQ(entries.size(), 4u);
+    EXPECT_EQ(entries.front().detail, "6");
+    EXPECT_EQ(entries.back().detail, "9");
+    // seq keeps counting across evictions.
+    EXPECT_EQ(entries.back().seq, 10u);
+}
+
+TEST(CounterDeltaTest, ScopedBaseline) {
+    // The process-global registry is shared across every test in this
+    // binary; CounterDelta turns absolute reads into scoped deltas.
+    Counter& c = metrics().counter("obs_test/scoped");
+    c.add(100);
+    const CounterDelta delta;
+    EXPECT_EQ(delta("obs_test/scoped"), 0u);
+    c.add(7);
+    EXPECT_EQ(delta("obs_test/scoped"), 7u);
+}
+
+TEST(StageRecorderTest, GuardsRejectGarbage) {
+    // The recorder writes into the process-global registry: measure with
+    // a scoped baseline so repeated runs in one binary stay valid.
+    StageRecorder rec("obs_test_proto");
+    const std::string name = "stage/obs_test_proto/delivered";
+    const auto count_of = [&](const MetricsSnapshot& snap) -> std::uint64_t {
+        for (const auto& [n, h] : snap.histograms)
+            if (n == name) return h.count();
+        return 0;
+    };
+    const std::uint64_t before = count_of(metrics().snapshot());
+    rec.record(Stage::delivered, 0, 500);     // no submit time travelled
+    rec.record(Stage::delivered, 1000, 500);  // clock skew: negative delta
+    EXPECT_EQ(count_of(metrics().snapshot()), before);
+    rec.record(Stage::delivered, 1000, 4000);
+    EXPECT_EQ(count_of(metrics().snapshot()), before + 1);
+}
+
+}  // namespace
+}  // namespace wbam::obs

@@ -80,6 +80,75 @@ TEST(HistogramTest, MergeCombines) {
     EXPECT_EQ(a.max(), milliseconds(100));
 }
 
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+    Histogram a;
+    a.record(milliseconds(2));
+    a.record(milliseconds(7));
+    const Histogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), milliseconds(2));
+    EXPECT_EQ(a.max(), milliseconds(7));
+    EXPECT_EQ(a.percentile(1.0), milliseconds(7));  // capped at max
+
+    // Empty absorbing populated works too (fresh coordinator histogram
+    // merging the first replica snapshot).
+    Histogram b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.min(), milliseconds(2));
+    EXPECT_EQ(b.max(), milliseconds(7));
+}
+
+TEST(HistogramTest, SelfMergeDoubles) {
+    Histogram h;
+    for (int i = 1; i <= 100; ++i) h.record(i * 10'000);
+    const std::uint64_t before = h.count();
+    const Duration p50 = h.percentile(0.5);
+    h.merge(h);
+    EXPECT_EQ(h.count(), 2 * before);
+    EXPECT_DOUBLE_EQ(h.mean(), h.mean());  // still finite
+    // Doubling every bucket leaves all quantiles unchanged.
+    EXPECT_EQ(h.percentile(0.5), p50);
+    EXPECT_EQ(h.min(), 10'000);
+    EXPECT_EQ(h.max(), 1'000'000);
+}
+
+TEST(HistogramTest, MergePercentilesExact) {
+    // Percentiles after a merge must equal those of one histogram fed the
+    // union of samples — this exactness is what lets the coordinator merge
+    // per-replica stage distributions without a fidelity loss.
+    Histogram a;
+    Histogram b;
+    Histogram combined;
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = static_cast<Duration>(rng.next_below(80'000'000)) + 1;
+        (i % 2 ? a : b).record(v);
+        combined.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+    for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_EQ(a.percentile(q), combined.percentile(q)) << "q=" << q;
+}
+
+TEST(HistogramTest, FromRawRoundTrips) {
+    Histogram h;
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i)
+        h.record(static_cast<Duration>(rng.next_below(5'000'000)) + 1);
+    const Histogram copy = Histogram::from_raw(h.raw_buckets(), h.count(),
+                                               h.sum(), h.min(), h.max());
+    EXPECT_EQ(copy.count(), h.count());
+    EXPECT_DOUBLE_EQ(copy.mean(), h.mean());
+    for (const double q : {0.25, 0.5, 0.75, 0.99})
+        EXPECT_EQ(copy.percentile(q), h.percentile(q));
+}
+
 TEST(HistogramTest, ClearResets) {
     Histogram h;
     h.record(milliseconds(3));

@@ -10,6 +10,7 @@
 #include "common/batching.hpp"
 #include "harness/cluster.hpp"
 #include "multicast/delivery_log.hpp"
+#include "obs/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/world.hpp"
 #include "test_util.hpp"
@@ -129,7 +130,9 @@ TEST(SendManyTest, RespectsPartitions) {
 
 TEST(SendManyTest, FanOutSharesStorageWithoutCopies) {
     SpongeWorld w(4, sim::CpuModel{});
-    const std::uint64_t copied_before = buffer_stats::bytes_copied();
+    // buffer_stats is process-global and shared with every other test in
+    // this binary: assert on a scoped delta, not absolute values.
+    const obs::CounterDelta delta;
     w.world.at(0, [&] {
         codec::Writer enc;
         enc.str("shared fan-out image");
@@ -137,7 +140,7 @@ TEST(SendManyTest, FanOutSharesStorageWithoutCopies) {
     });
     w.world.run_for(milliseconds(5));
     // Zero payload bytes copied end to end; all recipients alias one buffer.
-    EXPECT_EQ(buffer_stats::bytes_copied(), copied_before);
+    EXPECT_EQ(delta("buffer/bytes_copied"), 0u);
     ASSERT_EQ(w.sponges[1]->received.size(), 1u);
     EXPECT_TRUE(same_storage(w.sponges[1]->received[0].second,
                              w.sponges[2]->received[0].second));
